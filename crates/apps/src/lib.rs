@@ -1,0 +1,1 @@
+//! Host crate: see the repository root `examples/` and `tests/` directories.

@@ -1,0 +1,87 @@
+//! Criterion: full parallel-access throughput of the Rust PolyMem — the
+//! software analogue of the paper's bandwidth figures. One iteration = one
+//! complete Fig. 3 pipeline traversal (AGU -> MAF -> A -> shuffles -> banks).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymem::{AccessPattern, AccessScheme, ParallelAccess, PolyMem, PolyMemConfig};
+
+fn mem(scheme: AccessScheme, p: usize, q: usize) -> PolyMem<u64> {
+    let cfg = PolyMemConfig::new(16 * p, 16 * q, p, q, scheme, 2).unwrap();
+    let mut m = PolyMem::new(cfg).unwrap();
+    let data: Vec<u64> = (0..cfg.capacity_elems() as u64).collect();
+    m.load_row_major(&data).unwrap();
+    m
+}
+
+fn bench_read_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_access");
+    g.throughput(Throughput::Bytes(8 * 8));
+    let cases: [(AccessScheme, AccessPattern); 6] = [
+        (AccessScheme::ReO, AccessPattern::Rectangle),
+        (AccessScheme::ReRo, AccessPattern::Row),
+        (AccessScheme::ReCo, AccessPattern::Column),
+        (AccessScheme::ReRo, AccessPattern::MainDiagonal),
+        (AccessScheme::RoCo, AccessPattern::Row),
+        (AccessScheme::ReTr, AccessPattern::TransposedRectangle),
+    ];
+    for (scheme, pattern) in cases {
+        let mut m = mem(scheme, 2, 4);
+        let mut out = vec![0u64; 8];
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("{scheme}/{pattern}")),
+            |b| {
+                let mut pos = 0usize;
+                b.iter(|| {
+                    let access = ParallelAccess::new(pos % 8, pos % 8, pattern);
+                    m.read_into(0, black_box(access), &mut out).unwrap();
+                    pos += 1;
+                    out[0]
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_access");
+    for (p, q) in [(2usize, 4usize), (2, 8), (4, 8)] {
+        let lanes = p * q;
+        g.throughput(Throughput::Bytes(8 * lanes as u64));
+        let mut m = mem(AccessScheme::RoCo, p, q);
+        let data: Vec<u64> = (0..lanes as u64).collect();
+        g.bench_function(BenchmarkId::from_parameter(format!("{lanes}lanes")), |b| {
+            let mut row = 0usize;
+            b.iter(|| {
+                m.write(ParallelAccess::row(black_box(row % (8 * p)), 0), &data)
+                    .unwrap();
+                row += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_copy_kernel(c: &mut Criterion) {
+    // Software STREAM-Copy through the memory: read a row, write it back to
+    // another region — the data path of the paper's Fig. 9 without the
+    // cycle simulator.
+    let mut g = c.benchmark_group("sw_stream_copy");
+    let mut m = mem(AccessScheme::RoCo, 2, 4);
+    let mut buf = vec![0u64; 8];
+    g.throughput(Throughput::Bytes(2 * 8 * 8));
+    g.bench_function("read+write_row", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let src = ParallelAccess::row(k % 8, 0);
+            let dst = ParallelAccess::row(16 + (k % 8), 0);
+            m.read_into(0, black_box(src), &mut buf).unwrap();
+            m.write(black_box(dst), &buf).unwrap();
+            k += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_patterns, bench_write, bench_copy_kernel);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: bulk-operation throughput — region transfers, scheme
+//! conversion, and the matrix façade, measured as bytes moved per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymem::region::RegionShape;
+use polymem::{AccessScheme, PolyMatrix, PolyMem, PolyMemConfig, Region};
+
+fn mem() -> PolyMem<u64> {
+    let cfg = PolyMemConfig::new(64, 64, 2, 4, AccessScheme::RoCo, 1).unwrap();
+    let mut m = PolyMem::new(cfg).unwrap();
+    let data: Vec<u64> = (0..64 * 64).collect();
+    m.load_row_major(&data).unwrap();
+    m
+}
+
+fn bench_region_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region");
+    let mut m = mem();
+    let block = Region::new("b", 0, 0, RegionShape::Block { rows: 16, cols: 32 });
+    g.throughput(Throughput::Bytes((block.len() * 8) as u64));
+    g.bench_function("read_block_16x32", |b| {
+        b.iter(|| m.read_region(0, &block).unwrap())
+    });
+    let vals: Vec<u64> = (0..block.len() as u64).collect();
+    g.bench_function("write_block_16x32", |b| {
+        b.iter(|| m.write_region(&block, &vals).unwrap())
+    });
+    let src = Region::new("s", 0, 0, RegionShape::Row { len: 64 });
+    let dst = Region::new("d", 32, 0, RegionShape::Row { len: 64 });
+    g.throughput(Throughput::Bytes(2 * 64 * 8));
+    g.bench_function("copy_row_64", |b| {
+        b.iter(|| m.copy_region(0, &src, &dst).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_convert_scheme(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convert_scheme");
+    g.sample_size(20);
+    let m = mem();
+    g.throughput(Throughput::Bytes((64 * 64 * 8) as u64));
+    for scheme in [AccessScheme::ReCo, AccessScheme::ReTr] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
+            b.iter(|| m.convert_scheme(s).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_matrix_facade(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix");
+    let data: Vec<u64> = (0..64 * 64).collect();
+    let mut m = PolyMatrix::from_row_major(&data, 64, 64, 2, 4, AccessScheme::RoCo).unwrap();
+    g.throughput(Throughput::Bytes(64 * 8));
+    g.bench_function("row_64", |b| b.iter(|| m.row(17).unwrap()));
+    g.bench_function("col_64", |b| b.iter(|| m.col(17).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_region_ops, bench_convert_scheme, bench_matrix_facade);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion: multi-port scaling of the thread-parallel PolyMem — the
+//! software analogue of Fig. 5's read-port scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymem::{AccessScheme, ConcurrentPolyMem, ParallelAccess, PolyMemConfig};
+
+fn bench_port_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrent_read_ports");
+    g.sample_size(20);
+    for ports in [1usize, 2, 4] {
+        let cfg = PolyMemConfig::new(64, 64, 2, 4, AccessScheme::RoCo, ports).unwrap();
+        let m = ConcurrentPolyMem::<u64>::new(cfg).unwrap();
+        for i in 0..64 {
+            for j in 0..64 {
+                m.set(i, j, (i * 64 + j) as u64).unwrap();
+            }
+        }
+        // Each measured iteration issues 64 access-batches per port.
+        g.throughput(Throughput::Bytes((ports * 64 * 8 * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(ports), &m, |b, m| {
+            let accesses: Vec<ParallelAccess> =
+                (0..ports).map(|p| ParallelAccess::row(p, 0)).collect();
+            b.iter(|| {
+                for _ in 0..64 {
+                    let results = m.read_ports(&accesses);
+                    for r in &results {
+                        assert!(r.is_ok());
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_threaded_baseline(c: &mut Criterion) {
+    // The sequential equivalent of 4 ports x 64 batches, for comparison
+    // against concurrent_read_ports/4.
+    let mut g = c.benchmark_group("concurrent_baseline");
+    let cfg = PolyMemConfig::new(64, 64, 2, 4, AccessScheme::RoCo, 4).unwrap();
+    let m = ConcurrentPolyMem::<u64>::new(cfg).unwrap();
+    g.throughput(Throughput::Bytes(4 * 64 * 8 * 8));
+    g.bench_function("sequential_4x64", |b| {
+        b.iter(|| {
+            for p in 0..4 {
+                for _ in 0..64 {
+                    m.read(ParallelAccess::row(p, 0)).unwrap();
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_port_scaling, bench_single_threaded_baseline);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: module-assignment-function evaluation throughput per scheme.
+//! The MAF sits on the per-lane hot path of every access; this measures the
+//! raw cost of each scheme's arithmetic.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymem::{AccessScheme, ModuleAssignment};
+
+fn bench_maf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maf_assign");
+    let n: usize = 4096;
+    g.throughput(Throughput::Elements(n as u64));
+    for scheme in AccessScheme::ALL {
+        let maf = ModuleAssignment::new(scheme, 2, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(scheme), &maf, |b, maf| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for i in 0..64usize {
+                    for j in 0..64usize {
+                        acc = acc.wrapping_add(maf.assign_linear(black_box(i), black_box(j)));
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("maf_assign_lanes");
+    for (p, q) in [(2usize, 4usize), (2, 8), (4, 8)] {
+        let maf = ModuleAssignment::new(AccessScheme::RoCo, p, q);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", p, q)),
+            &maf,
+            |b, maf| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for i in 0..64usize {
+                        for j in 0..64usize {
+                            acc = acc.wrapping_add(maf.assign_linear(black_box(i), black_box(j)));
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_maf);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion: scheduler performance — instance construction, greedy, and
+//! exact search cost on representative traces (the paper's design flow runs
+//! offline; this documents its cost envelope).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymem::AccessScheme;
+use scheduler::{solve_exact, solve_greedy, AccessTrace, CoverInstance};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cover_build");
+    for side in [8usize, 16, 32] {
+        let trace = AccessTrace::block(0, 0, side, side);
+        g.bench_with_input(BenchmarkId::from_parameter(side), &trace, |b, trace| {
+            b.iter(|| {
+                CoverInstance::build(trace.clone(), AccessScheme::RoCo, 2, 4, side + 2, side + 4)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solvers");
+    g.sample_size(10);
+    let trace = AccessTrace::strided(8, 16, 2);
+    let inst = CoverInstance::build(trace, AccessScheme::RoCo, 2, 4, 16, 16);
+    g.bench_function("greedy", |b| b.iter(|| solve_greedy(&inst)));
+    g.bench_function("exact_bnb", |b| b.iter(|| solve_exact(&inst, 50_000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: crossbar scatter/gather throughput vs lane count — the
+//! software counterpart of the paper's quadratic-hardware-cost observation
+//! (in software the cost is linear; the bench documents the contrast).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymem::Crossbar;
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossbar");
+    for lanes in [8usize, 16, 32, 64] {
+        let route: Vec<usize> = (0..lanes).rev().collect();
+        let vals: Vec<u64> = (0..lanes as u64).collect();
+        g.throughput(Throughput::Elements(lanes as u64));
+        g.bench_with_input(
+            BenchmarkId::new("scatter", lanes),
+            &(route.clone(), vals.clone()),
+            |b, (route, vals)| {
+                let mut xb = Crossbar::new(route.len());
+                let mut out = vec![0u64; route.len()];
+                b.iter(|| {
+                    xb.scatter(black_box(vals), black_box(route), &mut out).unwrap();
+                    out[0]
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("gather", lanes),
+            &(route, vals),
+            |b, (route, vals)| {
+                let xb = Crossbar::new(route.len());
+                let mut out = vec![0u64; route.len()];
+                b.iter(|| {
+                    xb.gather(black_box(vals), black_box(route), &mut out);
+                    out[0]
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shuffle);
+criterion_main!(benches);

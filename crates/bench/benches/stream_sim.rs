@@ -1,0 +1,51 @@
+//! Criterion: simulator throughput — cycles of the full Fig. 9 STREAM
+//! design simulated per second, and the cost of one complete Copy pass at
+//! several sizes. (Measures the *simulator*, complementing the modelled
+//! FPGA bandwidth of Fig. 10.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymem::AccessScheme;
+use stream_bench::{StreamApp, StreamLayout, StreamOp, PAPER_STREAM_FREQ_MHZ};
+
+fn bench_copy_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_copy_pass");
+    g.sample_size(10);
+    for rows in [2usize, 8, 32] {
+        let n = rows * 512;
+        let layout = StreamLayout::new(n, 512, 2, 4, AccessScheme::RoCo, 2).unwrap();
+        let mut app = StreamApp::new(StreamOp::Copy, layout, PAPER_STREAM_FREQ_MHZ).unwrap();
+        let a: Vec<f64> = (0..n).map(|k| k as f64).collect();
+        let z = vec![0.0; n];
+        app.load(&a, &z, &z).unwrap();
+        // One pass simulates ~n/8 + 15 cycles.
+        g.throughput(Throughput::Elements((n / 8 + 15) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| app.run_pass())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_ops_pass");
+    g.sample_size(10);
+    let n = 8 * 512;
+    for op in [
+        StreamOp::Copy,
+        StreamOp::Scale(2.0),
+        StreamOp::Sum,
+        StreamOp::Triad(2.0),
+    ] {
+        let layout = StreamLayout::new(n, 512, 2, 4, AccessScheme::RoCo, 2).unwrap();
+        let mut app = StreamApp::new(op, layout, PAPER_STREAM_FREQ_MHZ).unwrap();
+        let a: Vec<f64> = (0..n).map(|k| k as f64).collect();
+        app.load(&a, &a, &a).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(op.name()), &(), |b, _| {
+            b.iter(|| app.run_pass())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_copy_pass, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: the synthesis model's evaluation cost — a full DSE sweep
+//! must stay interactive (the paper's actual synthesis took hours per
+//! point; the model's value is instant iteration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fpga_model::calibration::config_for;
+use fpga_model::{explore_paper, synthesize_vectis};
+use polymem::AccessScheme;
+
+fn bench_synthesize_one(c: &mut Criterion) {
+    let cfg = config_for(1024, 16, 2, AccessScheme::RoCo);
+    c.bench_function("synthesize_one_config", |b| {
+        b.iter(|| synthesize_vectis(black_box(&cfg)))
+    });
+}
+
+fn bench_full_dse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse");
+    g.sample_size(20);
+    g.bench_function("paper_grid_160_points", |b| b.iter(explore_paper));
+    g.finish();
+}
+
+fn bench_fit_stats(c: &mut Criterion) {
+    c.bench_function("table4_fit_stats_90_cells", |b| {
+        b.iter(fpga_model::fit_stats)
+    });
+}
+
+criterion_group!(benches, bench_synthesize_one, bench_full_dse, bench_fit_stats);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! **Table III** — the full design-space exploration: enumerate the DSE
+//! grid, synthesize every point, and print feasibility plus the headline
+//! metrics. Pass `--extended` to add the 32-lane arm.
+
+use fpga_model::{best_by, explore, DseGrid, FpgaDevice};
+use polymem_bench::{grid_label, render_table};
+
+fn main() {
+    let extended = std::env::args().any(|a| a == "--extended");
+    let grid = if extended {
+        DseGrid::extended()
+    } else {
+        DseGrid::paper()
+    };
+    println!(
+        "Table III DSE: sizes {:?} KB x lanes {:?} x ports {:?} x {} schemes = {} points\n",
+        grid.sizes_kb,
+        grid.lanes,
+        grid.read_ports,
+        grid.schemes.len(),
+        grid.len()
+    );
+
+    let pts = explore(&grid, &FpgaDevice::VIRTEX6_SX475T);
+    let headers: Vec<String> = [
+        "Config", "Scheme", "Feasible", "Fmax MHz", "Write GB/s", "Read GB/s", "Logic %",
+        "BRAM %",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                grid_label(p.size_kb, p.lanes, p.read_ports),
+                p.scheme.name().to_string(),
+                if p.report.feasible { "yes" } else { "NO" }.to_string(),
+                format!("{:.0}", p.report.fmax_mhz),
+                format!("{:.1}", p.report.write_bandwidth_gbps()),
+                format!("{:.1}", p.report.read_bandwidth_gbps()),
+                format!("{:.1}", p.report.utilization.logic_pct),
+                format!("{:.1}", p.report.utilization.bram_pct),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    let feasible = pts.iter().filter(|p| p.report.feasible).count();
+    println!("Feasible: {feasible} / {} points", pts.len());
+    if let Some(bw) = best_by(&pts, |p| p.report.read_bandwidth_mbps) {
+        println!(
+            "Peak aggregated read bandwidth: {:.1} GB/s ({} {} @ {:.0} MHz)",
+            bw.report.read_bandwidth_gbps(),
+            grid_label(bw.size_kb, bw.lanes, bw.read_ports),
+            bw.scheme,
+            bw.report.fmax_mhz
+        );
+    }
+    if let Some(w) = best_by(&pts, |p| p.report.write_bandwidth_mbps) {
+        println!(
+            "Peak write bandwidth:           {:.1} GB/s ({} {} @ {:.0} MHz)",
+            w.report.write_bandwidth_gbps(),
+            grid_label(w.size_kb, w.lanes, w.read_ports),
+            w.scheme,
+            w.report.fmax_mhz
+        );
+    }
+    if let Some(f) = best_by(&pts, |p| p.report.fmax_mhz) {
+        println!(
+            "Highest clock:                  {:.0} MHz ({} {})",
+            f.report.fmax_mhz,
+            grid_label(f.size_kb, f.lanes, f.read_ports),
+            f.scheme
+        );
+    }
+    if let Some(bw) = best_by(&pts, |p| p.report.read_bandwidth_mbps) {
+        println!("\nFull synthesis report of the bandwidth winner:\n");
+        println!("{}", fpga_model::render_report(&bw.report, &FpgaDevice::VIRTEX6_SX475T));
+    }
+}

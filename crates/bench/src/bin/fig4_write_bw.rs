@@ -1,0 +1,40 @@
+//! **Fig. 4** — write bandwidth (= single-port bandwidth) per configuration,
+//! in GB/s, for all five schemes across the feasible DSE grid.
+
+use fpga_model::explore_paper;
+use polymem_bench::{render_table, scheme_by_config_table};
+
+fn main() {
+    let pts = explore_paper();
+    println!("Fig. 4: write bandwidth per port (GB/s)\n");
+    let (headers, rows) =
+        scheme_by_config_table(&pts, |p| format!("{:.1}", p.report.write_bandwidth_gbps()));
+    println!("{}", render_table(&headers, &rows));
+
+    let peak = pts
+        .iter()
+        .filter(|p| p.report.feasible)
+        .map(|p| p.report.write_bandwidth_gbps())
+        .fold(0.0f64, f64::max);
+    println!("Peak write bandwidth: {peak:.1} GB/s (paper: >22 GB/s, 512KB 16-lane ReO)");
+
+    // The paper's linear-scaling observation: 8 -> 16 lanes at fixed size/port.
+    println!("\nLane scaling (single port, per scheme, 512 KB):");
+    for scheme in polymem::AccessScheme::ALL {
+        let bw = |lanes| {
+            pts.iter()
+                .find(|p| {
+                    p.scheme == scheme && p.size_kb == 512 && p.lanes == lanes && p.read_ports == 1
+                })
+                .map(|p| p.report.write_bandwidth_gbps())
+                .unwrap_or(0.0)
+        };
+        println!(
+            "  {:<5} 8L {:>5.1} GB/s -> 16L {:>5.1} GB/s  (x{:.2})",
+            scheme.name(),
+            bw(8),
+            bw(16),
+            bw(16) / bw(8)
+        );
+    }
+}

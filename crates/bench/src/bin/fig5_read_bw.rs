@@ -1,0 +1,50 @@
+//! **Fig. 5** — aggregated read bandwidth (GB/s): per-port bandwidth times
+//! the number of read ports, for all schemes across the feasible grid.
+
+use fpga_model::explore_paper;
+use polymem_bench::{render_table, scheme_by_config_table};
+
+fn main() {
+    let pts = explore_paper();
+    println!("Fig. 5: aggregated read bandwidth (GB/s)\n");
+    let (headers, rows) =
+        scheme_by_config_table(&pts, |p| format!("{:.1}", p.report.read_bandwidth_gbps()));
+    println!("{}", render_table(&headers, &rows));
+
+    let best = pts
+        .iter()
+        .filter(|p| p.report.feasible)
+        .max_by(|a, b| {
+            a.report
+                .read_bandwidth_mbps
+                .partial_cmp(&b.report.read_bandwidth_mbps)
+                .unwrap()
+        })
+        .expect("nonempty");
+    println!(
+        "Peak aggregated read bandwidth: {:.1} GB/s at {},{}L,{}P {} (paper: ~32 GB/s, 512KB)",
+        best.report.read_bandwidth_gbps(),
+        best.size_kb,
+        best.lanes,
+        best.read_ports,
+        best.scheme
+    );
+
+    println!("\nPort scaling at 512 KB, 8 lanes (ReRo): paper sees good 1->2 scaling, diminishing 3->4:");
+    let mut prev: Option<f64> = None;
+    for ports in 1..=4usize {
+        let bw = pts
+            .iter()
+            .find(|p| {
+                p.scheme == polymem::AccessScheme::ReRo
+                    && p.size_kb == 512
+                    && p.lanes == 8
+                    && p.read_ports == ports
+            })
+            .map(|p| p.report.read_bandwidth_gbps())
+            .unwrap();
+        let gain = prev.map(|pv| format!(" (x{:.2} vs {} port)", bw / pv, ports - 1)).unwrap_or_default();
+        println!("  {ports} port(s): {bw:>5.1} GB/s{gain}");
+        prev = Some(bw);
+    }
+}

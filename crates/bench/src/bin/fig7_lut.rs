@@ -1,0 +1,20 @@
+//! **Fig. 7** — LUT utilization per configuration, percent of the SX475T's
+//! 297,600 LUT6s.
+
+use fpga_model::explore_paper;
+use polymem_bench::{render_table, scheme_by_config_table};
+
+fn main() {
+    let pts = explore_paper();
+    println!("Fig. 7: LUT utilization (%)\n");
+    let (headers, rows) =
+        scheme_by_config_table(&pts, |p| format!("{:.1}", p.report.utilization.lut_pct));
+    println!("{}", render_table(&headers, &rows));
+
+    let (min, max) = pts
+        .iter()
+        .filter(|p| p.report.feasible)
+        .map(|p| p.report.utilization.lut_pct)
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), u| (lo.min(u), hi.max(u)));
+    println!("Feasible range: {min:.1}% .. {max:.1}%  (paper: ~7% .. ~28%)");
+}

@@ -1,0 +1,140 @@
+//! # polymem-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus Criterion
+//! benches measuring the Rust PolyMem as a CPU-side data structure
+//! (`benches/`). This library holds the shared plumbing: the DSE grid
+//! labels, fixed-width table rendering, and simple series printing for the
+//! figure binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod toolchain;
+
+use fpga_model::{DsePoint, TABLE4_COLUMNS};
+use polymem::AccessScheme;
+
+/// The column label used in the paper's figures:
+/// `"<capacity KB>,<lanes>,<ports>"`.
+pub fn grid_label(size_kb: usize, lanes: usize, ports: usize) -> String {
+    format!("{size_kb},{lanes}L,{ports}P")
+}
+
+/// Render a fixed-width table: a header row plus data rows.
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract one metric from the paper-grid DSE points as a
+/// scheme-by-configuration table (the layout of the paper's Table IV and
+/// Figures 4-8), returning (headers, rows).
+pub fn scheme_by_config_table<F: Fn(&DsePoint) -> String>(
+    points: &[DsePoint],
+    metric: F,
+) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut headers = vec!["Scheme".to_string()];
+    headers.extend(
+        TABLE4_COLUMNS
+            .iter()
+            .map(|&(kb, l, p)| grid_label(kb, l, p)),
+    );
+    let rows = AccessScheme::ALL
+        .iter()
+        .map(|&scheme| {
+            let mut row = vec![scheme.name().to_string()];
+            for &(kb, lanes, ports) in &TABLE4_COLUMNS {
+                let cell = points
+                    .iter()
+                    .find(|pt| {
+                        pt.scheme == scheme
+                            && pt.size_kb == kb
+                            && pt.lanes == lanes
+                            && pt.read_ports == ports
+                    })
+                    .map(&metric)
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    (headers, rows)
+}
+
+/// Print an x/y series as aligned columns (the figure binaries' output).
+pub fn render_series(x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut rows = Vec::with_capacity(points.len());
+    for &(x, y) in points {
+        rows.push(vec![format!("{x:.1}"), format!("{y:.1}")]);
+    }
+    render_table(&[x_label.to_string(), y_label.to_string()], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(grid_label(512, 8, 1), "512,8L,1P");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["A".into(), "BBB".into()],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[3].ends_with("200"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["A".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn scheme_table_covers_paper_grid() {
+        let pts = fpga_model::explore_paper();
+        let (headers, rows) =
+            scheme_by_config_table(&pts, |p| format!("{:.0}", p.report.fmax_mhz));
+        assert_eq!(headers.len(), 19); // Scheme + 18 configs
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.iter().skip(1).all(|c| c != "-")));
+    }
+
+    #[test]
+    fn series_renders() {
+        let s = render_series("KB", "MB/s", &[(4.0, 100.0), (680.0, 15301.0)]);
+        assert!(s.contains("15301.0"));
+    }
+}

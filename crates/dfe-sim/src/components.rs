@@ -1,0 +1,291 @@
+//! Generic dataflow components: the reusable blocks of a manager graph.
+//!
+//! The paper's Fig. 9 STREAM design wires a Controller to PolyMem through
+//! **MUX**es (select the write-port input) and a **DEMUX** (route the output
+//! to the right host stream). These exist here as real kernels, together
+//! with [`Generator`] / [`Sink`] endpoints used for testing and for feeding
+//! designs from host data.
+
+use crate::kernel::Kernel;
+use crate::stream::StreamRef;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Emits one element of a preloaded sequence per cycle.
+pub struct Generator<T: Copy> {
+    name: String,
+    data: Vec<T>,
+    pos: usize,
+    out: StreamRef<T>,
+}
+
+impl<T: Copy> Generator<T> {
+    /// A generator over `data` writing into `out`.
+    pub fn new(name: impl Into<String>, data: Vec<T>, out: StreamRef<T>) -> Self {
+        Self {
+            name: name.into(),
+            data,
+            pos: 0,
+            out,
+        }
+    }
+
+    /// Elements not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+impl<T: Copy> Kernel for Generator<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        if self.pos < self.data.len() && self.out.borrow().can_push() {
+            self.out.borrow_mut().push(self.data[self.pos]);
+            self.pos += 1;
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+}
+
+/// Collects everything arriving on a stream.
+pub struct Sink<T> {
+    name: String,
+    input: StreamRef<T>,
+    collected: Vec<T>,
+}
+
+impl<T> Sink<T> {
+    /// A sink draining `input`.
+    pub fn new(name: impl Into<String>, input: StreamRef<T>) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            collected: Vec::new(),
+        }
+    }
+
+    /// Everything collected so far.
+    pub fn collected(&self) -> &[T] {
+        &self.collected
+    }
+
+    /// Take the collected elements out.
+    pub fn take(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.collected)
+    }
+}
+
+impl<T> Kernel for Sink<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        if let Some(v) = self.input.borrow_mut().pop() {
+            self.collected.push(v);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.input.borrow().is_empty()
+    }
+}
+
+/// Shared select signal for [`Mux`] / [`Demux`] (driven by a controller,
+/// like the paper's `Mode`-derived selects).
+pub type Select = Rc<Cell<usize>>;
+
+/// Create a select signal initialised to `v`.
+pub fn select(v: usize) -> Select {
+    Rc::new(Cell::new(v))
+}
+
+/// N-to-1 multiplexer: forwards one element per cycle from the selected
+/// input to the output (the two MUXes feeding PolyMem's write port in
+/// Fig. 9).
+pub struct Mux<T> {
+    name: String,
+    inputs: Vec<StreamRef<T>>,
+    out: StreamRef<T>,
+    sel: Select,
+}
+
+impl<T> Mux<T> {
+    /// Build an N-input mux.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<StreamRef<T>>,
+        out: StreamRef<T>,
+        sel: Select,
+    ) -> Self {
+        assert!(!inputs.is_empty());
+        Self {
+            name: name.into(),
+            inputs,
+            out,
+            sel,
+        }
+    }
+}
+
+impl<T> Kernel for Mux<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        let s = self.sel.get();
+        assert!(s < self.inputs.len(), "mux select {s} out of range");
+        if self.out.borrow().can_push() {
+            if let Some(v) = self.inputs[s].borrow_mut().pop() {
+                self.out.borrow_mut().push(v);
+            }
+        }
+    }
+}
+
+/// 1-to-N demultiplexer: routes one element per cycle from the input to the
+/// selected output (the DEMUX splitting PolyMem's output into the A/B/C
+/// offload streams in Fig. 9).
+pub struct Demux<T> {
+    name: String,
+    input: StreamRef<T>,
+    outputs: Vec<StreamRef<T>>,
+    sel: Select,
+}
+
+impl<T> Demux<T> {
+    /// Build an N-output demux.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamRef<T>,
+        outputs: Vec<StreamRef<T>>,
+        sel: Select,
+    ) -> Self {
+        assert!(!outputs.is_empty());
+        Self {
+            name: name.into(),
+            input,
+            outputs,
+            sel,
+        }
+    }
+}
+
+impl<T> Kernel for Demux<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        let s = self.sel.get();
+        assert!(s < self.outputs.len(), "demux select {s} out of range");
+        if self.outputs[s].borrow().can_push() {
+            if let Some(v) = self.input.borrow_mut().pop() {
+                self.outputs[s].borrow_mut().push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Manager;
+    use crate::stream::stream;
+    use std::rc::Rc;
+
+    #[test]
+    fn generator_to_sink() {
+        let s = stream::<u64>("s", 8);
+        let mut m = Manager::new(100.0);
+        m.add_kernel(Box::new(Generator::new("gen", vec![1, 2, 3], Rc::clone(&s))));
+        let sink_stream = Rc::clone(&s);
+        let mut sink = Sink::new("sink", sink_stream);
+        for c in 0..10 {
+            m.run_cycles(1);
+            sink.tick(c);
+        }
+        assert_eq!(sink.collected(), &[1, 2, 3]);
+        assert_eq!(sink.take(), vec![1, 2, 3]);
+        assert!(sink.collected().is_empty());
+    }
+
+    #[test]
+    fn generator_respects_backpressure() {
+        let s = stream::<u64>("s", 2);
+        let mut g = Generator::new("gen", vec![1, 2, 3, 4], Rc::clone(&s));
+        for c in 0..10 {
+            g.tick(c);
+        }
+        assert_eq!(s.borrow().len(), 2, "capacity-2 FIFO holds two");
+        assert_eq!(g.remaining(), 2);
+        s.borrow_mut().pop();
+        g.tick(11);
+        assert_eq!(g.remaining(), 1);
+    }
+
+    #[test]
+    fn mux_routes_selected_input() {
+        let a = stream::<u64>("a", 8);
+        let b = stream::<u64>("b", 8);
+        let out = stream::<u64>("out", 8);
+        let sel = select(0);
+        a.borrow_mut().push(10);
+        b.borrow_mut().push(20);
+        let mut mux = Mux::new("mux", vec![Rc::clone(&a), Rc::clone(&b)], Rc::clone(&out), Rc::clone(&sel));
+        mux.tick(0);
+        assert_eq!(out.borrow_mut().pop(), Some(10));
+        sel.set(1);
+        mux.tick(1);
+        assert_eq!(out.borrow_mut().pop(), Some(20));
+        assert!(a.borrow().is_empty() && b.borrow().is_empty());
+    }
+
+    #[test]
+    fn demux_routes_selected_output() {
+        let input = stream::<u64>("in", 8);
+        let x = stream::<u64>("x", 8);
+        let y = stream::<u64>("y", 8);
+        let sel = select(1);
+        input.borrow_mut().push(7);
+        input.borrow_mut().push(8);
+        let mut d = Demux::new("demux", Rc::clone(&input), vec![Rc::clone(&x), Rc::clone(&y)], Rc::clone(&sel));
+        d.tick(0);
+        sel.set(0);
+        d.tick(1);
+        assert_eq!(y.borrow_mut().pop(), Some(7));
+        assert_eq!(x.borrow_mut().pop(), Some(8));
+    }
+
+    #[test]
+    fn fig9_shape_pipeline() {
+        // Generator A / Generator feedback -> MUX -> sink, switching select
+        // mid-stream — the write-port input switching between host data
+        // (Load) and the memory's own output (Copy) in Fig. 9.
+        let host_in = stream::<u64>("host", 8);
+        let feedback = stream::<u64>("fb", 8);
+        let to_mem = stream::<u64>("to_mem", 8);
+        let sel = select(0);
+        let mut m = Manager::new(100.0);
+        m.add_kernel(Box::new(Generator::new("host", vec![1, 2], Rc::clone(&host_in))));
+        m.add_kernel(Box::new(Generator::new("fb", vec![100, 200], Rc::clone(&feedback))));
+        m.add_kernel(Box::new(Mux::new(
+            "write-mux",
+            vec![host_in, feedback],
+            Rc::clone(&to_mem),
+            Rc::clone(&sel),
+        )));
+        m.run_cycles(3); // Load mode: host data flows
+        sel.set(1);
+        m.run_cycles(3); // Copy mode: feedback flows
+        let got: Vec<u64> = std::iter::from_fn(|| to_mem.borrow_mut().pop()).collect();
+        assert_eq!(got, vec![1, 2, 100, 200]);
+    }
+}

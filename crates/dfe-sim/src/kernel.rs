@@ -1,0 +1,157 @@
+//! The kernel abstraction: a node of the dataflow graph.
+//!
+//! A [`Kernel`] is ticked once per clock cycle by the [`crate::manager`].
+//! Within a tick it may pop from input streams, compute, and push to output
+//! streams, honouring FIFO backpressure. This mirrors MaxJ's model where a
+//! kernel advances when its inputs are available and outputs have room.
+
+/// A dataflow kernel.
+pub trait Kernel {
+    /// Kernel name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Advance one clock cycle. `cycle` is the global cycle number.
+    fn tick(&mut self, cycle: u64);
+
+    /// Whether this kernel has outstanding work (used by the manager's
+    /// run-to-quiescence loop). Default: never idle (pure pipeline stages).
+    fn is_idle(&self) -> bool {
+        false
+    }
+}
+
+/// A simple function-backed kernel, convenient for tests and small designs.
+pub struct FnKernel<F: FnMut(u64)> {
+    name: String,
+    f: F,
+}
+
+impl<F: FnMut(u64)> FnKernel<F> {
+    /// Wrap a closure as a kernel.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f }
+    }
+}
+
+impl<F: FnMut(u64)> Kernel for FnKernel<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        (self.f)(cycle);
+    }
+}
+
+/// A fixed-latency pipeline register chain: values pushed in emerge exactly
+/// `latency` ticks later. This is the building block used to model the
+/// paper's 14-cycle PolyMem read latency.
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    latency: u64,
+    /// (ready_cycle, value) in insertion order; ready cycles are monotone.
+    slots: std::collections::VecDeque<(u64, T)>,
+}
+
+impl<T> DelayLine<T> {
+    /// A delay line of `latency` cycles.
+    pub fn new(latency: u64) -> Self {
+        Self {
+            latency,
+            slots: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Insert a value at `cycle`; it becomes available at `cycle + latency`.
+    pub fn push(&mut self, cycle: u64, value: T) {
+        self.slots.push_back((cycle + self.latency, value));
+    }
+
+    /// Pop the next value if it is ready at `cycle`.
+    pub fn pop_ready(&mut self, cycle: u64) -> Option<T> {
+        if let Some(&(ready, _)) = self.slots.front() {
+            if ready <= cycle {
+                return self.slots.pop_front().map(|(_, v)| v);
+            }
+        }
+        None
+    }
+
+    /// Values currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pipeline is drained.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_kernel_ticks() {
+        let mut count = 0u64;
+        {
+            let mut k = FnKernel::new("counter", |_| count += 1);
+            assert_eq!(k.name(), "counter");
+            for c in 0..5 {
+                k.tick(c);
+            }
+            assert!(!k.is_idle());
+        }
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn delay_line_exact_latency() {
+        let mut d = DelayLine::new(14);
+        d.push(0, "a");
+        for c in 0..14 {
+            assert!(d.pop_ready(c).is_none(), "cycle {c}");
+        }
+        assert_eq!(d.pop_ready(14), Some("a"));
+    }
+
+    #[test]
+    fn delay_line_pipelining() {
+        // One value per cycle in -> one per cycle out, shifted by latency.
+        let mut d = DelayLine::new(3);
+        let mut out = Vec::new();
+        for c in 0..10u64 {
+            if c < 5 {
+                d.push(c, c);
+            }
+            if let Some(v) = d.pop_ready(c) {
+                out.push((c, v));
+            }
+        }
+        assert_eq!(out, vec![(3, 0), (4, 1), (5, 2), (6, 3), (7, 4)]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn zero_latency_is_same_cycle() {
+        let mut d = DelayLine::new(0);
+        d.push(7, 99);
+        assert_eq!(d.pop_ready(7), Some(99));
+    }
+
+    #[test]
+    fn in_flight_count() {
+        let mut d = DelayLine::new(5);
+        d.push(0, 1);
+        d.push(1, 2);
+        assert_eq!(d.in_flight(), 2);
+        let _ = d.pop_ready(5);
+        assert_eq!(d.in_flight(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # polymem-dfe-sim — a cycle-level dataflow-engine simulator
+//!
+//! A Maxeler-like substrate for running PolyMem designs without hardware:
+//!
+//! * [`clock`] — cycle counting and cycle ↔ nanosecond conversion;
+//! * [`stream`](mod@stream) — bounded typed FIFOs with backpressure (the edges of a
+//!   MaxJ dataflow graph);
+//! * [`kernel`] — the ticked-kernel trait, plus [`kernel::DelayLine`]
+//!   pipeline registers;
+//! * [`manager`] — wires kernels together and drives the clock
+//!   deterministically;
+//! * [`pcie`] — the host link with the ~300 ns per-call overhead the paper
+//!   measured (§V) and bulk-transfer bandwidth;
+//! * [`dram`] — the off-chip LMem model PolyMem is designed to shield
+//!   applications from;
+//! * [`polymem_kernel`] — PolyMem wrapped as a pipelined kernel with the
+//!   paper's 14-cycle read latency and read-old port semantics.
+//!
+//! The `polymem-stream-bench` crate builds the paper's STREAM design
+//! (Fig. 9) on top of these pieces.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod components;
+pub mod dram;
+pub mod kernel;
+pub mod lmem_stream;
+pub mod manager;
+pub mod pcie;
+pub mod polymem_kernel;
+pub mod stream;
+pub mod trace;
+pub mod vcd;
+
+pub use clock::SimClock;
+pub use components::{select, Demux, Generator, Mux, Select, Sink};
+pub use dram::{Dram, DramParams};
+pub use kernel::{DelayLine, FnKernel, Kernel};
+pub use lmem_stream::{AccessCostModel, DramLoader};
+pub use manager::Manager;
+pub use pcie::{Host, HostStats, PcieLink};
+pub use polymem_kernel::{PolyMemKernel, ReadRequest, ReadResponse, WriteRequest, PAPER_READ_LATENCY};
+pub use stream::{stream, Fifo, StreamRef};
+pub use trace::{stream_report, stream_stats, StreamStats, TraceEvent, Tracer};
+pub use vcd::VcdRecorder;

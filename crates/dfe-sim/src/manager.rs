@@ -1,0 +1,216 @@
+//! The manager: owns the kernel graph and drives the clock.
+//!
+//! Maxeler's *manager* wires kernels and streams together and presents the
+//! design to the host. Ours ticks every kernel once per cycle, in
+//! registration order (a deterministic static schedule: producers should be
+//! registered before consumers so data can traverse one hop per cycle).
+
+use crate::clock::SimClock;
+use crate::kernel::Kernel;
+
+/// A simulated DFE design: a clock plus a set of kernels.
+pub struct Manager {
+    clock: SimClock,
+    kernels: Vec<Box<dyn Kernel>>,
+}
+
+impl Manager {
+    /// Create a manager with a clock at `freq_mhz`.
+    pub fn new(freq_mhz: f64) -> Self {
+        Self {
+            clock: SimClock::new(freq_mhz),
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Register a kernel. Order matters: kernels tick in registration order,
+    /// so register upstream producers first.
+    pub fn add_kernel(&mut self, kernel: Box<dyn Kernel>) {
+        self.kernels.push(kernel);
+    }
+
+    /// The simulation clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Names of registered kernels, in tick order.
+    pub fn kernel_names(&self) -> Vec<&str> {
+        self.kernels.iter().map(|k| k.name()).collect()
+    }
+
+    /// Run exactly `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            let c = self.clock.cycle();
+            for k in &mut self.kernels {
+                k.tick(c);
+            }
+            self.clock.tick();
+        }
+    }
+
+    /// Run until every kernel reports idle, or `max_cycles` elapse.
+    /// Returns the number of cycles executed.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> u64 {
+        let start = self.clock.cycle();
+        while self.clock.cycle() - start < max_cycles {
+            if self.kernels.iter().all(|k| k.is_idle()) {
+                break;
+            }
+            let c = self.clock.cycle();
+            for k in &mut self.kernels {
+                k.tick(c);
+            }
+            self.clock.tick();
+        }
+        self.clock.cycle() - start
+    }
+
+    /// Diagnose a wedged design: tick up to `max_cycles` and report which
+    /// kernels still claim outstanding work once no kernel makes progress.
+    /// "Progress" is approximated by idleness transitions; for a design that
+    /// is genuinely deadlocked this names the stuck stages — the hand-rolled
+    /// version of the debugging the paper did on its hanging simulations.
+    pub fn diagnose_stall(&mut self, max_cycles: u64) -> Vec<String> {
+        self.run_until_idle(max_cycles);
+        self.kernels
+            .iter()
+            .filter(|k| !k.is_idle())
+            .map(|k| k.name().to_string())
+            .collect()
+    }
+
+    /// Run until `done()` returns true, or `max_cycles` elapse. Returns the
+    /// cycles executed and whether the predicate fired.
+    pub fn run_until<F: FnMut() -> bool>(&mut self, max_cycles: u64, mut done: F) -> (u64, bool) {
+        let start = self.clock.cycle();
+        while self.clock.cycle() - start < max_cycles {
+            if done() {
+                return (self.clock.cycle() - start, true);
+            }
+            let c = self.clock.cycle();
+            for k in &mut self.kernels {
+                k.tick(c);
+            }
+            self.clock.tick();
+        }
+        (self.clock.cycle() - start, done())
+    }
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("clock", &self.clock)
+            .field("kernels", &self.kernel_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FnKernel;
+    use crate::stream::stream;
+    use std::rc::Rc;
+
+    #[test]
+    fn runs_exact_cycles() {
+        let mut m = Manager::new(100.0);
+        let s = stream::<u64>("out", 1024);
+        let sp = Rc::clone(&s);
+        m.add_kernel(Box::new(FnKernel::new("gen", move |c| {
+            sp.borrow_mut().push(c);
+        })));
+        m.run_cycles(10);
+        assert_eq!(m.clock().cycle(), 10);
+        assert_eq!(s.borrow().len(), 10);
+    }
+
+    #[test]
+    fn pipeline_one_hop_per_cycle() {
+        // producer -> doubler -> sink; values arrive at the sink 2 cycles
+        // after production.
+        let mut m = Manager::new(100.0);
+        let a = stream::<u64>("a", 64);
+        let b = stream::<u64>("b", 64);
+        let sink = stream::<u64>("sink", 1024);
+
+        let ap = Rc::clone(&a);
+        m.add_kernel(Box::new(FnKernel::new("gen", move |c| {
+            if c < 5 {
+                ap.borrow_mut().push(c);
+            }
+        })));
+        let (ac, bp) = (Rc::clone(&a), Rc::clone(&b));
+        m.add_kernel(Box::new(FnKernel::new("double", move |_| {
+            if bp.borrow().can_push() {
+                if let Some(v) = ac.borrow_mut().pop() {
+                    bp.borrow_mut().push(v * 2);
+                }
+            }
+        })));
+        let (bc, sp) = (Rc::clone(&b), Rc::clone(&sink));
+        m.add_kernel(Box::new(FnKernel::new("sink", move |_| {
+            if let Some(v) = bc.borrow_mut().pop() {
+                sp.borrow_mut().push(v);
+            }
+        })));
+
+        m.run_cycles(20);
+        let got: Vec<u64> = std::iter::from_fn(|| sink.borrow_mut().pop()).collect();
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut m = Manager::new(100.0);
+        let s = stream::<u64>("s", 1024);
+        let sp = Rc::clone(&s);
+        m.add_kernel(Box::new(FnKernel::new("gen", move |c| {
+            sp.borrow_mut().push(c);
+        })));
+        let sc = Rc::clone(&s);
+        let (cycles, fired) = m.run_until(1000, || sc.borrow().len() >= 42);
+        assert!(fired);
+        assert_eq!(cycles, 42);
+    }
+
+    #[test]
+    fn run_until_bounded() {
+        let mut m = Manager::new(100.0);
+        let (cycles, fired) = m.run_until(50, || false);
+        assert_eq!(cycles, 50);
+        assert!(!fired);
+    }
+
+    #[test]
+    fn diagnose_stall_names_stuck_kernels() {
+        // A generator feeding a capacity-1 FIFO that nobody drains wedges
+        // with data outstanding; the diagnosis must name it.
+        let mut m = Manager::new(100.0);
+        let s = stream::<u64>("clogged", 1);
+        let gen = crate::components::Generator::new("producer", vec![1, 2, 3], Rc::clone(&s));
+        m.add_kernel(Box::new(gen));
+        let stuck = m.diagnose_stall(50);
+        assert_eq!(stuck, vec!["producer".to_string()]);
+        // A healthy design reports nothing.
+        let mut ok = Manager::new(100.0);
+        let s2 = stream::<u64>("open", 64);
+        ok.add_kernel(Box::new(crate::components::Generator::new(
+            "producer2",
+            vec![1, 2, 3],
+            s2,
+        )));
+        assert!(ok.diagnose_stall(50).is_empty());
+    }
+
+    #[test]
+    fn kernel_names_in_order() {
+        let mut m = Manager::new(100.0);
+        m.add_kernel(Box::new(FnKernel::new("a", |_| {})));
+        m.add_kernel(Box::new(FnKernel::new("b", |_| {})));
+        assert_eq!(m.kernel_names(), vec!["a", "b"]);
+    }
+}

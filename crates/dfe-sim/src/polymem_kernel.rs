@@ -1,0 +1,290 @@
+//! PolyMem as a pipelined dataflow kernel.
+//!
+//! Wraps [`polymem::PolyMem`] with the port/timing behaviour of the MaxJ
+//! implementation: one parallel access per port per cycle, with read results
+//! emerging a fixed number of cycles later (the paper's STREAM design
+//! measures this latency at **14 cycles**, "estimated by Maxeler's tools").
+//! Within a cycle all reads observe the state *before* that cycle's write
+//! commits (read-old port semantics).
+
+use crate::kernel::{DelayLine, Kernel};
+use crate::stream::StreamRef;
+use polymem::{ParallelAccess, PolyMem, PolyMemConfig, PolyMemError};
+
+/// The read latency of the paper's synthesized design, in cycles.
+pub const PAPER_READ_LATENCY: u64 = 14;
+
+/// A read request on a port.
+pub type ReadRequest = ParallelAccess;
+/// A read response: the `p*q` elements in canonical lane order.
+pub type ReadResponse = Vec<u64>;
+/// A write request: target access + lane data.
+pub type WriteRequest = (ParallelAccess, Vec<u64>);
+
+/// PolyMem wrapped as a ticked kernel with request/response streams.
+pub struct PolyMemKernel {
+    name: String,
+    mem: PolyMem<u64>,
+    read_latency: u64,
+    read_req: Vec<StreamRef<ReadRequest>>,
+    read_resp: Vec<StreamRef<ReadResponse>>,
+    pipelines: Vec<DelayLine<ReadResponse>>,
+    write_req: StreamRef<WriteRequest>,
+    /// Errors raised by invalid requests (surfaced, not panicking, so fault
+    /// injection tests can observe them).
+    errors: Vec<PolyMemError>,
+    reads_served: u64,
+    writes_served: u64,
+}
+
+impl PolyMemKernel {
+    /// Build the kernel.
+    ///
+    /// `read_req`/`read_resp` must have one stream per configured read port.
+    pub fn new(
+        name: impl Into<String>,
+        config: PolyMemConfig,
+        read_latency: u64,
+        read_req: Vec<StreamRef<ReadRequest>>,
+        read_resp: Vec<StreamRef<ReadResponse>>,
+        write_req: StreamRef<WriteRequest>,
+    ) -> polymem::Result<Self> {
+        let mem = PolyMem::new(config)?;
+        assert_eq!(
+            read_req.len(),
+            config.read_ports,
+            "one read-request stream per port"
+        );
+        assert_eq!(read_resp.len(), config.read_ports);
+        let pipelines = (0..config.read_ports)
+            .map(|_| DelayLine::new(read_latency))
+            .collect();
+        Ok(Self {
+            name: name.into(),
+            mem,
+            read_latency,
+            read_req,
+            read_resp,
+            pipelines,
+            write_req,
+            errors: Vec::new(),
+            reads_served: 0,
+            writes_served: 0,
+        })
+    }
+
+    /// The configured read latency in cycles.
+    pub fn read_latency(&self) -> u64 {
+        self.read_latency
+    }
+
+    /// Direct access to the wrapped memory (host fill/drain between stages).
+    pub fn mem(&mut self) -> &mut PolyMem<u64> {
+        &mut self.mem
+    }
+
+    /// Errors accumulated from invalid requests.
+    pub fn errors(&self) -> &[PolyMemError] {
+        &self.errors
+    }
+
+    /// Parallel reads served so far.
+    pub fn reads_served(&self) -> u64 {
+        self.reads_served
+    }
+
+    /// Parallel writes served so far.
+    pub fn writes_served(&self) -> u64 {
+        self.writes_served
+    }
+
+    /// Whether all read pipelines are drained and no requests are queued.
+    pub fn pipelines_empty(&self) -> bool {
+        self.pipelines.iter().all(DelayLine::is_empty)
+            && self.read_req.iter().all(|s| s.borrow().is_empty())
+            && self.write_req.borrow().is_empty()
+    }
+}
+
+impl Kernel for PolyMemKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        // 1. Deliver read results whose latency has elapsed (head-of-line;
+        //    stalls if the response FIFO is full, as the stream interconnect
+        //    would).
+        for (pipe, resp) in self.pipelines.iter_mut().zip(&self.read_resp) {
+            if resp.borrow().can_push() {
+                if let Some(data) = pipe.pop_ready(cycle) {
+                    resp.borrow_mut().push(data);
+                }
+            }
+        }
+        // 2. Issue one read per port (reads see pre-write state: they are
+        //    served before this cycle's write commits). Only issue when the
+        //    response path has room for what is already in flight.
+        for port in 0..self.read_req.len() {
+            let room = {
+                let resp = self.read_resp[port].borrow();
+                resp.can_push()
+            };
+            if !room && self.pipelines[port].in_flight() as u64 >= self.read_latency {
+                continue; // fully backed up
+            }
+            let req = self.read_req[port].borrow_mut().pop();
+            if let Some(access) = req {
+                match self.mem.read(port, access) {
+                    Ok(data) => {
+                        self.pipelines[port].push(cycle, data);
+                        self.reads_served += 1;
+                    }
+                    Err(e) => self.errors.push(e),
+                }
+            }
+        }
+        // 3. Commit one write.
+        let w = self.write_req.borrow_mut().pop();
+        if let Some((access, data)) = w {
+            match self.mem.write(access, &data) {
+                Ok(()) => self.writes_served += 1,
+                Err(e) => self.errors.push(e),
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pipelines_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Manager;
+    use crate::stream::stream;
+    use polymem::AccessScheme;
+    use std::rc::Rc;
+
+    #[allow(clippy::type_complexity)]
+    fn setup(
+        ports: usize,
+        latency: u64,
+    ) -> (
+        Manager,
+        Vec<StreamRef<ReadRequest>>,
+        Vec<StreamRef<ReadResponse>>,
+        StreamRef<WriteRequest>,
+    ) {
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, ports).unwrap();
+        let rq: Vec<_> = (0..ports).map(|p| stream(format!("rq{p}"), 64)).collect();
+        let rs: Vec<_> = (0..ports).map(|p| stream(format!("rs{p}"), 64)).collect();
+        let wq = stream("wq", 64);
+        let k = PolyMemKernel::new(
+            "polymem",
+            cfg,
+            latency,
+            rq.clone(),
+            rs.clone(),
+            Rc::clone(&wq),
+        )
+        .unwrap();
+        let mut m = Manager::new(120.0);
+        m.add_kernel(Box::new(k));
+        (m, rq, rs, wq)
+    }
+
+    #[test]
+    fn read_latency_is_exact() {
+        let (mut m, rq, rs, wq) = setup(1, 14);
+        let data: Vec<u64> = (0..8).collect();
+        wq.borrow_mut().push((ParallelAccess::row(0, 0), data.clone()));
+        m.run_cycles(1); // write commits at cycle 0
+        rq[0].borrow_mut().push(ParallelAccess::row(0, 0));
+        // Request pops at cycle 1; result ready at cycle 1 + 14 = 15,
+        // delivered by the tick of cycle 15.
+        m.run_cycles(14); // through cycle 14: not yet delivered
+        assert!(rs[0].borrow().is_empty());
+        m.run_cycles(1); // cycle 15 delivers
+        assert_eq!(rs[0].borrow_mut().pop(), Some(data));
+    }
+
+    #[test]
+    fn fully_pipelined_one_access_per_cycle() {
+        let (mut m, rq, rs, wq) = setup(1, 14);
+        for r in 0..8u64 {
+            let row: Vec<u64> = (0..8).map(|k| r * 10 + k).collect();
+            wq.borrow_mut().push((ParallelAccess::row(r as usize, 0), row));
+        }
+        m.run_cycles(8);
+        for r in 0..8 {
+            rq[0].borrow_mut().push(ParallelAccess::row(r, 0));
+        }
+        // 8 requests + 14 latency + slack.
+        m.run_cycles(8 + 14 + 2);
+        let mut got = Vec::new();
+        while let Some(v) = rs[0].borrow_mut().pop() {
+            got.push(v[0]);
+        }
+        assert_eq!(got, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn same_cycle_read_write_sees_old() {
+        let (mut m, rq, rs, wq) = setup(1, 0);
+        let old: Vec<u64> = vec![1; 8];
+        let new: Vec<u64> = vec![2; 8];
+        wq.borrow_mut().push((ParallelAccess::row(0, 0), old.clone()));
+        m.run_cycles(1);
+        // Read and write of the same row land in the same cycle.
+        rq[0].borrow_mut().push(ParallelAccess::row(0, 0));
+        wq.borrow_mut().push((ParallelAccess::row(0, 0), new.clone()));
+        m.run_cycles(2);
+        assert_eq!(rs[0].borrow_mut().pop(), Some(old), "read-old semantics");
+        // Next read sees the new value.
+        rq[0].borrow_mut().push(ParallelAccess::row(0, 0));
+        m.run_cycles(2);
+        assert_eq!(rs[0].borrow_mut().pop(), Some(new));
+    }
+
+    #[test]
+    fn invalid_request_surfaces_error() {
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::ReO, 1).unwrap();
+        let rq = vec![stream("rq", 8)];
+        let rs = vec![stream("rs", 8)];
+        let wq = stream("wq", 8);
+        let mut k = PolyMemKernel::new("pm", cfg, 0, rq.clone(), rs, Rc::clone(&wq)).unwrap();
+        rq[0].borrow_mut().push(ParallelAccess::row(0, 0)); // ReO: rows unsupported
+        k.tick(0);
+        assert_eq!(k.errors().len(), 1);
+        assert_eq!(k.reads_served(), 0);
+    }
+
+    #[test]
+    fn two_ports_independent() {
+        let (mut m, rq, rs, wq) = setup(2, 3);
+        wq.borrow_mut()
+            .push((ParallelAccess::row(0, 0), (0..8).collect()));
+        wq.borrow_mut()
+            .push((ParallelAccess::row(1, 0), (10..18).collect()));
+        m.run_cycles(2);
+        rq[0].borrow_mut().push(ParallelAccess::row(0, 0));
+        rq[1].borrow_mut().push(ParallelAccess::row(1, 0));
+        m.run_cycles(6);
+        assert_eq!(rs[0].borrow_mut().pop().unwrap()[0], 0);
+        assert_eq!(rs[1].borrow_mut().pop().unwrap()[0], 10);
+    }
+
+    #[test]
+    fn idle_when_drained() {
+        let (mut m, rq, rs, wq) = setup(1, 5);
+        assert_eq!(m.run_until_idle(100), 0);
+        wq.borrow_mut()
+            .push((ParallelAccess::row(0, 0), vec![9; 8]));
+        rq[0].borrow_mut().push(ParallelAccess::row(0, 0));
+        let cycles = m.run_until_idle(100);
+        assert!((6..100).contains(&cycles), "drained after {cycles}");
+        assert!(!rs[0].borrow().is_empty());
+    }
+}

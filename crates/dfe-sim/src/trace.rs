@@ -1,0 +1,223 @@
+//! Event tracing and stream statistics.
+//!
+//! The MaxIDE's behavioural simulator — which the paper credits for most of
+//! its debugging — shows per-cycle signal activity. [`Tracer`] is the
+//! equivalent here: kernels record timestamped events into a shared bounded
+//! buffer, and [`StreamStats`] snapshots FIFO health (throughput, stalls,
+//! peak occupancy proxies) for bottleneck hunting.
+
+use crate::stream::StreamRef;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Cycle at which the event occurred.
+    pub cycle: u64,
+    /// Emitting kernel or component.
+    pub source: String,
+    /// Free-form event description.
+    pub event: String,
+}
+
+/// A shared, bounded event recorder.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<TraceBuf>>,
+}
+
+#[derive(Debug)]
+struct TraceBuf {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer keeping at most `capacity` events (oldest dropped first).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(TraceBuf {
+                events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+                enabled: true,
+            })),
+        }
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&self, cycle: u64, source: impl Into<String>, event: impl Into<String>) {
+        let mut b = self.inner.borrow_mut();
+        if !b.enabled {
+            return;
+        }
+        if b.events.len() >= b.capacity {
+            b.events.pop_front();
+            b.dropped += 1;
+        }
+        b.events.push_back(TraceEvent {
+            cycle,
+            source: source.into(),
+            event: event.into(),
+        });
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.borrow_mut().enabled = on;
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Events from one source.
+    pub fn events_of(&self, source: &str) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.source == source)
+            .cloned()
+            .collect()
+    }
+
+    /// Events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Render a text timeline (one line per event, sorted by cycle).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.inner.borrow().events.iter() {
+            out.push_str(&format!("[{:>8}] {:<20} {}\n", e.cycle, e.source, e.event));
+        }
+        out
+    }
+}
+
+/// A point-in-time snapshot of one stream's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Elements pushed over the stream's lifetime.
+    pub pushed: u64,
+    /// Elements popped.
+    pub popped: u64,
+    /// Rejected pushes (backpressure events).
+    pub stalls: u64,
+    /// Current queue depth.
+    pub depth: usize,
+}
+
+/// Snapshot a stream's counters.
+pub fn stream_stats<T>(s: &StreamRef<T>) -> StreamStats {
+    let f = s.borrow();
+    StreamStats {
+        pushed: f.total_pushed(),
+        popped: f.total_popped(),
+        stalls: f.stall_count(),
+        depth: f.len(),
+    }
+}
+
+/// Aggregate a design's stream health into (name, stats) rows, flagging any
+/// stream that ever stalled — the first thing to look at when a pipeline
+/// under-delivers.
+pub fn stream_report<T>(streams: &[(&str, &StreamRef<T>)]) -> Vec<(String, StreamStats)> {
+    streams
+        .iter()
+        .map(|(name, s)| ((*name).to_string(), stream_stats(s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::stream;
+
+    #[test]
+    fn records_and_renders() {
+        let t = Tracer::new(16);
+        t.record(0, "agu", "expand rect(0,0)");
+        t.record(1, "banks", "read 8 lanes");
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].source, "agu");
+        let text = t.render();
+        assert!(text.contains("expand rect"));
+        assert!(text.contains("[       1]"));
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let t = Tracer::new(3);
+        for c in 0..5 {
+            t.record(c, "k", format!("e{c}"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].event, "e2");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn disable_suppresses() {
+        let t = Tracer::new(8);
+        t.set_enabled(false);
+        t.record(0, "k", "hidden");
+        assert!(t.events().is_empty());
+        t.set_enabled(true);
+        t.record(1, "k", "visible");
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn filter_by_source() {
+        let t = Tracer::new(8);
+        t.record(0, "a", "x");
+        t.record(1, "b", "y");
+        t.record(2, "a", "z");
+        assert_eq!(t.events_of("a").len(), 2);
+        assert_eq!(t.events_of("b").len(), 1);
+        assert!(t.events_of("c").is_empty());
+    }
+
+    #[test]
+    fn stream_stats_snapshot() {
+        let s = stream::<u64>("s", 2);
+        s.borrow_mut().push(1);
+        s.borrow_mut().push(2);
+        s.borrow_mut().push(3); // stall
+        s.borrow_mut().pop();
+        let st = stream_stats(&s);
+        assert_eq!(st.pushed, 2);
+        assert_eq!(st.popped, 1);
+        assert_eq!(st.stalls, 1);
+        assert_eq!(st.depth, 1);
+    }
+
+    #[test]
+    fn stream_report_rows() {
+        let a = stream::<u64>("a", 4);
+        let b = stream::<u64>("b", 4);
+        a.borrow_mut().push(1);
+        let rows = stream_report(&[("a", &a), ("b", &b)]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1.pushed, 1);
+        assert_eq!(rows[1].1.pushed, 0);
+    }
+
+    #[test]
+    fn shared_clone_sees_same_buffer() {
+        let t = Tracer::new(8);
+        let t2 = t.clone();
+        t.record(0, "k", "from t");
+        assert_eq!(t2.events().len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Design Space Exploration (paper §IV, Table III).
+//!
+//! Enumerates the DSE grid — capacity × lanes × read ports × scheme — and
+//! synthesizes every point. The default grid is exactly Table III
+//! (512..4096 KB, 8/16 lanes, 1..4 ports); [`DseGrid::extended`] adds the
+//! 32-lane arm mentioned in the paper's contributions list.
+
+use crate::calibration::grid_for_lanes;
+use crate::device::FpgaDevice;
+use crate::synthesis::{synthesize, SynthesisReport};
+use polymem::{AccessScheme, PolyMemConfig};
+use serde::{Deserialize, Serialize};
+
+/// The DSE parameter grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DseGrid {
+    /// Capacities to sweep, in KB.
+    pub sizes_kb: Vec<usize>,
+    /// Lane counts to sweep.
+    pub lanes: Vec<usize>,
+    /// Read-port counts to sweep.
+    pub read_ports: Vec<usize>,
+    /// Schemes to sweep.
+    pub schemes: Vec<AccessScheme>,
+}
+
+impl DseGrid {
+    /// Table III of the paper.
+    pub fn paper() -> Self {
+        Self {
+            sizes_kb: vec![512, 1024, 2048, 4096],
+            lanes: vec![8, 16],
+            read_ports: vec![1, 2, 3, 4],
+            schemes: AccessScheme::ALL.to_vec(),
+        }
+    }
+
+    /// Paper grid plus the 32-lane arm (contributions list: "scales with the
+    /// number of lanes (up to 32)").
+    pub fn extended() -> Self {
+        let mut g = Self::paper();
+        g.lanes.push(32);
+        g
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.sizes_kb.len() * self.lanes.len() * self.read_ports.len() * self.schemes.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One DSE result row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DsePoint {
+    /// Capacity in KB.
+    pub size_kb: usize,
+    /// Lane count.
+    pub lanes: usize,
+    /// Read ports.
+    pub read_ports: usize,
+    /// Scheme.
+    pub scheme: AccessScheme,
+    /// Synthesis outcome.
+    pub report: SynthesisReport,
+}
+
+/// Run the DSE over `grid` on `device`. Infeasible points are included with
+/// `report.feasible == false` so callers can show the frontier.
+pub fn explore(grid: &DseGrid, device: &FpgaDevice) -> Vec<DsePoint> {
+    let mut out = Vec::with_capacity(grid.len());
+    for &size_kb in &grid.sizes_kb {
+        for &lanes in &grid.lanes {
+            let Some((p, q)) = grid_for_lanes(lanes) else {
+                continue;
+            };
+            for &read_ports in &grid.read_ports {
+                for &scheme in &grid.schemes {
+                    let Ok(cfg) =
+                        PolyMemConfig::from_capacity(size_kb * 1024, p, q, scheme, read_ports)
+                    else {
+                        continue;
+                    };
+                    out.push(DsePoint {
+                        size_kb,
+                        lanes,
+                        read_ports,
+                        scheme,
+                        report: synthesize(&cfg, device),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the paper's DSE on the Vectis device.
+pub fn explore_paper() -> Vec<DsePoint> {
+    explore(&DseGrid::paper(), &FpgaDevice::VIRTEX6_SX475T)
+}
+
+/// The best feasible point by a caller-supplied metric.
+pub fn best_by<F: Fn(&DsePoint) -> f64>(points: &[DsePoint], metric: F) -> Option<&DsePoint> {
+    points
+        .iter()
+        .filter(|p| p.report.feasible)
+        .max_by(|a, b| metric(a).partial_cmp(&metric(b)).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_size() {
+        let g = DseGrid::paper();
+        assert_eq!(g.len(), 4 * 2 * 4 * 5);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn explore_covers_grid() {
+        let pts = explore_paper();
+        assert_eq!(pts.len(), 160);
+        let feasible = pts.iter().filter(|p| p.report.feasible).count();
+        // 18 feasible grid points x 5 schemes.
+        assert_eq!(feasible, 90);
+    }
+
+    #[test]
+    fn best_read_bandwidth_is_small_capacity_multi_port() {
+        // Paper Fig. 5: the peak aggregated read bandwidth (~32 GB/s) comes
+        // from a 512 KB memory with multiple read ports. (The paper's exact
+        // winner, 8L/4P ReTr at 137 MHz, sits in a noisy Table IV cell; the
+        // deterministic model picks the structurally-equivalent 16L/2P
+        // neighbour — same 512 KB capacity, same lanes*ports product.)
+        let pts = explore_paper();
+        let best = best_by(&pts, |p| p.report.read_bandwidth_mbps).unwrap();
+        assert_eq!(best.size_kb, 512, "best read BW should be smallest memory");
+        assert_eq!(best.lanes * best.read_ports, 32);
+        let gbps = best.report.read_bandwidth_gbps();
+        assert!(gbps > 29.0 && gbps < 35.0, "peak {gbps} GB/s should be ~32");
+    }
+
+    #[test]
+    fn best_write_bandwidth_is_16_lane() {
+        let pts = explore_paper();
+        let best = best_by(&pts, |p| p.report.write_bandwidth_mbps).unwrap();
+        assert_eq!(best.lanes, 16);
+        assert_eq!(best.size_kb, 512);
+    }
+
+    #[test]
+    fn four_mb_memory_is_instantiable() {
+        // Paper contribution: "allowing the instantiation of a 4MB parallel
+        // memory on the Maxeler Vectis DFE".
+        let pts = explore_paper();
+        assert!(pts
+            .iter()
+            .any(|p| p.size_kb == 4096 && p.report.feasible));
+    }
+
+    #[test]
+    fn extended_grid_includes_32_lanes() {
+        let pts = explore(&DseGrid::extended(), &FpgaDevice::VIRTEX6_SX475T);
+        let l32: Vec<_> = pts.iter().filter(|p| p.lanes == 32).collect();
+        assert!(!l32.is_empty());
+        // 32-lane designs are wiring-monsters; most should be infeasible.
+        let feas = l32.iter().filter(|p| p.report.feasible).count();
+        assert!(feas < l32.len() / 2, "{feas}/{} 32-lane points feasible", l32.len());
+    }
+}

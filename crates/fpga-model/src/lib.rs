@@ -1,0 +1,41 @@
+//! # polymem-fpga-model — analytic FPGA synthesis model for PolyMem
+//!
+//! This crate substitutes for the Xilinx ISE synthesis flow used in the
+//! MAX-PolyMem paper: given a [`polymem::PolyMemConfig`], it estimates
+//!
+//! * **resources** — BRAM36 blocks, slices ("logic"), LUTs, flip-flops —
+//!   with per-block structural terms ([`resources`]),
+//! * **timing** — the achievable clock frequency ([`timing`]),
+//! * **feasibility** — whether the design fits and routes on the Maxeler
+//!   Vectis' Virtex-6 SX475T ([`device`]),
+//!
+//! and combines them into a [`synthesis::SynthesisReport`] with the derived
+//! bandwidth metrics of the paper's Figs. 4-5. The [`dse`] module sweeps the
+//! paper's Table III grid; [`calibration`] embeds the paper's Table IV and
+//! quantifies the model's fit (mean relative error ≈ 6%).
+//!
+//! The model is calibrated, not synthesized: its purpose is to reproduce the
+//! *shape* of the paper's evaluation — which configuration wins, how
+//! bandwidth scales with lanes/ports/capacity, where the feasibility
+//! frontier lies — on a machine with no FPGA toolchain. Notably, the model's
+//! BRAM capacity + routability cutoffs reproduce **exactly** the 18 feasible
+//! configurations of Table IV.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod calibration;
+pub mod device;
+pub mod dse;
+pub mod report;
+pub mod resources;
+pub mod synthesis;
+pub mod timing;
+
+pub use calibration::{fit_stats, FitStats, PAPER_TABLE4, TABLE4_COLUMNS};
+pub use device::FpgaDevice;
+pub use dse::{best_by, explore, explore_paper, DseGrid, DsePoint};
+pub use resources::{estimate, estimate_with_style, DesignStyle, ResourceEstimate, Utilization};
+pub use report::render as render_report;
+pub use synthesis::{synthesize, synthesize_vectis, SynthesisReport};
+pub use timing::{critical_path_ns, critical_path_ns_on, fmax_mhz, fmax_mhz_noisy, fmax_mhz_on, CriticalPathModel};

@@ -1,0 +1,167 @@
+//! The `p x q` Memory Banks of Fig. 3 (`M0`..`M7` in the paper's example).
+//!
+//! Each bank is an independently addressable linear store of `bank_depth`
+//! elements. In hardware these are BRAM blocks; here they are contiguous
+//! slices carved out of one allocation (bank-major layout), which keeps each
+//! bank's data cache-local while still modelling per-bank independence.
+
+use crate::error::{PolyMemError, Result};
+
+/// The physical storage: `banks` independent linear memories of `depth`
+/// elements each.
+#[derive(Debug, Clone)]
+pub struct BankArray<T> {
+    banks: usize,
+    depth: usize,
+    /// Bank-major storage: element `a` of bank `b` is `data[b * depth + a]`.
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> BankArray<T> {
+    /// Allocate `banks` banks of `depth` elements, zero/default-initialised.
+    pub fn new(banks: usize, depth: usize) -> Self {
+        Self {
+            banks,
+            depth,
+            data: vec![T::default(); banks * depth],
+        }
+    }
+
+    /// Number of banks.
+    #[inline]
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Elements per bank.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total capacity in elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read element `addr` of `bank`.
+    #[inline]
+    pub fn read(&self, bank: usize, addr: usize) -> T {
+        debug_assert!(bank < self.banks && addr < self.depth);
+        self.data[bank * self.depth + addr]
+    }
+
+    /// Write element `addr` of `bank`.
+    #[inline]
+    pub fn write(&mut self, bank: usize, addr: usize, value: T) {
+        debug_assert!(bank < self.banks && addr < self.depth);
+        self.data[bank * self.depth + addr] = value;
+    }
+
+    /// Parallel read: for each bank `b`, fetch `addrs[b]` into `out[b]`.
+    /// This models one clock edge on all banks' read ports simultaneously.
+    #[inline]
+    pub fn read_all(&self, addrs: &[usize], out: &mut [T]) {
+        debug_assert_eq!(addrs.len(), self.banks);
+        debug_assert_eq!(out.len(), self.banks);
+        for b in 0..self.banks {
+            out[b] = self.data[b * self.depth + addrs[b]];
+        }
+    }
+
+    /// Parallel write: for each bank `b`, store `values[b]` at `addrs[b]`.
+    #[inline]
+    pub fn write_all(&mut self, addrs: &[usize], values: &[T]) {
+        debug_assert_eq!(addrs.len(), self.banks);
+        debug_assert_eq!(values.len(), self.banks);
+        for b in 0..self.banks {
+            self.data[b * self.depth + addrs[b]] = values[b];
+        }
+    }
+
+    /// Checked single-element read, for host-side debug access.
+    pub fn try_read(&self, bank: usize, addr: usize) -> Result<T> {
+        if bank >= self.banks || addr >= self.depth {
+            return Err(PolyMemError::InvalidGeometry {
+                reason: format!(
+                    "bank access ({bank}, {addr}) outside {} banks x {} depth",
+                    self.banks, self.depth
+                ),
+            });
+        }
+        Ok(self.data[bank * self.depth + addr])
+    }
+
+    /// Fill every location with `value` (test/reset helper).
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+
+    /// Raw view of one bank's storage.
+    pub fn bank_slice(&self, bank: usize) -> &[T] {
+        &self.data[bank * self.depth..(bank + 1) * self.depth]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let b = BankArray::<u64>::new(8, 16);
+        assert_eq!(b.banks(), 8);
+        assert_eq!(b.depth(), 16);
+        assert_eq!(b.capacity(), 128);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut b = BankArray::<u64>::new(4, 8);
+        b.write(2, 5, 42);
+        assert_eq!(b.read(2, 5), 42);
+        assert_eq!(b.read(2, 4), 0, "neighbours untouched");
+        assert_eq!(b.read(1, 5), 0, "other banks untouched");
+    }
+
+    #[test]
+    fn parallel_read_write() {
+        let mut b = BankArray::<u64>::new(4, 8);
+        let addrs = [1, 2, 3, 4];
+        let vals = [10, 20, 30, 40];
+        b.write_all(&addrs, &vals);
+        let mut out = [0u64; 4];
+        b.read_all(&addrs, &mut out);
+        assert_eq!(out, vals);
+        // Different addresses in the same banks are independent.
+        let mut out2 = [0u64; 4];
+        b.read_all(&[0, 0, 0, 0], &mut out2);
+        assert_eq!(out2, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn try_read_bounds() {
+        let b = BankArray::<u64>::new(4, 8);
+        assert!(b.try_read(3, 7).is_ok());
+        assert!(b.try_read(4, 0).is_err());
+        assert!(b.try_read(0, 8).is_err());
+    }
+
+    #[test]
+    fn fill_and_slice() {
+        let mut b = BankArray::<u32>::new(2, 4);
+        b.fill(7);
+        assert!(b.bank_slice(0).iter().all(|&x| x == 7));
+        assert_eq!(b.bank_slice(1).len(), 4);
+    }
+
+    #[test]
+    fn bank_major_layout_is_contiguous() {
+        let mut b = BankArray::<u64>::new(2, 4);
+        for a in 0..4 {
+            b.write(1, a, a as u64 + 100);
+        }
+        assert_eq!(b.bank_slice(1), &[100, 101, 102, 103]);
+    }
+}

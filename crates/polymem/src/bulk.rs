@@ -1,0 +1,236 @@
+//! Bulk operations: whole-region transfers and runtime polymorphism.
+//!
+//! The paper's polymorphism is per-access (multiview). This module adds the
+//! coarser operations an application layer wants on top:
+//!
+//! * [`PolyMem::read_region`] / [`PolyMem::write_region`] — move an entire
+//!   [`Region`] through the minimum sequence of parallel accesses (the
+//!   Fig. 2 "R0 takes several accesses" decomposition);
+//! * [`PolyMem::copy_region`] — region-to-region copy through the ports;
+//! * [`PolyMem::convert_scheme`] — re-materialise the memory under another
+//!   scheme (the "runtime partial reconfiguration" the paper mentions as a
+//!   deployment option: same data, different conflict-free view set).
+
+use crate::config::PolyMemConfig;
+use crate::error::{PolyMemError, Result};
+use crate::mem::PolyMem;
+use crate::region::Region;
+use crate::scheme::AccessScheme;
+
+impl<T: Copy + Default> PolyMem<T> {
+    /// Read a whole region through parallel accesses, in the region's
+    /// canonical element order. The region must tile the access geometry
+    /// (use the `scheduler` crate for ragged covers).
+    pub fn read_region(&mut self, port: usize, region: &Region) -> Result<Vec<T>> {
+        let cfg = *self.config();
+        let accesses = region.plan_accesses(cfg.p, cfg.q)?;
+        let lanes = cfg.lanes();
+        let mut flat = Vec::with_capacity(region.len());
+        let mut buf = vec![T::default(); lanes];
+        for access in &accesses {
+            self.read_into(port, *access, &mut buf)?;
+            flat.extend_from_slice(&buf);
+        }
+        // The per-access lane order concatenated is not necessarily the
+        // region's canonical order for Block regions (accesses walk tiles);
+        // reorder via coordinates.
+        Ok(reorder_to_region_order(region, &accesses, cfg.p, cfg.q, flat))
+    }
+
+    /// Write a whole region (values in the region's canonical order).
+    pub fn write_region(&mut self, region: &Region, values: &[T]) -> Result<()> {
+        if values.len() != region.len() {
+            return Err(PolyMemError::WrongLaneCount {
+                got: values.len(),
+                expected: region.len(),
+            });
+        }
+        let cfg = *self.config();
+        let accesses = region.plan_accesses(cfg.p, cfg.q)?;
+        // Map canonical region order -> per-access lane order.
+        let order = region_order_indices(region, &accesses, cfg.p, cfg.q);
+        let lanes = cfg.lanes();
+        let mut buf = vec![T::default(); lanes];
+        for (a, access) in accesses.iter().enumerate() {
+            for k in 0..lanes {
+                buf[k] = values[order[a * lanes + k]];
+            }
+            self.write(*access, &buf)?;
+        }
+        Ok(())
+    }
+
+    /// Copy `src` to `dst` through the ports (one read + one write per
+    /// access pair — the STREAM-Copy inner loop as a library call).
+    /// Regions must have equal length and identical shape decomposition.
+    pub fn copy_region(&mut self, port: usize, src: &Region, dst: &Region) -> Result<()> {
+        let cfg = *self.config();
+        let src_acc = src.plan_accesses(cfg.p, cfg.q)?;
+        let dst_acc = dst.plan_accesses(cfg.p, cfg.q)?;
+        if src_acc.len() != dst_acc.len() {
+            return Err(PolyMemError::InvalidGeometry {
+                reason: format!(
+                    "copy_region: {} decomposes into {} accesses but {} into {}",
+                    src.name,
+                    src_acc.len(),
+                    dst.name,
+                    dst_acc.len()
+                ),
+            });
+        }
+        let mut buf = vec![T::default(); cfg.lanes()];
+        for (s, d) in src_acc.iter().zip(&dst_acc) {
+            self.read_into(port, *s, &mut buf)?;
+            self.write(*d, &buf)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild this memory under a different scheme, preserving every
+    /// element. This models the paper's "runtime partial reconfiguration":
+    /// the logical content is unchanged, the conflict-free pattern set
+    /// switches to the new scheme's.
+    pub fn convert_scheme(&self, scheme: AccessScheme) -> Result<PolyMem<T>> {
+        let mut cfg: PolyMemConfig = *self.config();
+        cfg.scheme = scheme;
+        cfg.validate()?;
+        let mut out = PolyMem::new(cfg)?;
+        out.load_row_major(&self.dump_row_major())?;
+        Ok(out)
+    }
+}
+
+/// For each access (in order) and lane, the index into the region's
+/// canonical element order.
+fn region_order_indices(
+    region: &Region,
+    accesses: &[crate::scheme::ParallelAccess],
+    p: usize,
+    q: usize,
+) -> Vec<usize> {
+    use std::collections::HashMap;
+    let canon: HashMap<(usize, usize), usize> = region
+        .coords()
+        .into_iter()
+        .enumerate()
+        .map(|(k, c)| (c, k))
+        .collect();
+    let agu = crate::agu::Agu::new(p, q, usize::MAX / 2, usize::MAX / 2);
+    let mut out = Vec::with_capacity(accesses.len() * p * q);
+    for access in accesses {
+        for coord in agu.expand(*access).expect("planned access expands") {
+            out.push(*canon.get(&coord).expect("planned access stays in region"));
+        }
+    }
+    out
+}
+
+fn reorder_to_region_order<T: Copy + Default>(
+    region: &Region,
+    accesses: &[crate::scheme::ParallelAccess],
+    p: usize,
+    q: usize,
+    flat: Vec<T>,
+) -> Vec<T> {
+    let order = region_order_indices(region, accesses, p, q);
+    let mut out = vec![T::default(); flat.len()];
+    for (v, &dst) in flat.into_iter().zip(&order) {
+        out[dst] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionShape;
+    use crate::scheme::ParallelAccess;
+
+    fn mem(scheme: AccessScheme) -> PolyMem<u64> {
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, scheme, 1).unwrap();
+        let mut m = PolyMem::new(cfg).unwrap();
+        let data: Vec<u64> = (0..256).collect();
+        m.load_row_major(&data).unwrap();
+        m
+    }
+
+    #[test]
+    fn read_region_block_canonical_order() {
+        let mut m = mem(AccessScheme::ReO);
+        let r = Region::new("b", 2, 4, RegionShape::Block { rows: 4, cols: 8 });
+        let vals = m.read_region(0, &r).unwrap();
+        let want: Vec<u64> = r.coords().iter().map(|&(i, j)| (i * 16 + j) as u64).collect();
+        assert_eq!(vals, want);
+    }
+
+    #[test]
+    fn read_region_row_strip() {
+        let mut m = mem(AccessScheme::ReRo);
+        let r = Region::new("row", 5, 0, RegionShape::Row { len: 16 });
+        let vals = m.read_region(0, &r).unwrap();
+        let want: Vec<u64> = (0..16).map(|j| (5 * 16 + j) as u64).collect();
+        assert_eq!(vals, want);
+    }
+
+    #[test]
+    fn write_region_roundtrip() {
+        let mut m = mem(AccessScheme::RoCo);
+        let r = Region::new("col", 0, 7, RegionShape::Col { len: 16 });
+        let vals: Vec<u64> = (0..16).map(|k| 9000 + k).collect();
+        m.write_region(&r, &vals).unwrap();
+        assert_eq!(m.read_region(0, &r).unwrap(), vals);
+        // Neighbours untouched.
+        assert_eq!(m.get(0, 6).unwrap(), 6);
+    }
+
+    #[test]
+    fn write_region_length_checked() {
+        let mut m = mem(AccessScheme::ReO);
+        let r = Region::new("b", 0, 0, RegionShape::Block { rows: 2, cols: 4 });
+        assert!(m.write_region(&r, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn copy_region_matches_manual() {
+        let mut m = mem(AccessScheme::RoCo);
+        let src = Region::new("src", 0, 0, RegionShape::Row { len: 16 });
+        let dst = Region::new("dst", 9, 0, RegionShape::Row { len: 16 });
+        m.copy_region(0, &src, &dst).unwrap();
+        for j in 0..16 {
+            assert_eq!(m.get(9, j).unwrap(), j as u64);
+        }
+    }
+
+    #[test]
+    fn copy_region_shape_mismatch_rejected() {
+        let mut m = mem(AccessScheme::RoCo);
+        let src = Region::new("src", 0, 0, RegionShape::Row { len: 16 });
+        let dst = Region::new("dst", 0, 0, RegionShape::Col { len: 8 });
+        assert!(m.copy_region(0, &src, &dst).is_err());
+    }
+
+    #[test]
+    fn convert_scheme_preserves_data_and_switches_views() {
+        let mut rero = mem(AccessScheme::ReRo);
+        // ReRo cannot serve columns...
+        assert!(rero.read(0, ParallelAccess::col(0, 3)).is_err());
+        // ...convert to ReCo: same data, columns now conflict-free.
+        let mut reco = rero.convert_scheme(AccessScheme::ReCo).unwrap();
+        assert_eq!(reco.dump_row_major(), rero.dump_row_major());
+        let col = reco.read(0, ParallelAccess::col(0, 3)).unwrap();
+        let want: Vec<u64> = (0..8).map(|i| (i * 16 + 3) as u64).collect();
+        assert_eq!(col, want);
+        // ...and rows are gone.
+        assert!(reco.read(0, ParallelAccess::row(0, 0)).is_err());
+    }
+
+    #[test]
+    fn convert_scheme_all_pairs_identity() {
+        let base = mem(AccessScheme::ReO);
+        let snapshot = base.dump_row_major();
+        for scheme in AccessScheme::ALL {
+            let converted = base.convert_scheme(scheme).unwrap();
+            assert_eq!(converted.dump_row_major(), snapshot, "{scheme}");
+        }
+    }
+}

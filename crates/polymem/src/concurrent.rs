@@ -1,0 +1,256 @@
+//! Thread-parallel multi-port PolyMem.
+//!
+//! Hardware PolyMem serves all read ports and the write port in the *same
+//! clock cycle* because each port has its own crossbar and the banks are
+//! replicated per read port. The software analogue maps each port to a
+//! thread. Conflict-freedom is what makes this cheap: within one parallel
+//! access every lane touches a *different* bank, so per-bank reader-writer
+//! locks are never contended by lanes of the same access — contention can
+//! only occur between ports, and read ports never block each other.
+//!
+//! Granularity note: each element access locks its bank individually, so a
+//! concurrent reader may observe a simultaneous write partially applied
+//! (element-level atomicity, not access-level). Cycle-accurate port
+//! semantics — where a read in the same cycle as a write observes the old
+//! state — are provided by the `dfe-sim` crate; this type is the
+//! high-throughput CPU data structure.
+
+use crate::addressing::AddressingFunction;
+use crate::agu::Agu;
+use crate::config::PolyMemConfig;
+use crate::error::{PolyMemError, Result};
+use crate::maf::ModuleAssignment;
+use crate::scheme::ParallelAccess;
+use parking_lot::RwLock;
+
+/// A PolyMem whose ports can be driven from multiple threads through `&self`.
+#[derive(Debug)]
+pub struct ConcurrentPolyMem<T> {
+    config: PolyMemConfig,
+    maf: ModuleAssignment,
+    afn: AddressingFunction,
+    agu: Agu,
+    banks: Vec<RwLock<Vec<T>>>,
+}
+
+impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
+    /// Build from a validated configuration.
+    pub fn new(config: PolyMemConfig) -> Result<Self> {
+        config.validate()?;
+        let depth = config.bank_depth();
+        let banks = (0..config.lanes())
+            .map(|_| RwLock::new(vec![T::default(); depth]))
+            .collect();
+        Ok(Self {
+            config,
+            maf: ModuleAssignment::new(config.scheme, config.p, config.q),
+            afn: AddressingFunction::new(config.p, config.q, config.rows, config.cols),
+            agu: Agu::new(config.p, config.q, config.rows, config.cols),
+            banks,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PolyMemConfig {
+        &self.config
+    }
+
+    fn check_access(&self, access: ParallelAccess) -> Result<()> {
+        let (scheme, p, q) = (self.config.scheme, self.config.p, self.config.q);
+        if !scheme.supports(access.pattern, p, q) {
+            return Err(PolyMemError::UnsupportedPattern {
+                scheme,
+                pattern: access.pattern,
+            });
+        }
+        if scheme.requires_alignment(access.pattern) && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q)) {
+            return Err(PolyMemError::Misaligned {
+                scheme,
+                pattern: access.pattern,
+                i: access.i,
+                j: access.j,
+            });
+        }
+        Ok(())
+    }
+
+    /// Parallel read through any read port; callable concurrently from many
+    /// threads.
+    pub fn read(&self, access: ParallelAccess) -> Result<Vec<T>> {
+        self.check_access(access)?;
+        let coords = self.agu.expand(access)?;
+        let mut out = Vec::with_capacity(coords.len());
+        for (i, j) in coords {
+            let bank = self.maf.assign_linear(i, j);
+            let addr = self.afn.address(i, j);
+            out.push(self.banks[bank].read()[addr]);
+        }
+        Ok(out)
+    }
+
+    /// Parallel write through the write port; callable concurrently with
+    /// readers (element-level atomicity, see module docs).
+    pub fn write(&self, access: ParallelAccess, data: &[T]) -> Result<()> {
+        let lanes = self.config.lanes();
+        if data.len() != lanes {
+            return Err(PolyMemError::WrongLaneCount {
+                got: data.len(),
+                expected: lanes,
+            });
+        }
+        self.check_access(access)?;
+        let coords = self.agu.expand(access)?;
+        for ((i, j), &v) in coords.into_iter().zip(data) {
+            let bank = self.maf.assign_linear(i, j);
+            let addr = self.afn.address(i, j);
+            self.banks[bank].write()[addr] = v;
+        }
+        Ok(())
+    }
+
+    /// Issue one access per read port concurrently (one thread per port, as
+    /// the hardware issues one access per port per cycle) and collect the
+    /// results in port order.
+    pub fn read_ports(&self, accesses: &[ParallelAccess]) -> Vec<Result<Vec<T>>> {
+        if accesses.len() > self.config.read_ports {
+            return vec![
+                Err(PolyMemError::InvalidPort {
+                    port: accesses.len() - 1,
+                    ports: self.config.read_ports,
+                });
+                accesses.len()
+            ];
+        }
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = accesses
+                .iter()
+                .map(|&a| s.spawn(move |_| self.read(a)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("port thread panicked")
+    }
+
+    /// Host-side scalar write.
+    pub fn set(&self, i: usize, j: usize, value: T) -> Result<()> {
+        if i >= self.config.rows || j >= self.config.cols {
+            return Err(PolyMemError::OutOfBounds {
+                i: i as i64,
+                j: j as i64,
+                rows: self.config.rows,
+                cols: self.config.cols,
+            });
+        }
+        let bank = self.maf.assign_linear(i, j);
+        self.banks[bank].write()[self.afn.address(i, j)] = value;
+        Ok(())
+    }
+
+    /// Host-side scalar read.
+    pub fn get(&self, i: usize, j: usize) -> Result<T> {
+        if i >= self.config.rows || j >= self.config.cols {
+            return Err(PolyMemError::OutOfBounds {
+                i: i as i64,
+                j: j as i64,
+                rows: self.config.rows,
+                cols: self.config.cols,
+            });
+        }
+        let bank = self.maf.assign_linear(i, j);
+        Ok(self.banks[bank].read()[self.afn.address(i, j)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{AccessScheme, ParallelAccess as PA};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn mem() -> ConcurrentPolyMem<u64> {
+        ConcurrentPolyMem::new(PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 4).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m = mem();
+        let data: Vec<u64> = (10..18).collect();
+        m.write(PA::row(3, 0), &data).unwrap();
+        assert_eq!(m.read(PA::row(3, 0)).unwrap(), data);
+    }
+
+    #[test]
+    fn four_ports_concurrently() {
+        let m = mem();
+        for r in 0..4usize {
+            let data: Vec<u64> = (0..8).map(|k| (r * 100 + k) as u64).collect();
+            m.write(PA::row(r, 0), &data).unwrap();
+        }
+        let results = m.read_ports(&[PA::row(0, 0), PA::row(1, 0), PA::row(2, 0), PA::row(3, 0)]);
+        for (r, res) in results.into_iter().enumerate() {
+            let got = res.unwrap();
+            assert_eq!(got[0], (r * 100) as u64);
+            assert_eq!(got[7], (r * 100 + 7) as u64);
+        }
+    }
+
+    #[test]
+    fn too_many_port_accesses_rejected() {
+        let m = mem();
+        let a = [PA::row(0, 0); 5];
+        let results = m.read_ports(&a);
+        assert!(results.iter().all(|r| r.is_err()));
+    }
+
+    #[test]
+    fn concurrent_reader_writer_element_atomicity() {
+        // Readers racing a writer must always see per-element values that are
+        // either the old or the new value, never garbage.
+        let m = std::sync::Arc::new(mem());
+        let old: Vec<u64> = vec![7; 8];
+        let new: Vec<u64> = vec![13; 8];
+        m.write(PA::row(0, 0), &old).unwrap();
+        let bad = AtomicU64::new(0);
+        crossbeam::scope(|s| {
+            let mr = &m;
+            let badr = &bad;
+            let newr = &new;
+            s.spawn(move |_| {
+                for _ in 0..500 {
+                    let got = mr.read(PA::row(0, 0)).unwrap();
+                    for &v in &got {
+                        if v != 7 && v != 13 {
+                            badr.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+            s.spawn(move |_| {
+                for k in 0..500 {
+                    let d = if k % 2 == 0 { newr.clone() } else { vec![7; 8] };
+                    mr.write(PA::row(0, 0), &d).unwrap();
+                }
+            });
+        })
+        .unwrap();
+        assert_eq!(bad.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn scalar_access_and_bounds() {
+        let m = mem();
+        m.set(5, 5, 42).unwrap();
+        assert_eq!(m.get(5, 5).unwrap(), 42);
+        assert!(m.get(16, 0).is_err());
+        assert!(m.set(0, 16, 1).is_err());
+    }
+
+    #[test]
+    fn scheme_checks_apply() {
+        let m = mem(); // RoCo
+        assert!(m.read(PA::new(0, 0, crate::scheme::AccessPattern::MainDiagonal)).is_err());
+        assert!(m.read(PA::rect(1, 1)).is_err()); // misaligned RoCo rect
+        assert!(m.read(PA::rect(2, 4)).is_ok());
+    }
+}

@@ -1,0 +1,515 @@
+//! The PolyMem façade: Fig. 3 wired together.
+//!
+//! A [`PolyMem`] owns the AGU, the module-assignment function `M`, the
+//! addressing function `A`, the three shuffles and the bank array, and
+//! exposes the paper's port interface: one write port and `read_ports` read
+//! ports, each moving `p*q` elements per access, plus simultaneous
+//! read+write ([`PolyMem::read_write`]).
+//!
+//! Every parallel access flows exactly as in the paper, top to bottom:
+//! AGU expands `(i, j, AccType)` → `M` computes per-lane banks (the shuffle
+//! steering signal) → `A` computes per-lane intra-bank addresses → the
+//! Address Shuffle and Write Data Shuffle scatter addresses/data into bank
+//! order → the banks fire → the Read Data Shuffle gathers results back into
+//! lane order.
+
+use crate::addressing::AddressingFunction;
+use crate::agu::Agu;
+use crate::banks::BankArray;
+use crate::config::PolyMemConfig;
+use crate::error::{PolyMemError, Result};
+use crate::maf::ModuleAssignment;
+use crate::scheme::{AccessPattern, ParallelAccess};
+use crate::shuffle::Crossbar;
+
+/// Running counters of memory activity, for benchmarks and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Parallel read accesses served.
+    pub reads: u64,
+    /// Parallel write accesses served.
+    pub writes: u64,
+    /// Elements delivered by reads.
+    pub elements_read: u64,
+    /// Elements stored by writes.
+    pub elements_written: u64,
+}
+
+/// A polymorphic parallel memory instance.
+///
+/// `T` is the element type (the paper's designs are 64-bit; any `Copy +
+/// Default` type works, e.g. `u64`, `f64`, or a packed struct).
+#[derive(Debug, Clone)]
+pub struct PolyMem<T> {
+    config: PolyMemConfig,
+    maf: ModuleAssignment,
+    afn: AddressingFunction,
+    agu: Agu,
+    banks: BankArray<T>,
+    xbar: Crossbar,
+    // Scratch buffers: reused across accesses so the hot path is
+    // allocation-free (Rust Performance Book: avoid allocating in loops).
+    coords: Vec<(usize, usize)>,
+    route: Vec<usize>,
+    lane_addrs: Vec<usize>,
+    bank_addrs: Vec<usize>,
+    banked: Vec<T>,
+    stats: AccessStats,
+    /// When `Some`, every touched coordinate is appended (profiling mode
+    /// for the scheduler's application analysis).
+    trace_log: Option<Vec<(usize, usize)>>,
+}
+
+impl<T: Copy + Default> PolyMem<T> {
+    /// Build a PolyMem from a validated configuration.
+    pub fn new(config: PolyMemConfig) -> Result<Self> {
+        config.validate()?;
+        let lanes = config.lanes();
+        let maf = ModuleAssignment::new(config.scheme, config.p, config.q);
+        let afn = AddressingFunction::new(config.p, config.q, config.rows, config.cols);
+        let agu = Agu::new(config.p, config.q, config.rows, config.cols);
+        let banks = BankArray::new(lanes, config.bank_depth());
+        Ok(Self {
+            config,
+            maf,
+            afn,
+            agu,
+            banks,
+            xbar: Crossbar::new(lanes),
+            coords: Vec::with_capacity(lanes),
+            route: Vec::with_capacity(lanes),
+            lane_addrs: Vec::with_capacity(lanes),
+            bank_addrs: vec![0; lanes],
+            banked: vec![T::default(); lanes],
+            stats: AccessStats::default(),
+            trace_log: None,
+        })
+    }
+
+    /// The configuration this memory was built with.
+    #[inline]
+    pub fn config(&self) -> &PolyMemConfig {
+        &self.config
+    }
+
+    /// Elements per parallel access (`p * q`).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.config.lanes()
+    }
+
+    /// Activity counters.
+    #[inline]
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Reset activity counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Start recording every coordinate touched by parallel accesses —
+    /// the "analyze applications" front of the paper's §VII toolchain.
+    /// Any previous recording is discarded.
+    pub fn start_trace(&mut self) {
+        self.trace_log = Some(Vec::new());
+    }
+
+    /// Stop recording and return the captured coordinates (in access
+    /// order, duplicates preserved). Returns an empty `Vec` if recording
+    /// was never started.
+    pub fn take_trace(&mut self) -> Vec<(usize, usize)> {
+        self.trace_log.take().unwrap_or_default()
+    }
+
+    /// Validate that `access` is conflict-free under the configured scheme:
+    /// pattern supported (Table I) and, where required, aligned.
+    pub fn check_access(&self, access: ParallelAccess) -> Result<()> {
+        let (scheme, p, q) = (self.config.scheme, self.config.p, self.config.q);
+        if !scheme.supports(access.pattern, p, q) {
+            return Err(PolyMemError::UnsupportedPattern {
+                scheme,
+                pattern: access.pattern,
+            });
+        }
+        if scheme.requires_alignment(access.pattern) && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q)) {
+            return Err(PolyMemError::Misaligned {
+                scheme,
+                pattern: access.pattern,
+                i: access.i,
+                j: access.j,
+            });
+        }
+        Ok(())
+    }
+
+    /// Expand an access and compute the shuffle steering signal (`route`)
+    /// and per-lane intra-bank addresses into the scratch buffers.
+    fn prepare(&mut self, access: ParallelAccess) -> Result<()> {
+        self.check_access(access)?;
+        self.agu.expand_into(access, &mut self.coords)?;
+        if let Some(log) = &mut self.trace_log {
+            log.extend_from_slice(&self.coords);
+        }
+        self.route.clear();
+        self.lane_addrs.clear();
+        for &(i, j) in &self.coords {
+            self.route.push(self.maf.assign_linear(i, j));
+            self.lane_addrs.push(self.afn.address(i, j));
+        }
+        // Address Shuffle: lane order -> bank order. A BankConflict here can
+        // only arise from a broken MAF (surfaced for fault-injection tests).
+        let Self {
+            xbar,
+            route,
+            lane_addrs,
+            bank_addrs,
+            ..
+        } = self;
+        xbar.scatter(lane_addrs, route, bank_addrs)?;
+        Ok(())
+    }
+
+    /// Parallel write: store `data` (one element per lane, canonical order)
+    /// at the locations of `access`. This is the write port of Fig. 3 with
+    /// `WriteEnable` asserted.
+    pub fn write(&mut self, access: ParallelAccess, data: &[T]) -> Result<()> {
+        let lanes = self.lanes();
+        if data.len() != lanes {
+            return Err(PolyMemError::WrongLaneCount {
+                got: data.len(),
+                expected: lanes,
+            });
+        }
+        self.prepare(access)?;
+        // Write Data Shuffle (the paper's inverse shuffle): lane -> bank order.
+        let Self {
+            xbar,
+            route,
+            banked,
+            banks,
+            bank_addrs,
+            ..
+        } = self;
+        xbar.scatter(data, route, banked)?;
+        banks.write_all(bank_addrs, banked);
+        self.stats.writes += 1;
+        self.stats.elements_written += lanes as u64;
+        Ok(())
+    }
+
+    /// Parallel read on `port`, writing the `p*q` elements into `out` in
+    /// canonical order. `port` must be below `config.read_ports` — the
+    /// software model shares one physical bank array between ports (hardware
+    /// replicates BRAM contents; the contents are identical by construction).
+    pub fn read_into(&mut self, port: usize, access: ParallelAccess, out: &mut [T]) -> Result<()> {
+        if port >= self.config.read_ports {
+            return Err(PolyMemError::InvalidPort {
+                port,
+                ports: self.config.read_ports,
+            });
+        }
+        let lanes = self.lanes();
+        if out.len() != lanes {
+            return Err(PolyMemError::WrongLaneCount {
+                got: out.len(),
+                expected: lanes,
+            });
+        }
+        self.prepare(access)?;
+        self.banks.read_all(&self.bank_addrs, &mut self.banked);
+        // Read Data Shuffle (regular shuffle): bank order -> lane order.
+        self.xbar.gather(&self.banked, &self.route, out);
+        self.stats.reads += 1;
+        self.stats.elements_read += lanes as u64;
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around [`Self::read_into`].
+    pub fn read(&mut self, port: usize, access: ParallelAccess) -> Result<Vec<T>> {
+        let mut out = vec![T::default(); self.lanes()];
+        self.read_into(port, access, &mut out)?;
+        Ok(out)
+    }
+
+    /// Simultaneous read + write in one cycle (independent ports, paper
+    /// §III-B). The read observes the memory state *before* the write
+    /// commits, matching the hardware's read-old port semantics.
+    pub fn read_write(
+        &mut self,
+        read_port: usize,
+        read_access: ParallelAccess,
+        out: &mut [T],
+        write_access: ParallelAccess,
+        data: &[T],
+    ) -> Result<()> {
+        self.read_into(read_port, read_access, out)?;
+        self.write(write_access, data)
+    }
+
+    /// Host-side scalar read of logical element `(i, j)` (bypasses the
+    /// parallel ports; used for fill/drain and validation, not benchmarked).
+    pub fn get(&self, i: usize, j: usize) -> Result<T> {
+        self.check_coord(i, j)?;
+        let bank = self.maf.assign_linear(i, j);
+        Ok(self.banks.read(bank, self.afn.address(i, j)))
+    }
+
+    /// Host-side scalar write of logical element `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, value: T) -> Result<()> {
+        self.check_coord(i, j)?;
+        let bank = self.maf.assign_linear(i, j);
+        self.banks.write(bank, self.afn.address(i, j), value);
+        Ok(())
+    }
+
+    /// Fill the whole logical space from a row-major slice of
+    /// `rows * cols` elements (the paper's DSE validation fill).
+    pub fn load_row_major(&mut self, data: &[T]) -> Result<()> {
+        let n = self.config.capacity_elems();
+        if data.len() != n {
+            return Err(PolyMemError::WrongLaneCount {
+                got: data.len(),
+                expected: n,
+            });
+        }
+        for i in 0..self.config.rows {
+            for j in 0..self.config.cols {
+                let bank = self.maf.assign_linear(i, j);
+                self.banks.write(bank, self.afn.address(i, j), data[i * self.config.cols + j]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Dump the whole logical space to a row-major `Vec`.
+    pub fn dump_row_major(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.config.capacity_elems());
+        for i in 0..self.config.rows {
+            for j in 0..self.config.cols {
+                let bank = self.maf.assign_linear(i, j);
+                out.push(self.banks.read(bank, self.afn.address(i, j)));
+            }
+        }
+        out
+    }
+
+    fn check_coord(&self, i: usize, j: usize) -> Result<()> {
+        if i >= self.config.rows || j >= self.config.cols {
+            return Err(PolyMemError::OutOfBounds {
+                i: i as i64,
+                j: j as i64,
+                rows: self.config.rows,
+                cols: self.config.cols,
+            });
+        }
+        Ok(())
+    }
+
+    /// The module assignment function in use (exposed for analysis tools).
+    pub fn maf(&self) -> &ModuleAssignment {
+        &self.maf
+    }
+
+    /// Direct read-only access to bank storage, for analysis tools (e.g.
+    /// inspecting per-bank data distribution).
+    pub fn banks(&self) -> &BankArray<T> {
+        &self.banks
+    }
+}
+
+/// Patterns usable on this memory — convenience re-export of the scheme query.
+pub fn supported_patterns(config: &PolyMemConfig) -> Vec<AccessPattern> {
+    config.scheme.supported_patterns(config.p, config.q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{AccessScheme, ParallelAccess as PA};
+
+    fn mem(scheme: AccessScheme) -> PolyMem<u64> {
+        PolyMem::new(PolyMemConfig::new(8, 16, 2, 4, scheme, 2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_rectangle() {
+        let mut m = mem(AccessScheme::ReO);
+        let data: Vec<u64> = (100..108).collect();
+        m.write(PA::rect(2, 4), &data).unwrap();
+        let back = m.read(0, PA::rect(2, 4)).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn unaligned_rectangle_reo() {
+        let mut m = mem(AccessScheme::ReO);
+        let data: Vec<u64> = (0..8).collect();
+        for i in 0..6 {
+            for j in 0..12 {
+                m.write(PA::rect(i, j), &data).unwrap();
+                assert_eq!(m.read(0, PA::rect(i, j)).unwrap(), data, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn row_written_then_read_via_rectangle() {
+        // Multiview: write with one pattern, read with another.
+        let mut m = mem(AccessScheme::ReRo);
+        let row: Vec<u64> = (0..8).collect();
+        m.write(PA::row(0, 0), &row).unwrap();
+        let rect = m.read(0, PA::rect(0, 0)).unwrap();
+        // Rectangle covers rows 0-1, cols 0-3: top half is row[0..4].
+        assert_eq!(&rect[0..4], &row[0..4]);
+    }
+
+    #[test]
+    fn scheme_enforcement() {
+        let mut m = mem(AccessScheme::ReO);
+        let err = m.read(0, PA::row(0, 0)).unwrap_err();
+        assert!(matches!(err, PolyMemError::UnsupportedPattern { .. }));
+        let err = m
+            .read(0, PA::new(0, 0, AccessPattern::MainDiagonal))
+            .unwrap_err();
+        assert!(matches!(err, PolyMemError::UnsupportedPattern { .. }));
+    }
+
+    #[test]
+    fn roco_alignment_enforced() {
+        let mut m = mem(AccessScheme::RoCo);
+        let data: Vec<u64> = (0..8).collect();
+        assert!(m.write(PA::rect(2, 4), &data).is_ok());
+        let err = m.write(PA::rect(1, 4), &data).unwrap_err();
+        assert!(matches!(err, PolyMemError::Misaligned { .. }));
+        // Rows and columns need no alignment.
+        assert!(m.write(PA::row(3, 5), &data).is_ok());
+        assert!(m.write(PA::col(0, 7), &data).is_ok());
+    }
+
+    #[test]
+    fn port_bounds() {
+        let mut m = mem(AccessScheme::ReO);
+        assert!(m.read(1, PA::rect(0, 0)).is_ok());
+        let err = m.read(2, PA::rect(0, 0)).unwrap_err();
+        assert!(matches!(err, PolyMemError::InvalidPort { port: 2, ports: 2 }));
+    }
+
+    #[test]
+    fn wrong_lane_count_rejected() {
+        let mut m = mem(AccessScheme::ReO);
+        let err = m.write(PA::rect(0, 0), &[1, 2, 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            PolyMemError::WrongLaneCount { got: 3, expected: 8 }
+        ));
+    }
+
+    #[test]
+    fn read_write_same_cycle_reads_old_value() {
+        let mut m = mem(AccessScheme::ReO);
+        let old: Vec<u64> = (0..8).collect();
+        let new: Vec<u64> = (100..108).collect();
+        m.write(PA::rect(0, 0), &old).unwrap();
+        let mut out = vec![0u64; 8];
+        m.read_write(0, PA::rect(0, 0), &mut out, PA::rect(0, 0), &new)
+            .unwrap();
+        assert_eq!(out, old, "read sees pre-write state");
+        assert_eq!(m.read(0, PA::rect(0, 0)).unwrap(), new);
+    }
+
+    #[test]
+    fn scalar_get_set_roundtrip() {
+        let mut m = mem(AccessScheme::ReTr);
+        m.set(5, 11, 999).unwrap();
+        assert_eq!(m.get(5, 11).unwrap(), 999);
+        assert!(m.get(8, 0).is_err());
+        assert!(m.set(0, 16, 0).is_err());
+    }
+
+    #[test]
+    fn load_dump_row_major_identity() {
+        for scheme in AccessScheme::ALL {
+            let mut m = mem(scheme);
+            let data: Vec<u64> = (0..8 * 16).collect();
+            m.load_row_major(&data).unwrap();
+            assert_eq!(m.dump_row_major(), data, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn paper_validation_cycle() {
+        // The paper's DSE validation: fill with unique values, read back via
+        // parallel accesses, compare.
+        let mut m = mem(AccessScheme::ReRo);
+        let data: Vec<u64> = (0..128).map(|x| x * 7 + 1).collect();
+        m.load_row_major(&data).unwrap();
+        for i in 0..8 {
+            let row0 = m.read(0, PA::row(i, 0)).unwrap();
+            let row1 = m.read(0, PA::row(i, 8)).unwrap();
+            let expect: Vec<u64> = (0..16).map(|j| data[i * 16 + j]).collect();
+            assert_eq!(&row0[..], &expect[..8]);
+            assert_eq!(&row1[..], &expect[8..]);
+        }
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let mut m = mem(AccessScheme::ReO);
+        let data: Vec<u64> = (0..8).collect();
+        m.write(PA::rect(0, 0), &data).unwrap();
+        let _ = m.read(0, PA::rect(0, 0)).unwrap();
+        let _ = m.read(1, PA::rect(0, 4)).unwrap();
+        let s = m.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.elements_written, 8);
+        assert_eq!(s.elements_read, 16);
+        m.reset_stats();
+        assert_eq!(m.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn transposed_read_of_rectangle_write() {
+        let mut m = mem(AccessScheme::ReTr);
+        // Write a 2x4 rect at (0,0), read the 4x2 transposed rect at (0,0):
+        // overlap is the 2x2 corner.
+        let data: Vec<u64> = (1..=8).collect();
+        m.write(PA::rect(0, 0), &data).unwrap();
+        let t = m
+            .read(0, PA::new(0, 0, AccessPattern::TransposedRectangle))
+            .unwrap();
+        // Transposed-rect lane order: (0,0),(0,1),(1,0),(1,1),(2,0)...
+        assert_eq!(t[0], data[0]); // (0,0)
+        assert_eq!(t[1], data[1]); // (0,1)
+        assert_eq!(t[2], data[4]); // (1,0)
+        assert_eq!(t[3], data[5]); // (1,1)
+    }
+
+    #[test]
+    fn trace_recording_captures_touched_coordinates() {
+        let mut m = mem(AccessScheme::RoCo);
+        let data: Vec<u64> = (0..8).collect();
+        m.write(PA::row(0, 0), &data).unwrap(); // before recording: ignored
+        m.start_trace();
+        m.write(PA::row(2, 0), &data).unwrap();
+        let _ = m.read(0, PA::col(0, 5)).unwrap();
+        let trace = m.take_trace();
+        assert_eq!(trace.len(), 16, "two accesses x 8 lanes");
+        assert_eq!(trace[0], (2, 0));
+        assert_eq!(trace[8], (0, 5));
+        assert!(!trace.contains(&(0, 0)), "pre-recording access excluded");
+        // Recording stopped: nothing further captured.
+        let _ = m.read(0, PA::row(2, 0)).unwrap();
+        assert!(m.take_trace().is_empty());
+    }
+
+    #[test]
+    fn supported_patterns_helper() {
+        let cfg = PolyMemConfig::new(8, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let pats = supported_patterns(&cfg);
+        assert!(pats.contains(&AccessPattern::Row));
+        assert!(pats.contains(&AccessPattern::Column));
+    }
+}

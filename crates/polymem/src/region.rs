@@ -1,0 +1,259 @@
+//! Logical 2D regions (paper Fig. 2): named areas of the address space that
+//! an application reads/writes with one or more parallel accesses.
+//!
+//! A [`Region`] is shape + origin + size. [`Region::coords`] enumerates its
+//! elements; [`Region::plan_accesses`] produces the sequence of
+//! [`ParallelAccess`]es that covers the region under a given geometry —
+//! the "R0 needs several accesses, R1–R9 need one" decomposition of Fig. 2.
+
+use crate::error::{PolyMemError, Result};
+use crate::scheme::{AccessPattern, ParallelAccess};
+use serde::{Deserialize, Serialize};
+
+/// Shape of a region in the logical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionShape {
+    /// `rows x cols` dense block.
+    Block {
+        /// Block rows.
+        rows: usize,
+        /// Block columns.
+        cols: usize,
+    },
+    /// Horizontal strip of `len` elements.
+    Row {
+        /// Elements in the strip.
+        len: usize,
+    },
+    /// Vertical strip of `len` elements.
+    Col {
+        /// Elements in the strip.
+        len: usize,
+    },
+    /// Down-right diagonal of `len` elements.
+    MainDiag {
+        /// Elements in the diagonal.
+        len: usize,
+    },
+    /// Down-left diagonal of `len` elements (origin = top-right).
+    SecondaryDiag {
+        /// Elements in the diagonal.
+        len: usize,
+    },
+}
+
+/// A named region: Fig. 2's `R0`..`R9`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// Region label (e.g. `"R0"`).
+    pub name: String,
+    /// Row of the region origin.
+    pub i: usize,
+    /// Column of the region origin.
+    pub j: usize,
+    /// Region shape.
+    pub shape: RegionShape,
+}
+
+impl Region {
+    /// Construct a region.
+    pub fn new(name: impl Into<String>, i: usize, j: usize, shape: RegionShape) -> Self {
+        Self {
+            name: name.into(),
+            i,
+            j,
+            shape,
+        }
+    }
+
+    /// Number of elements in the region.
+    pub fn len(&self) -> usize {
+        match self.shape {
+            RegionShape::Block { rows, cols } => rows * cols,
+            RegionShape::Row { len }
+            | RegionShape::Col { len }
+            | RegionShape::MainDiag { len }
+            | RegionShape::SecondaryDiag { len } => len,
+        }
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate the coordinates of every element, in canonical order.
+    pub fn coords(&self) -> Vec<(usize, usize)> {
+        let (i0, j0) = (self.i, self.j);
+        match self.shape {
+            RegionShape::Block { rows, cols } => (0..rows)
+                .flat_map(|a| (0..cols).map(move |b| (i0 + a, j0 + b)))
+                .collect(),
+            RegionShape::Row { len } => (0..len).map(|k| (i0, j0 + k)).collect(),
+            RegionShape::Col { len } => (0..len).map(|k| (i0 + k, j0)).collect(),
+            RegionShape::MainDiag { len } => (0..len).map(|k| (i0 + k, j0 + k)).collect(),
+            RegionShape::SecondaryDiag { len } => (0..len).map(|k| (i0 + k, j0 - k)).collect(),
+        }
+    }
+
+    /// Decompose the region into parallel accesses of the matching pattern
+    /// for a `p x q` geometry. The region's extents must be whole multiples
+    /// of the pattern extent (otherwise the scheduler crate, which handles
+    /// ragged covers, should be used instead).
+    pub fn plan_accesses(&self, p: usize, q: usize) -> Result<Vec<ParallelAccess>> {
+        let n = p * q;
+        let ragged = |what: &str| {
+            Err(PolyMemError::InvalidGeometry {
+                reason: format!(
+                    "region {} ({what}) does not tile by the {p}x{q} access geometry",
+                    self.name
+                ),
+            })
+        };
+        match self.shape {
+            RegionShape::Block { rows, cols } => {
+                if rows % p != 0 || cols % q != 0 {
+                    return ragged("block");
+                }
+                let mut v = Vec::with_capacity((rows / p) * (cols / q));
+                for a in (0..rows).step_by(p) {
+                    for b in (0..cols).step_by(q) {
+                        v.push(ParallelAccess::rect(self.i + a, self.j + b));
+                    }
+                }
+                Ok(v)
+            }
+            RegionShape::Row { len } => {
+                if len % n != 0 {
+                    return ragged("row");
+                }
+                Ok((0..len)
+                    .step_by(n)
+                    .map(|k| ParallelAccess::row(self.i, self.j + k))
+                    .collect())
+            }
+            RegionShape::Col { len } => {
+                if len % n != 0 {
+                    return ragged("column");
+                }
+                Ok((0..len)
+                    .step_by(n)
+                    .map(|k| ParallelAccess::col(self.i + k, self.j))
+                    .collect())
+            }
+            RegionShape::MainDiag { len } => {
+                if len % n != 0 {
+                    return ragged("main diagonal");
+                }
+                Ok((0..len)
+                    .step_by(n)
+                    .map(|k| ParallelAccess::new(self.i + k, self.j + k, AccessPattern::MainDiagonal))
+                    .collect())
+            }
+            RegionShape::SecondaryDiag { len } => {
+                if len % n != 0 {
+                    return ragged("secondary diagonal");
+                }
+                Ok((0..len)
+                    .step_by(n)
+                    .map(|k| {
+                        ParallelAccess::new(
+                            self.i + k,
+                            self.j - k,
+                            AccessPattern::SecondaryDiagonal,
+                        )
+                    })
+                    .collect())
+            }
+        }
+    }
+}
+
+/// The ten-region example of Fig. 2, scaled to fit an `8 x 9`-ish logical
+/// space with an 8-bank geometry. Used by examples and docs.
+pub fn fig2_regions() -> Vec<Region> {
+    vec![
+        Region::new("R0", 0, 0, RegionShape::Block { rows: 4, cols: 4 }),
+        Region::new("R1", 0, 5, RegionShape::Row { len: 8 }),
+        Region::new("R2", 2, 5, RegionShape::Row { len: 8 }),
+        Region::new("R3", 5, 0, RegionShape::Col { len: 8 }),
+        Region::new("R4", 5, 2, RegionShape::Col { len: 8 }),
+        Region::new("R5", 4, 4, RegionShape::MainDiag { len: 8 }),
+        Region::new("R6", 4, 12, RegionShape::SecondaryDiag { len: 8 }),
+        Region::new("R7", 6, 6, RegionShape::Block { rows: 2, cols: 4 }),
+        Region::new("R8", 8, 0, RegionShape::Block { rows: 4, cols: 2 }),
+        Region::new("R9", 10, 5, RegionShape::Row { len: 8 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_coords_and_len() {
+        let r = Region::new("b", 1, 2, RegionShape::Block { rows: 2, cols: 3 });
+        assert_eq!(r.len(), 6);
+        assert!(!r.is_empty());
+        let c = r.coords();
+        assert_eq!(c[0], (1, 2));
+        assert_eq!(c[5], (2, 4));
+    }
+
+    #[test]
+    fn plan_block_accesses() {
+        let r = Region::new("R0", 0, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let acc = r.plan_accesses(2, 4).unwrap();
+        assert_eq!(acc.len(), 4); // (4/2) * (8/4)
+        assert_eq!(acc[0], ParallelAccess::rect(0, 0));
+        assert_eq!(acc[3], ParallelAccess::rect(2, 4));
+    }
+
+    #[test]
+    fn plan_row_accesses() {
+        let r = Region::new("R1", 3, 0, RegionShape::Row { len: 16 });
+        let acc = r.plan_accesses(2, 4).unwrap();
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[1], ParallelAccess::row(3, 8));
+    }
+
+    #[test]
+    fn plan_secondary_diag() {
+        let r = Region::new("R6", 0, 15, RegionShape::SecondaryDiag { len: 16 });
+        let acc = r.plan_accesses(2, 4).unwrap();
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[1].i, 8);
+        assert_eq!(acc[1].j, 7);
+    }
+
+    #[test]
+    fn ragged_region_rejected() {
+        let r = Region::new("x", 0, 0, RegionShape::Row { len: 10 });
+        assert!(r.plan_accesses(2, 4).is_err());
+    }
+
+    #[test]
+    fn planned_accesses_cover_exactly() {
+        let r = Region::new("R0", 2, 4, RegionShape::Block { rows: 4, cols: 8 });
+        let mut covered: Vec<(usize, usize)> = Vec::new();
+        for a in r.plan_accesses(2, 4).unwrap() {
+            for di in 0..2 {
+                for dj in 0..4 {
+                    covered.push((a.i + di, a.j + dj));
+                }
+            }
+        }
+        covered.sort_unstable();
+        let mut want = r.coords();
+        want.sort_unstable();
+        assert_eq!(covered, want);
+    }
+
+    #[test]
+    fn fig2_has_ten_regions() {
+        let rs = fig2_regions();
+        assert_eq!(rs.len(), 10);
+        assert!(rs.iter().all(|r| !r.is_empty()));
+        assert_eq!(rs[0].name, "R0");
+    }
+}

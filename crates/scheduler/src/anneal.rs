@@ -1,0 +1,218 @@
+//! Local-search set-cover solver (simulated annealing flavour).
+//!
+//! A third point for the solver ablation, between greedy's speed and
+//! branch-and-bound's optimality: start from the greedy cover and repeat a
+//! *remove-and-repair* move — drop one chosen access, re-cover the hole
+//! greedily — accepting improvements always and sideways/worse moves with
+//! annealed probability. Deterministic: randomness comes from a seeded
+//! xorshift so results are reproducible (no external RNG dependency).
+
+use crate::bitset::BitSet;
+use crate::cover::{CoverInstance, Schedule};
+use crate::greedy;
+
+/// Annealing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealOptions {
+    /// Moves to attempt.
+    pub iterations: u32,
+    /// Initial acceptance temperature (in units of schedule length).
+    pub start_temp: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        Self {
+            iterations: 2_000,
+            start_temp: 1.5,
+            seed: 0x5EED,
+        }
+    }
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Greedily cover `uncovered` using candidates, appending chosen indices.
+fn repair(inst: &CoverInstance, uncovered: &mut BitSet, chosen: &mut Vec<usize>) -> bool {
+    while !uncovered.is_empty() {
+        let best = inst
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| (ci, c.cover.intersection_count(uncovered)))
+            .max_by_key(|&(_, gain)| gain);
+        match best {
+            Some((ci, gain)) if gain > 0 => {
+                uncovered.subtract(&inst.candidates[ci].cover);
+                chosen.push(ci);
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+fn coverage_of(inst: &CoverInstance, chosen: &[usize]) -> BitSet {
+    let mut covered = BitSet::new(inst.trace.len());
+    for &ci in chosen {
+        covered.union_with(&inst.candidates[ci].cover);
+    }
+    covered
+}
+
+/// Solve by annealed remove-and-repair local search. Returns a complete
+/// schedule whenever greedy finds one (local search never loses coverage).
+pub fn solve(inst: &CoverInstance, opts: &AnnealOptions) -> Schedule {
+    let n = inst.trace.len();
+    let seed_sol = greedy::solve(inst);
+    if !seed_sol.complete || n == 0 {
+        return seed_sol;
+    }
+    // Map greedy's accesses back to candidate indices.
+    let mut current: Vec<usize> = seed_sol
+        .accesses
+        .iter()
+        .map(|a| {
+            inst.candidates
+                .iter()
+                .position(|c| c.access == *a)
+                .expect("greedy picks known candidates")
+        })
+        .collect();
+    let mut best = current.clone();
+    let mut rng = XorShift(opts.seed | 1);
+    for it in 0..opts.iterations {
+        if current.len() <= 1 {
+            break;
+        }
+        let temp = opts.start_temp * (1.0 - it as f64 / opts.iterations as f64);
+        // Remove one random choice, drop any now-redundant others, repair.
+        let victim = (rng.next() as usize) % current.len();
+        let mut trial: Vec<usize> = current
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != victim)
+            .map(|(_, &ci)| ci)
+            .collect();
+        // Prune choices made redundant by the rest.
+        let mut k = 0;
+        while k < trial.len() {
+            let without: Vec<usize> = trial
+                .iter()
+                .enumerate()
+                .filter(|&(x, _)| x != k)
+                .map(|(_, &ci)| ci)
+                .collect();
+            if coverage_of(inst, &without).count() == coverage_of(inst, &trial).count() {
+                trial = without;
+            } else {
+                k += 1;
+            }
+        }
+        let mut uncovered = BitSet::full(n);
+        uncovered.subtract(&coverage_of(inst, &trial));
+        if !repair(inst, &mut uncovered, &mut trial) {
+            continue;
+        }
+        let delta = trial.len() as f64 - current.len() as f64;
+        let accept = delta < 0.0 || (temp > 0.0 && rng.unit() < (-delta / temp.max(1e-9)).exp());
+        if accept {
+            current = trial;
+            if current.len() < best.len() {
+                best = current.clone();
+            }
+        }
+    }
+    Schedule {
+        accesses: best.iter().map(|&ci| inst.candidates[ci].access).collect(),
+        complete: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb;
+    use crate::pattern::AccessTrace;
+    use polymem::AccessScheme;
+
+    fn instance(stride: usize) -> CoverInstance {
+        CoverInstance::build(
+            AccessTrace::strided(8, 16, stride),
+            AccessScheme::RoCo,
+            2,
+            4,
+            16,
+            16,
+        )
+    }
+
+    #[test]
+    fn anneal_is_complete_and_bounded_by_greedy() {
+        for stride in 1..=4 {
+            let inst = instance(stride);
+            let g = greedy::solve(&inst);
+            let a = solve(&inst, &AnnealOptions::default());
+            assert!(a.complete);
+            assert!(inst.verify(&a));
+            assert!(a.len() <= g.len(), "stride {stride}: anneal must not lose to its seed");
+        }
+    }
+
+    #[test]
+    fn anneal_between_greedy_and_exact() {
+        let inst = instance(2);
+        let e = bnb::solve(&inst, 200_000);
+        let a = solve(&inst, &AnnealOptions::default());
+        assert!(a.len() >= e.schedule.len(), "cannot beat a proven optimum");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = instance(3);
+        let o = AnnealOptions::default();
+        let a = solve(&inst, &o);
+        let b = solve(&inst, &o);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_uncoverable_and_empty() {
+        let inst = CoverInstance::build(
+            AccessTrace::from_coords([(0, 0), (99, 99)]),
+            AccessScheme::ReO,
+            2,
+            4,
+            8,
+            8,
+        );
+        assert!(!solve(&inst, &AnnealOptions::default()).complete);
+        let empty = CoverInstance::build(
+            AccessTrace::from_coords([]),
+            AccessScheme::ReO,
+            2,
+            4,
+            8,
+            8,
+        );
+        let s = solve(&empty, &AnnealOptions::default());
+        assert!(s.complete && s.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! A compact fixed-universe bitset used by the set-covering solvers.
+//!
+//! Cover sets are dense over small universes (an access covers up to `p*q`
+//! of at most a few thousand trace elements), so a `Vec<u64>` of words with
+//! popcount-based counting is both simple and fast — no dependencies needed.
+
+/// Fixed-size bitset over a universe of `len` elements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Insert element `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Remove element `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= !other` (set subtraction).
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `|self & other|` without allocating.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self` and `other` are disjoint.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Index of the first set bit, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterate over set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// A set containing every universe element.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn union_and_subtract() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(2);
+        b.insert(2);
+        b.insert(3);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 3);
+        u.subtract(&a);
+        assert!(u.contains(3) && !u.contains(1) && !u.contains(2));
+    }
+
+    #[test]
+    fn intersection_count_and_disjoint() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in (0..200).step_by(3) {
+            a.insert(i);
+        }
+        for i in (0..200).step_by(5) {
+            b.insert(i);
+        }
+        // multiples of 15 under 200: 0,15,...,195 -> 14 of them.
+        assert_eq!(a.intersection_count(&b), 14);
+        assert!(!a.is_disjoint(&b));
+        let mut c = BitSet::new(200);
+        c.insert(1);
+        assert!(a.is_disjoint(&c) != a.contains(1));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(70);
+        s.insert(69);
+        s.insert(3);
+        s.insert(64);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 69]);
+        assert_eq!(s.first(), Some(3));
+    }
+
+    #[test]
+    fn full_set() {
+        let s = BitSet::full(67);
+        assert_eq!(s.count(), 67);
+        assert!(s.contains(66));
+        let e = BitSet::new(0);
+        assert!(e.is_empty());
+        assert_eq!(e.first(), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! Exact minimum set cover by branch-and-bound.
+//!
+//! Substitutes for the ILP solver of the paper's design flow (§III-A / ref
+//! \[11\]): 0/1 branch-and-bound over candidates with
+//!
+//! * the greedy solution as the incumbent upper bound,
+//! * a density lower bound (`ceil(uncovered / max_cover)`) for pruning,
+//! * branching on the uncovered element with the fewest covering candidates
+//!   (the most constrained element first), trying candidates in decreasing
+//!   cover order.
+//!
+//! Exponential in the worst case; the node budget keeps it predictable — on
+//! budget exhaustion the incumbent (a valid, possibly suboptimal cover) is
+//! returned with `proved_optimal == false`.
+
+use crate::bitset::BitSet;
+use crate::cover::{CoverInstance, Schedule};
+use crate::greedy;
+use polymem::ParallelAccess;
+
+/// Result of an exact search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactResult {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Whether optimality was proven within the node budget.
+    pub proved_optimal: bool,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+/// Solve `inst` exactly (within `node_budget` search nodes).
+pub fn solve(inst: &CoverInstance, node_budget: u64) -> ExactResult {
+    let n = inst.trace.len();
+    if n == 0 {
+        return ExactResult {
+            schedule: Schedule {
+                accesses: Vec::new(),
+                complete: true,
+            },
+            proved_optimal: true,
+            nodes: 0,
+        };
+    }
+    // Incumbent from greedy.
+    let greedy_sol = greedy::solve(inst);
+    if !greedy_sol.complete {
+        // Universe not coverable at all: exact search cannot help.
+        return ExactResult {
+            schedule: greedy_sol,
+            proved_optimal: true,
+            nodes: 0,
+        };
+    }
+    // Per-element candidate lists for most-constrained branching.
+    let mut element_cands: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, c) in inst.candidates.iter().enumerate() {
+        for e in c.cover.iter() {
+            element_cands[e].push(ci);
+        }
+    }
+    let max_cover = inst
+        .candidates
+        .iter()
+        .map(|c| c.cover.count())
+        .max()
+        .unwrap_or(1);
+
+    struct Search<'a> {
+        inst: &'a CoverInstance,
+        element_cands: &'a [Vec<usize>],
+        best_len: usize,
+        best: Vec<ParallelAccess>,
+        nodes: u64,
+        budget: u64,
+        max_cover: usize,
+        exhausted: bool,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, uncovered: &BitSet, chosen: &mut Vec<ParallelAccess>) {
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                self.exhausted = true;
+                return;
+            }
+            let remaining = uncovered.count();
+            if remaining == 0 {
+                if chosen.len() < self.best_len {
+                    self.best_len = chosen.len();
+                    self.best = chosen.clone();
+                }
+                return;
+            }
+            // Density bound.
+            let lb = chosen.len() + remaining.div_ceil(self.max_cover);
+            if lb >= self.best_len {
+                return;
+            }
+            // Most-constrained uncovered element.
+            let (elem, cands) = uncovered
+                .iter()
+                .map(|e| (e, &self.element_cands[e]))
+                .min_by_key(|(_, cs)| {
+                    cs.iter()
+                        .filter(|&&ci| {
+                            !self.inst.candidates[ci].cover.is_disjoint(uncovered)
+                        })
+                        .count()
+                })
+                .expect("nonempty uncovered set");
+            // Try covering `elem`, best-gain candidates first.
+            let mut options: Vec<(usize, usize)> = cands
+                .iter()
+                .map(|&ci| {
+                    (
+                        ci,
+                        self.inst.candidates[ci].cover.intersection_count(uncovered),
+                    )
+                })
+                .filter(|&(_, gain)| gain > 0)
+                .collect();
+            options.sort_by_key(|opt| std::cmp::Reverse(opt.1));
+            let _ = elem;
+            for (ci, _) in options {
+                let mut next = uncovered.clone();
+                next.subtract(&self.inst.candidates[ci].cover);
+                chosen.push(self.inst.candidates[ci].access);
+                self.dfs(&next, chosen);
+                chosen.pop();
+                if self.exhausted {
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        inst,
+        element_cands: &element_cands,
+        best_len: greedy_sol.len(),
+        best: greedy_sol.accesses.clone(),
+        nodes: 0,
+        budget: node_budget,
+        max_cover,
+        exhausted: false,
+    };
+    // Root bound: the stronger of the density bound and the LP dual-ascent
+    // bound. If it already meets the greedy incumbent, greedy is optimal.
+    let lb = crate::lp::lower_bound(inst).max(n.div_ceil(max_cover));
+    if lb < search.best_len {
+        search.dfs(&BitSet::full(n), &mut Vec::new());
+    }
+    ExactResult {
+        schedule: Schedule {
+            accesses: search.best,
+            complete: true,
+        },
+        proved_optimal: !search.exhausted,
+        nodes: search.nodes,
+    }
+}
+
+/// Brute-force minimum cover by subset enumeration — ground truth for tests
+/// on tiny instances (exponential in candidate count; keep `candidates < 20`).
+pub fn brute_force(inst: &CoverInstance) -> Option<Schedule> {
+    let n = inst.trace.len();
+    let m = inst.candidates.len();
+    assert!(m <= 24, "brute force limited to tiny instances");
+    let mut best: Option<Vec<usize>> = None;
+    for mask in 0u32..(1 << m) {
+        if let Some(ref b) = best {
+            if (mask.count_ones() as usize) >= b.len() {
+                continue;
+            }
+        }
+        let mut covered = BitSet::new(n);
+        for ci in 0..m {
+            if mask & (1 << ci) != 0 {
+                covered.union_with(&inst.candidates[ci].cover);
+            }
+        }
+        if covered.count() == n {
+            best = Some((0..m).filter(|ci| mask & (1 << ci) != 0).collect());
+        }
+    }
+    best.map(|sel| Schedule {
+        accesses: sel.iter().map(|&ci| inst.candidates[ci].access).collect(),
+        complete: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AccessTrace;
+    use polymem::AccessScheme;
+
+    #[test]
+    fn exact_matches_dense_bound_on_tiled_block() {
+        let trace = AccessTrace::block(0, 0, 4, 8);
+        let inst = CoverInstance::build(trace, AccessScheme::ReO, 2, 4, 8, 16);
+        let r = solve(&inst, 100_000);
+        assert!(r.proved_optimal);
+        assert_eq!(r.schedule.len(), 4);
+        assert!(inst.verify(&r.schedule));
+    }
+
+    #[test]
+    fn exact_beats_or_ties_greedy() {
+        for stride in 1..=4 {
+            let trace = AccessTrace::strided(6, 12, stride);
+            let inst = CoverInstance::build(trace, AccessScheme::RoCo, 2, 4, 8, 16);
+            let g = greedy::solve(&inst);
+            let e = solve(&inst, 200_000);
+            if g.complete {
+                assert!(e.schedule.len() <= g.len(), "stride {stride}");
+                assert!(inst.verify(&e.schedule));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_tiny_instance() {
+        let trace = AccessTrace::block(0, 1, 2, 3); // ragged 2x3 block
+        let mut inst = CoverInstance::build(trace, AccessScheme::ReO, 2, 2, 4, 8);
+        inst.prune_dominated();
+        assert!(inst.candidates.len() <= 24, "{} candidates", inst.candidates.len());
+        let bf = brute_force(&inst).expect("coverable");
+        let e = solve(&inst, 1_000_000);
+        assert!(e.proved_optimal);
+        assert_eq!(e.schedule.len(), bf.len());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_valid_incumbent() {
+        let trace = AccessTrace::strided(8, 16, 2);
+        let inst = CoverInstance::build(trace, AccessScheme::RoCo, 2, 4, 16, 16);
+        let r = solve(&inst, 3); // absurdly small budget
+        assert!(inst.verify(&r.schedule), "incumbent must still be a cover");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let inst = CoverInstance::build(
+            AccessTrace::from_coords([]),
+            AccessScheme::ReO,
+            2,
+            4,
+            8,
+            16,
+        );
+        let r = solve(&inst, 10);
+        assert!(r.proved_optimal);
+        assert!(r.schedule.is_empty());
+    }
+
+    #[test]
+    fn multiview_needs_fewer_accesses_than_single_view() {
+        // A trace of one row + one column: RoCo covers it in 2 accesses;
+        // ReO (rectangles only) needs more.
+        let mut coords: Vec<(usize, usize)> = (0..8).map(|j| (0, j)).collect();
+        coords.extend((0..8).map(|i| (i, 0)));
+        let trace = AccessTrace::from_coords(coords);
+        let roco = solve(
+            &CoverInstance::build(trace.clone(), AccessScheme::RoCo, 2, 4, 8, 8),
+            100_000,
+        );
+        let reo = solve(
+            &CoverInstance::build(trace, AccessScheme::ReO, 2, 4, 8, 8),
+            100_000,
+        );
+        assert_eq!(roco.schedule.len(), 2, "row + column in two accesses");
+        assert!(
+            reo.schedule.len() > roco.schedule.len(),
+            "ReO {} vs RoCo {}",
+            reo.schedule.len(),
+            roco.schedule.len()
+        );
+    }
+}

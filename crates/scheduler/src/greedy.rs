@@ -1,0 +1,103 @@
+//! Greedy set-cover baseline.
+//!
+//! The classical `H_n`-approximate algorithm: repeatedly pick the candidate
+//! covering the most still-uncovered elements. This is the baseline the
+//! exact solver ([`crate::bnb`]) is compared against in the scheduler
+//! ablation experiment.
+
+use crate::bitset::BitSet;
+use crate::cover::{CoverInstance, Schedule};
+
+/// Solve `inst` greedily. Always returns a complete schedule when the
+/// candidates can cover the universe; `complete == false` otherwise.
+pub fn solve(inst: &CoverInstance) -> Schedule {
+    let n = inst.trace.len();
+    let mut uncovered = BitSet::full(n);
+    let mut accesses = Vec::new();
+    while !uncovered.is_empty() {
+        let best = inst
+            .candidates
+            .iter()
+            .map(|c| (c, c.cover.intersection_count(&uncovered)))
+            .max_by_key(|&(_, gain)| gain);
+        match best {
+            Some((cand, gain)) if gain > 0 => {
+                uncovered.subtract(&cand.cover);
+                accesses.push(cand.access);
+            }
+            _ => {
+                return Schedule {
+                    accesses,
+                    complete: false,
+                };
+            }
+        }
+    }
+    Schedule {
+        accesses,
+        complete: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AccessTrace;
+    use polymem::AccessScheme;
+
+    #[test]
+    fn covers_tiled_block_optimally() {
+        let trace = AccessTrace::block(0, 0, 4, 8); // 32 elements, 4 tiles
+        let inst = CoverInstance::build(trace, AccessScheme::ReO, 2, 4, 8, 16);
+        let s = solve(&inst);
+        assert!(s.complete);
+        assert_eq!(s.len(), 4, "aligned tiled block should need exactly 4 accesses");
+        assert!(inst.verify(&s));
+    }
+
+    #[test]
+    fn handles_unaligned_block() {
+        let trace = AccessTrace::block(1, 3, 2, 4);
+        let inst = CoverInstance::build(trace, AccessScheme::ReO, 2, 4, 8, 16);
+        let s = solve(&inst);
+        assert!(s.complete);
+        // ReO rectangles are position-free, so one access suffices.
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn incomplete_when_uncoverable() {
+        // RoCo covers rows/cols/aligned rects; a lone off-grid element at the
+        // far corner of a space too small for the row/col patterns is
+        // uncoverable... use an element outside all candidate reach by
+        // making the space exactly one tile and the trace outside it.
+        let trace = AccessTrace::from_coords([(0, 0), (30, 60)]);
+        let inst = CoverInstance::build(trace, AccessScheme::ReO, 2, 4, 8, 16);
+        // (30, 60) is outside the 8x16 space: no candidate covers it.
+        let s = solve(&inst);
+        assert!(!s.complete);
+    }
+
+    #[test]
+    fn empty_trace_empty_schedule() {
+        let trace = AccessTrace::from_coords([]);
+        let inst = CoverInstance::build(trace, AccessScheme::ReO, 2, 4, 8, 16);
+        let s = solve(&inst);
+        assert!(s.complete);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn strided_trace_scheduled() {
+        // Every 4th column over 2 rows in a RoCo memory: column accesses
+        // gather the sparse pattern.
+        let trace = AccessTrace::strided(8, 16, 4);
+        let inst = CoverInstance::build(trace.clone(), AccessScheme::RoCo, 2, 4, 16, 16);
+        let s = solve(&inst);
+        assert!(s.complete);
+        assert!(inst.verify(&s));
+        // 32 elements; dense bound is 4; column accesses of 8 hit one stride
+        // column each -> 4 accesses achievable.
+        assert!(s.len() <= 8, "got {}", s.len());
+    }
+}

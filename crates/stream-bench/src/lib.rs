@@ -1,0 +1,35 @@
+//! # polymem-stream-bench — the STREAM benchmark on MAX-PolyMem
+//!
+//! A faithful model of the paper's Fig. 9 design: a host-orchestrated
+//! STREAM benchmark whose vectors live in PolyMem's three regions and whose
+//! compute stage streams one 8-element chunk per cycle through the memory's
+//! read port(s), feeding the write port from the memory's own output.
+//!
+//! * [`layout`] — vector placement (the paper's exact 170 x 512 x 8 B
+//!   geometry is [`StreamLayout::paper_geometry`](layout::StreamLayout::paper_geometry));
+//! * [`op`] — Copy (measured in the paper), Scale, Sum, Triad (the paper's
+//!   future work, implemented as the extension);
+//! * [`controller`] — the Fig. 9 Controller FSM as a simulator kernel;
+//! * [`app`] — the assembled design with Load / Compute / Offload staging
+//!   and the paper's measurement methodology (1000 blocking runs, ~300 ns
+//!   host-call overhead, 14-cycle read latency);
+//! * [`report`] — STREAM-standard output and the Fig. 10 series.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod controller;
+pub mod layout;
+pub mod modular;
+pub mod op;
+pub mod report;
+pub mod staged;
+
+pub use app::{scalar_reference, StageTiming, StreamApp, PAPER_STREAM_FREQ_MHZ};
+pub use controller::{Controller, ControllerState};
+pub use layout::{StreamLayout, VectorLayout};
+pub use modular::{run_modular, ModularRun};
+pub use op::StreamOp;
+pub use report::{fig10_default_sizes, fig10_series, Fig10Point, StreamRow};
+pub use staged::{pcie_chunk_interval, LoadKernel, OffloadKernel};

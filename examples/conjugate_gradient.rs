@@ -1,0 +1,83 @@
+//! Conjugate Gradient on a PolyMem-resident banded matrix — the workload of
+//! the PRF lineage's CG case study (paper ref [26]), here solving the 1D
+//! Poisson problem with the tridiagonal Laplacian fetched through diagonal
+//! parallel accesses.
+//!
+//! Run with: `cargo run -p polymem-apps --example conjugate_gradient --release`
+
+use polymem::BandedMatrix;
+
+const N: usize = 256;
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A = tridiag(-1, 2, -1): SPD, the 1D Laplacian.
+    let mut a = BandedMatrix::new(N, 1, 2, 4)?;
+    a.set_band(0, &vec![2.0; N])?;
+    a.set_band(1, &vec![-1.0; N - 1])?;
+    a.set_band(-1, &vec![-1.0; N - 1])?;
+
+    // Right-hand side: a point source in the middle.
+    let mut b = vec![0.0; N];
+    b[N / 2] = 1.0;
+
+    // Conjugate gradient.
+    let mut x = vec![0.0; N];
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut rs_old = dot(&r, &r);
+    let mut ap = vec![0.0; N];
+    let mut iterations = 0usize;
+    let mut mem_accesses = 0u64;
+    for _ in 0..2 * N {
+        mem_accesses += a.spmv(&p, &mut ap)?;
+        let alpha = rs_old / dot(&p, &ap);
+        for i in 0..N {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        iterations += 1;
+        if rs_new.sqrt() < 1e-10 {
+            break;
+        }
+        let beta = rs_new / rs_old;
+        for i in 0..N {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+
+    // Verify: residual of the produced solution against the matrix.
+    let mut check = vec![0.0; N];
+    a.spmv(&x, &mut check)?;
+    let residual: f64 = check
+        .iter()
+        .zip(&b)
+        .map(|(ax, bi)| (ax - bi) * (ax - bi))
+        .sum::<f64>()
+        .sqrt();
+    assert!(residual < 1e-8, "CG did not converge: residual {residual}");
+
+    println!("CG on the {N}x{N} tridiagonal Laplacian: converged in {iterations} iterations");
+    println!("final residual ||Ax - b|| = {residual:.2e}");
+    println!(
+        "matrix traffic: {mem_accesses} diagonal parallel accesses x 8 lanes \
+         (vs {} scalar loads a linear memory would need)",
+        iterations as u64 * (3 * N as u64 - 2)
+    );
+    // The solution of the point-source Poisson problem is a tent function;
+    // check its peak sits at the source.
+    let peak = x
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    println!("solution peak at index {peak} (source at {})", N / 2);
+    assert_eq!(peak, N / 2);
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Blocked matrix transpose through the ReTr scheme.
+//!
+//! ReTr's claim (paper Table I): both a `p x q` rectangle *and* its `q x p`
+//! transpose are single-cycle conflict-free accesses. That makes transposes
+//! free of the gather/scatter cost a row-major memory pays: read a block in
+//! transposed shape, write it back in normal shape at the mirrored
+//! position. This example transposes a matrix in-place-style via PolyMem
+//! and verifies against a scalar transpose.
+//!
+//! Run with: `cargo run -p polymem-apps --example matrix_transpose`
+
+use polymem::{AccessPattern, AccessScheme, ParallelAccess, PolyMem, PolyMemConfig};
+
+const N: usize = 32; // square matrix side; multiple of both p and q
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (p, q) = (2, 4);
+    let cfg = PolyMemConfig::new(N, N, p, q, AccessScheme::ReTr, 1)?;
+    let mut src = PolyMem::<u64>::new(cfg)?;
+    let mut dst = PolyMem::<u64>::new(cfg)?;
+
+    let data: Vec<u64> = (0..(N * N) as u64).collect();
+    src.load_row_major(&data)?;
+
+    // Transpose: for each q x p block of the source read *transposed*
+    // (q rows x p cols at (bi, bj)), the lanes arrive in an order that is
+    // exactly the row-major order of the p x q block at (bj, bi) in the
+    // transposed matrix.
+    let mut accesses = 0usize;
+    for bi in (0..N).step_by(q) {
+        for bj in (0..N).step_by(p) {
+            let block = src.read(0, ParallelAccess::new(bi, bj, AccessPattern::TransposedRectangle))?;
+            // block lane order: (bi+a, bj+b) for a in 0..q, b in 0..p —
+            // i.e. row-major of the q x p source block. Transposed, that
+            // becomes column-major of the destination p x q block; reorder
+            // lanes to destination row-major.
+            let mut out = vec![0u64; p * q];
+            for a in 0..q {
+                for b in 0..p {
+                    out[b * q + a] = block[a * p + b];
+                }
+            }
+            dst.write(ParallelAccess::rect(bj, bi), &out)?;
+            accesses += 2;
+        }
+    }
+
+    // Verify against the scalar transpose.
+    let got = dst.dump_row_major();
+    for i in 0..N {
+        for j in 0..N {
+            assert_eq!(got[i * N + j], data[j * N + i], "mismatch at ({i},{j})");
+        }
+    }
+    println!("transposed a {N}x{N} matrix with {accesses} parallel accesses");
+    println!(
+        "scalar equivalent: {} element moves; PolyMem: {} accesses x {} lanes (speedup {}x)",
+        N * N,
+        accesses,
+        p * q,
+        2 * N * N / accesses
+    );
+
+    // Contrast: the same read is *rejected* on a scheme without transpose
+    // support — the type system of access patterns at work.
+    let cfg_reo = PolyMemConfig::new(N, N, p, q, AccessScheme::ReO, 1)?;
+    let mut reo = PolyMem::<u64>::new(cfg_reo)?;
+    reo.load_row_major(&data)?;
+    let err = reo
+        .read(0, ParallelAccess::new(0, 0, AccessPattern::TransposedRectangle))
+        .unwrap_err();
+    println!("on ReO the transposed read is refused: {err}");
+    Ok(())
+}
