@@ -37,7 +37,7 @@ fn bench_region_ops(c: &mut Criterion) {
 fn bench_convert_scheme(c: &mut Criterion) {
     let mut g = c.benchmark_group("convert_scheme");
     g.sample_size(20);
-    let m = mem();
+    let mut m = mem();
     g.throughput(Throughput::Bytes((64 * 64 * 8) as u64));
     for scheme in [AccessScheme::ReCo, AccessScheme::ReTr] {
         g.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
@@ -57,5 +57,10 @@ fn bench_matrix_facade(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_region_ops, bench_convert_scheme, bench_matrix_facade);
+criterion_group!(
+    benches,
+    bench_region_ops,
+    bench_convert_scheme,
+    bench_matrix_facade
+);
 criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion: compiled access plans vs the interpreted Fig. 3 pipeline.
+//!
+//! Three questions, one group each:
+//!
+//! * `plan_read` — steady-state single-port read throughput, planned vs
+//!   interpreted, for Rectangle and Row on several schemes (the ISSUE's
+//!   >= 2x acceptance bar);
+//! * `plan_write` — the same for the write port's scatter;
+//! * `plan_cache` — what a cache hit costs vs a compile-on-miss, so the
+//!   warm-up tax of the first access per residue class is on record.
+//!
+//! Run with `CRITERION_JSON=BENCH_plan.json cargo bench -p polymem-bench
+//! --bench plan` to append machine-readable baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymem::{AccessPattern, AccessScheme, ParallelAccess, PolyMem, PolyMemConfig};
+
+fn mem(scheme: AccessScheme, p: usize, q: usize) -> PolyMem<u64> {
+    let cfg = PolyMemConfig::new(16 * p, 16 * q, p, q, scheme, 2).unwrap();
+    let mut m = PolyMem::new(cfg).unwrap();
+    let data: Vec<u64> = (0..cfg.capacity_elems() as u64).collect();
+    m.load_row_major(&data).unwrap();
+    m
+}
+
+/// The (scheme, pattern) pairs the acceptance criteria name, plus diagonal
+/// and transposed coverage so regressions off the happy path are visible.
+const CASES: [(AccessScheme, AccessPattern); 6] = [
+    (AccessScheme::ReO, AccessPattern::Rectangle),
+    (AccessScheme::ReRo, AccessPattern::Rectangle),
+    (AccessScheme::ReRo, AccessPattern::Row),
+    (AccessScheme::RoCo, AccessPattern::Row),
+    (AccessScheme::ReCo, AccessPattern::Column),
+    (AccessScheme::ReTr, AccessPattern::TransposedRectangle),
+];
+
+fn bench_planned_vs_interpreted_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_read");
+    g.throughput(Throughput::Bytes(8 * 8));
+    for (scheme, pattern) in CASES {
+        for planned in [false, true] {
+            let mut m = mem(scheme, 2, 4);
+            m.set_planning(planned);
+            let mut out = vec![0u64; 8];
+            let mode = if planned { "planned" } else { "interp" };
+            g.bench_function(BenchmarkId::new(mode, format!("{scheme}/{pattern}")), |b| {
+                let mut pos = 0usize;
+                b.iter(|| {
+                    let access = ParallelAccess::new(pos % 8, pos % 8, pattern);
+                    m.read_into(0, black_box(access), &mut out).unwrap();
+                    pos += 1;
+                    out[0]
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_planned_vs_interpreted_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_write");
+    g.throughput(Throughput::Bytes(8 * 8));
+    let data: Vec<u64> = (0..8).collect();
+    for planned in [false, true] {
+        let mut m = mem(AccessScheme::RoCo, 2, 4);
+        m.set_planning(planned);
+        let mode = if planned { "planned" } else { "interp" };
+        g.bench_function(BenchmarkId::new(mode, "RoCo/row"), |b| {
+            let mut row = 0usize;
+            b.iter(|| {
+                m.write(ParallelAccess::row(black_box(row % 16), 0), &data)
+                    .unwrap();
+                row += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_hit_vs_miss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_cache");
+    g.throughput(Throughput::Elements(1));
+    // Hit: the steady state — every access replays an already-compiled plan.
+    {
+        let mut m = mem(AccessScheme::ReRo, 2, 4);
+        let mut out = vec![0u64; 8];
+        g.bench_function("hit", |b| {
+            let mut pos = 0usize;
+            b.iter(|| {
+                let access = ParallelAccess::row(pos % 8, 0);
+                m.read_into(0, black_box(access), &mut out).unwrap();
+                pos += 1;
+                out[0]
+            })
+        });
+    }
+    // Miss: flush the cache before each access, so every read pays AGU
+    // expansion + MAF/addressing evaluation + crossbar verification.
+    {
+        let mut m = mem(AccessScheme::ReRo, 2, 4);
+        let mut out = vec![0u64; 8];
+        g.bench_function("miss", |b| {
+            let mut pos = 0usize;
+            b.iter(|| {
+                m.clear_plans();
+                let access = ParallelAccess::row(pos % 8, 0);
+                m.read_into(0, black_box(access), &mut out).unwrap();
+                pos += 1;
+                out[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planned_vs_interpreted_read,
+    bench_planned_vs_interpreted_write,
+    bench_cache_hit_vs_miss
+);
+criterion_main!(benches);

@@ -18,7 +18,8 @@ fn bench_shuffle(c: &mut Criterion) {
                 let mut xb = Crossbar::new(route.len());
                 let mut out = vec![0u64; route.len()];
                 b.iter(|| {
-                    xb.scatter(black_box(vals), black_box(route), &mut out).unwrap();
+                    xb.scatter(black_box(vals), black_box(route), &mut out)
+                        .unwrap();
                     out[0]
                 })
             },

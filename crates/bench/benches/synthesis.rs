@@ -27,5 +27,10 @@ fn bench_fit_stats(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_synthesize_one, bench_full_dse, bench_fit_stats);
+criterion_group!(
+    benches,
+    bench_synthesize_one,
+    bench_full_dse,
+    bench_fit_stats
+);
 criterion_main!(benches);

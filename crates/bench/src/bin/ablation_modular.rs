@@ -3,8 +3,8 @@
 //! resources, mainly due to the additional inter-kernel communication
 //! infrastructure"; this ablation quantifies that trade-off across the grid.
 
-use fpga_model::{estimate_with_style, DesignStyle, FpgaDevice};
 use fpga_model::calibration::config_for;
+use fpga_model::{estimate_with_style, DesignStyle, FpgaDevice};
 use polymem::AccessScheme;
 use polymem_bench::{grid_label, render_table};
 
@@ -45,5 +45,8 @@ fn main() {
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     println!("Mean modular/fused slice ratio: {mean:.2} (paper: ~2x)");
     let lost = rows.iter().filter(|r| r[6] == "NO").count();
-    println!("Configurations that stop fitting when built modularly: {lost} / {}", rows.len());
+    println!(
+        "Configurations that stop fitting when built modularly: {lost} / {}",
+        rows.len()
+    );
 }

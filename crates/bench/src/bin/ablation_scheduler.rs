@@ -4,7 +4,9 @@
 
 use polymem::AccessScheme;
 use polymem_bench::render_table;
-use scheduler::{evaluate, solve_anneal, solve_exact, solve_greedy, AccessTrace, AnnealOptions, CoverInstance};
+use scheduler::{
+    evaluate, solve_anneal, solve_exact, solve_greedy, AccessTrace, AnnealOptions, CoverInstance,
+};
 
 /// Naive baseline: cover the trace's bounding box with aligned rectangles,
 /// ignoring the trace's sparsity and the scheme's multiview patterns.
@@ -51,18 +53,17 @@ fn main() {
         ),
         (
             "two diagonals",
-            AccessTrace::from_coords(
-                (0..8)
-                    .map(|k| (k, k))
-                    .chain((0..8).map(|k| (k + 8, k + 8))),
-            ),
+            AccessTrace::from_coords((0..8).map(|k| (k, k)).chain((0..8).map(|k| (k + 8, k + 8)))),
             AccessScheme::ReRo,
         ),
     ];
 
-    println!("Scheduler ablation: exact (ILP-equivalent) vs greedy vs naive tiling ({p}x{q} lanes)\n");
+    println!(
+        "Scheduler ablation: exact (ILP-equivalent) vs greedy vs naive tiling ({p}x{q} lanes)\n"
+    );
     let headers: Vec<String> = [
-        "Trace", "Scheme", "Elements", "Naive", "Greedy", "Anneal", "Exact", "Optimal?", "Speedup", "Eff.",
+        "Trace", "Scheme", "Elements", "Naive", "Greedy", "Anneal", "Exact", "Optimal?", "Speedup",
+        "Eff.",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -93,11 +94,18 @@ fn main() {
                 "inf".to_string()
             },
             exact.schedule.len().to_string(),
-            if exact.proved_optimal { "proven" } else { "budget" }.to_string(),
+            if exact.proved_optimal {
+                "proven"
+            } else {
+                "budget"
+            }
+            .to_string(),
             metrics.map_or("-".into(), |m| format!("{:.1}", m.speedup)),
             metrics.map_or("-".into(), |m| format!("{:.2}", m.efficiency)),
         ]);
     }
     println!("{}", render_table(&headers, &rows));
-    println!("Naive counts bounding-box tiles; greedy/anneal/exact exploit the multiview patterns.");
+    println!(
+        "Naive counts bounding-box tiles; greedy/anneal/exact exploit the multiview patterns."
+    );
 }

@@ -23,7 +23,13 @@ fn main() {
 
     let pts = explore(&grid, &FpgaDevice::VIRTEX6_SX475T);
     let headers: Vec<String> = [
-        "Config", "Scheme", "Feasible", "Fmax MHz", "Write GB/s", "Read GB/s", "Logic %",
+        "Config",
+        "Scheme",
+        "Feasible",
+        "Fmax MHz",
+        "Write GB/s",
+        "Read GB/s",
+        "Logic %",
         "BRAM %",
     ]
     .iter()
@@ -76,6 +82,9 @@ fn main() {
     }
     if let Some(bw) = best_by(&pts, |p| p.report.read_bandwidth_mbps) {
         println!("\nFull synthesis report of the bandwidth winner:\n");
-        println!("{}", fpga_model::render_report(&bw.report, &FpgaDevice::VIRTEX6_SX475T));
+        println!(
+            "{}",
+            fpga_model::render_report(&bw.report, &FpgaDevice::VIRTEX6_SX475T)
+        );
     }
 }

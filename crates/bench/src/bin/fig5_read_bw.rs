@@ -30,7 +30,9 @@ fn main() {
         best.scheme
     );
 
-    println!("\nPort scaling at 512 KB, 8 lanes (ReRo): paper sees good 1->2 scaling, diminishing 3->4:");
+    println!(
+        "\nPort scaling at 512 KB, 8 lanes (ReRo): paper sees good 1->2 scaling, diminishing 3->4:"
+    );
     let mut prev: Option<f64> = None;
     for ports in 1..=4usize {
         let bw = pts
@@ -43,7 +45,9 @@ fn main() {
             })
             .map(|p| p.report.read_bandwidth_gbps())
             .unwrap();
-        let gain = prev.map(|pv| format!(" (x{:.2} vs {} port)", bw / pv, ports - 1)).unwrap_or_default();
+        let gain = prev
+            .map(|pv| format!(" (x{:.2} vs {} port)", bw / pv, ports - 1))
+            .unwrap_or_default();
         println!("  {ports} port(s): {bw:>5.1} GB/s{gain}");
         prev = Some(bw);
     }

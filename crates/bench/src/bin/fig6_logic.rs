@@ -15,7 +15,9 @@ fn main() {
         .iter()
         .filter(|p| p.report.feasible)
         .map(|p| p.report.utilization.logic_pct)
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), u| (lo.min(u), hi.max(u)));
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), u| {
+            (lo.min(u), hi.max(u))
+        });
     println!("Feasible range: {min:.1}% .. {max:.1}%  (paper: 10.58% .. <38%)");
     println!("\nPaper anchors:");
     println!("  512KB/8L/1P ReO    10.58%   |   4096KB/8L/1P RoCo  13.05%");

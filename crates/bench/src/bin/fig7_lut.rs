@@ -15,6 +15,8 @@ fn main() {
         .iter()
         .filter(|p| p.report.feasible)
         .map(|p| p.report.utilization.lut_pct)
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), u| (lo.min(u), hi.max(u)));
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), u| {
+            (lo.min(u), hi.max(u))
+        });
     println!("Feasible range: {min:.1}% .. {max:.1}%  (paper: ~7% .. ~28%)");
 }

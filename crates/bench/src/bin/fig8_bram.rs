@@ -36,23 +36,31 @@ fn main() {
     println!("{}", render_table(&headers, &rows));
 
     // Confirm scheme-independence in the model itself.
-    let independent = fpga_model::TABLE4_COLUMNS.iter().all(|&(kb, lanes, ports)| {
-        let blocks: Vec<f64> = AccessScheme::ALL
-            .iter()
-            .map(|&s| {
-                pts.iter()
-                    .find(|p| {
-                        p.scheme == s && p.size_kb == kb && p.lanes == lanes && p.read_ports == ports
-                    })
-                    .unwrap()
-                    .report
-                    .resources
-                    .bram_blocks
-            })
-            .collect();
-        blocks.windows(2).all(|w| w[0] == w[1])
-    });
-    println!("Scheme-independence check: {}", if independent { "PASS" } else { "FAIL" });
+    let independent = fpga_model::TABLE4_COLUMNS
+        .iter()
+        .all(|&(kb, lanes, ports)| {
+            let blocks: Vec<f64> = AccessScheme::ALL
+                .iter()
+                .map(|&s| {
+                    pts.iter()
+                        .find(|p| {
+                            p.scheme == s
+                                && p.size_kb == kb
+                                && p.lanes == lanes
+                                && p.read_ports == ports
+                        })
+                        .unwrap()
+                        .report
+                        .resources
+                        .bram_blocks
+                })
+                .collect();
+            blocks.windows(2).all(|w| w[0] == w[1])
+        });
+    println!(
+        "Scheme-independence check: {}",
+        if independent { "PASS" } else { "FAIL" }
+    );
     println!("\nPaper anchors: 16.07% (512/8/1) | 19.31% (512/16/1) | 29.04% (512/8/2) | ~97% (2048/16/2)");
     assert!(independent);
 }

@@ -31,7 +31,9 @@ fn main() {
         // Reconstruct the (deterministic) issue/write trajectories: issue
         // ramps 1/cycle to `chunks`; writes follow `latency + 1` behind.
         let issued = c.min(chunks);
-        let written = c.saturating_sub(dfe_sim::PAPER_READ_LATENCY + 1).min(chunks);
+        let written = c
+            .saturating_sub(dfe_sim::PAPER_READ_LATENCY + 1)
+            .min(chunks);
         vcd.sample("chunks_issued", c, issued);
         vcd.sample("chunks_written", c, written);
         vcd.sample("pass_running", c, u64::from(written < chunks));

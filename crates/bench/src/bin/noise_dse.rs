@@ -48,7 +48,10 @@ fn main() {
     let clean = |scheme: AccessScheme, kb: usize, lanes: usize, ports: usize| {
         fpga_model::fmax_mhz(&config_for(kb, lanes, ports, scheme))
     };
-    println!("violations in the noise-free model:                        {}", violations(clean));
+    println!(
+        "violations in the noise-free model:                        {}",
+        violations(clean)
+    );
 
     // The jittered model across seeds.
     println!("\nwith deterministic +/-15% P&R jitter (calibrated to Table IV residuals):");

@@ -44,7 +44,12 @@ fn main() {
         pts.len()
     );
     let headers: Vec<String> = [
-        "Config", "Scheme", "Read GB/s", "Logic %", "BRAM %", "Fmax MHz",
+        "Config",
+        "Scheme",
+        "Read GB/s",
+        "Logic %",
+        "BRAM %",
+        "Fmax MHz",
     ]
     .iter()
     .map(|s| s.to_string())

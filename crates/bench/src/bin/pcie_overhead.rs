@@ -45,7 +45,10 @@ fn main() {
     println!("{}", render_table(&headers, &rows));
 
     // Bulk transfers: where bandwidth, not overhead, dominates.
-    println!("bulk transfer efficiency at {} GB/s link:", link.bandwidth_gbps);
+    println!(
+        "bulk transfer efficiency at {} GB/s link:",
+        link.bandwidth_gbps
+    );
     for kb in [1usize, 16, 256, 4096] {
         let bytes = kb * 1024;
         let t = link.call_time_ns(bytes);

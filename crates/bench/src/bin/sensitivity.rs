@@ -24,13 +24,21 @@ fn main() {
         ("t_lane", base.t_lane, |m, v| m.t_lane = v),
         ("t_route", base.t_route, |m, v| m.t_route = v),
         ("t_wire", base.t_wire, |m, v| m.t_wire = v),
-        ("wire_exponent", base.wire_exponent, |m, v| m.wire_exponent = v),
+        ("wire_exponent", base.wire_exponent, |m, v| {
+            m.wire_exponent = v
+        }),
     ];
 
-    let headers: Vec<String> = ["Constant", "Value", "-20% mean err", "+20% mean err", "Swing"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "Constant",
+        "Value",
+        "-20% mean err",
+        "+20% mean err",
+        "Swing",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     let mut swings: Vec<(String, f64)> = Vec::new();
     for (name, value, set) in params {
@@ -63,5 +71,8 @@ fn main() {
          capacity (BRAM spread), not crossbar logic, limits MAX-PolyMem's clock."
     );
     let top2: Vec<&str> = swings[..2].iter().map(|(n, _)| n.as_str()).collect();
-    assert!(top2.contains(&"t_route"), "routing must be a dominant term: {top2:?}");
+    assert!(
+        top2.contains(&"t_route"),
+        "routing must be a dominant term: {top2:?}"
+    );
 }

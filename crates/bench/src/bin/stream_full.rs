@@ -37,5 +37,7 @@ fn main() {
         println!("{}", StreamRow::from_timing(op, &timing).format());
     }
     println!("\nAll four kernels verified element-exact against the scalar reference.");
-    println!("(Copy/Scale peak: 15360 MB/s at 2 streams; Sum/Triad peak: 23040 MB/s at 3 streams.)");
+    println!(
+        "(Copy/Scale peak: 15360 MB/s at 2 streams; Sum/Triad peak: 23040 MB/s at 3 streams.)"
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
             polymem_bench::grid_label(kb, lanes, ports),
             format!("{:.0}", cell.paper_mhz),
             format!("{:.1}", cell.model_mhz),
-            format!("{:+.1}", 100.0 * (cell.model_mhz - cell.paper_mhz) / cell.paper_mhz),
+            format!(
+                "{:+.1}",
+                100.0 * (cell.model_mhz - cell.paper_mhz) / cell.paper_mhz
+            ),
         ]);
     }
     println!("{}", render_table(&headers, &rows));

@@ -108,7 +108,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["A".into(), "BBB".into()],
-            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -125,8 +128,7 @@ mod tests {
     #[test]
     fn scheme_table_covers_paper_grid() {
         let pts = fpga_model::explore_paper();
-        let (headers, rows) =
-            scheme_by_config_table(&pts, |p| format!("{:.0}", p.report.fmax_mhz));
+        let (headers, rows) = scheme_by_config_table(&pts, |p| format!("{:.0}", p.report.fmax_mhz));
         assert_eq!(headers.len(), 19); // Scheme + 18 configs
         assert_eq!(rows.len(), 5);
         assert!(rows.iter().all(|r| r.iter().skip(1).all(|c| c != "-")));

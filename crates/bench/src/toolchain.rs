@@ -10,7 +10,9 @@
 
 use fpga_model::{synthesize_vectis, SynthesisReport};
 use polymem::PolyMemConfig;
-use scheduler::{best, multiport_speedup, solve_exact, sweep, AccessTrace, CoverInstance, SweepOptions};
+use scheduler::{
+    best, multiport_speedup, solve_exact, sweep, AccessTrace, CoverInstance, SweepOptions,
+};
 use serde::{Deserialize, Serialize};
 
 /// Toolchain inputs.
@@ -78,7 +80,9 @@ pub fn recommend(req: &Requirements) -> Result<Recommendation, ToolchainError> {
     let opts = SweepOptions::default();
     let results = sweep(&req.trace, req.trace.rows(), req.trace.cols(), &opts);
     let winner = best(&results).ok_or(ToolchainError::Unservable)?;
-    let metrics = winner.metrics.expect("best() only returns servable configs");
+    let metrics = winner
+        .metrics
+        .expect("best() only returns servable configs");
 
     let config = PolyMemConfig::from_capacity(
         req.capacity_bytes,
@@ -98,7 +102,14 @@ pub fn recommend(req: &Requirements) -> Result<Recommendation, ToolchainError> {
     // Multi-port speedup: re-derive the schedule once at the chosen geometry.
     let rows = req.trace.rows().next_multiple_of(winner.p).max(winner.p);
     let cols = req.trace.cols().next_multiple_of(winner.q).max(winner.q);
-    let inst = CoverInstance::build(req.trace.clone(), winner.scheme, winner.p, winner.q, rows, cols);
+    let inst = CoverInstance::build(
+        req.trace.clone(),
+        winner.scheme,
+        winner.p,
+        winner.q,
+        rows,
+        cols,
+    );
     let exact = solve_exact(&inst, opts.node_budget);
     let mp_speedup = multiport_speedup(req.trace.len(), &exact.schedule, req.read_ports)
         .unwrap_or(metrics.speedup);
@@ -156,7 +167,12 @@ mod tests {
             read_ports: 2,
         })
         .unwrap();
-        assert!(two.speedup > 1.4 * one.speedup, "{} vs {}", two.speedup, one.speedup);
+        assert!(
+            two.speedup > 1.4 * one.speedup,
+            "{} vs {}",
+            two.speedup,
+            one.speedup
+        );
     }
 
     #[test]

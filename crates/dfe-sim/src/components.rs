@@ -205,7 +205,11 @@ mod tests {
     fn generator_to_sink() {
         let s = stream::<u64>("s", 8);
         let mut m = Manager::new(100.0);
-        m.add_kernel(Box::new(Generator::new("gen", vec![1, 2, 3], Rc::clone(&s))));
+        m.add_kernel(Box::new(Generator::new(
+            "gen",
+            vec![1, 2, 3],
+            Rc::clone(&s),
+        )));
         let sink_stream = Rc::clone(&s);
         let mut sink = Sink::new("sink", sink_stream);
         for c in 0..10 {
@@ -239,7 +243,12 @@ mod tests {
         let sel = select(0);
         a.borrow_mut().push(10);
         b.borrow_mut().push(20);
-        let mut mux = Mux::new("mux", vec![Rc::clone(&a), Rc::clone(&b)], Rc::clone(&out), Rc::clone(&sel));
+        let mut mux = Mux::new(
+            "mux",
+            vec![Rc::clone(&a), Rc::clone(&b)],
+            Rc::clone(&out),
+            Rc::clone(&sel),
+        );
         mux.tick(0);
         assert_eq!(out.borrow_mut().pop(), Some(10));
         sel.set(1);
@@ -256,7 +265,12 @@ mod tests {
         let sel = select(1);
         input.borrow_mut().push(7);
         input.borrow_mut().push(8);
-        let mut d = Demux::new("demux", Rc::clone(&input), vec![Rc::clone(&x), Rc::clone(&y)], Rc::clone(&sel));
+        let mut d = Demux::new(
+            "demux",
+            Rc::clone(&input),
+            vec![Rc::clone(&x), Rc::clone(&y)],
+            Rc::clone(&sel),
+        );
         d.tick(0);
         sel.set(0);
         d.tick(1);
@@ -274,8 +288,16 @@ mod tests {
         let to_mem = stream::<u64>("to_mem", 8);
         let sel = select(0);
         let mut m = Manager::new(100.0);
-        m.add_kernel(Box::new(Generator::new("host", vec![1, 2], Rc::clone(&host_in))));
-        m.add_kernel(Box::new(Generator::new("fb", vec![100, 200], Rc::clone(&feedback))));
+        m.add_kernel(Box::new(Generator::new(
+            "host",
+            vec![1, 2],
+            Rc::clone(&host_in),
+        )));
+        m.add_kernel(Box::new(Generator::new(
+            "fb",
+            vec![100, 200],
+            Rc::clone(&feedback),
+        )));
         m.add_kernel(Box::new(Mux::new(
             "write-mux",
             vec![host_in, feedback],

@@ -97,7 +97,9 @@ impl Dram {
         for (k, &w) in words.iter().enumerate() {
             let a = addr + k;
             let (page, off) = (a / WORDS_PER_PAGE, a % WORDS_PER_PAGE);
-            self.data.entry(page).or_insert_with(|| vec![0; WORDS_PER_PAGE])[off] = w;
+            self.data
+                .entry(page)
+                .or_insert_with(|| vec![0; WORDS_PER_PAGE])[off] = w;
         }
         let t = self.access_time_ns(words.len() * 8);
         self.bytes_written += (words.len() * 8) as u64;

@@ -29,7 +29,10 @@ pub struct FnKernel<F: FnMut(u64)> {
 impl<F: FnMut(u64)> FnKernel<F> {
     /// Wrap a closure as a kernel.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f }
+        Self {
+            name: name.into(),
+            f,
+        }
     }
 }
 

@@ -41,7 +41,9 @@ pub use kernel::{DelayLine, FnKernel, Kernel};
 pub use lmem_stream::{AccessCostModel, DramLoader};
 pub use manager::Manager;
 pub use pcie::{Host, HostStats, PcieLink};
-pub use polymem_kernel::{PolyMemKernel, ReadRequest, ReadResponse, WriteRequest, PAPER_READ_LATENCY};
+pub use polymem_kernel::{
+    PolyMemKernel, ReadRequest, ReadResponse, WriteRequest, PAPER_READ_LATENCY,
+};
 pub use stream::{stream, Fifo, StreamRef};
 pub use trace::{stream_report, stream_stats, StreamStats, TraceEvent, Tracer};
 pub use vcd::VcdRecorder;

@@ -173,8 +173,7 @@ mod tests {
         let rq = vec![stream("rq", 8)];
         let rs = vec![stream("rs", 8)];
         let wq = stream("wq", 8);
-        let mut pm =
-            PolyMemKernel::new("pm", cfg, 0, rq, rs, Rc::clone(&wq)).unwrap();
+        let mut pm = PolyMemKernel::new("pm", cfg, 0, rq, rs, Rc::clone(&wq)).unwrap();
         let clock = SimClock::new(120.0);
         let dst: Vec<ParallelAccess> = (0..8).map(|r| ParallelAccess::row(r, 0)).collect();
         let mut loader = DramLoader::new("lmem", dram, 1000, dst, 8, &clock, wq);
@@ -234,7 +233,10 @@ mod tests {
         // A random 64-byte DRAM access pays ~225 ns; PolyMem pays 8.3 ns.
         assert!(model.dram_access_ns > 20.0 * model.polymem_access_ns);
         let be = model.breakeven_reuses();
-        assert!((1..5).contains(&be), "staging should pay off almost immediately, breakeven {be}");
+        assert!(
+            (1..5).contains(&be),
+            "staging should pay off almost immediately, breakeven {be}"
+        );
         // Caching wins at any reuse >= breakeven.
         assert!(model.cached_total_ns(be + 1) < model.dram_total_ns(be + 1));
         // Single-touch streaming (reuse = 0 extra) should NOT favour caching

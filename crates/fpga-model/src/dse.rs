@@ -160,9 +160,7 @@ mod tests {
         // Paper contribution: "allowing the instantiation of a 4MB parallel
         // memory on the Maxeler Vectis DFE".
         let pts = explore_paper();
-        assert!(pts
-            .iter()
-            .any(|p| p.size_kb == 4096 && p.report.feasible));
+        assert!(pts.iter().any(|p| p.size_kb == 4096 && p.report.feasible));
     }
 
     #[test]
@@ -172,6 +170,10 @@ mod tests {
         assert!(!l32.is_empty());
         // 32-lane designs are wiring-monsters; most should be infeasible.
         let feas = l32.iter().filter(|p| p.report.feasible).count();
-        assert!(feas < l32.len() / 2, "{feas}/{} 32-lane points feasible", l32.len());
+        assert!(
+            feas < l32.len() / 2,
+            "{feas}/{} 32-lane points feasible",
+            l32.len()
+        );
     }
 }

@@ -35,7 +35,9 @@ pub mod timing;
 pub use calibration::{fit_stats, FitStats, PAPER_TABLE4, TABLE4_COLUMNS};
 pub use device::FpgaDevice;
 pub use dse::{best_by, explore, explore_paper, DseGrid, DsePoint};
-pub use resources::{estimate, estimate_with_style, DesignStyle, ResourceEstimate, Utilization};
 pub use report::render as render_report;
+pub use resources::{estimate, estimate_with_style, DesignStyle, ResourceEstimate, Utilization};
 pub use synthesis::{synthesize, synthesize_vectis, SynthesisReport};
-pub use timing::{critical_path_ns, critical_path_ns_on, fmax_mhz, fmax_mhz_noisy, fmax_mhz_on, CriticalPathModel};
+pub use timing::{
+    critical_path_ns, critical_path_ns_on, fmax_mhz, fmax_mhz_noisy, fmax_mhz_on, CriticalPathModel,
+};

@@ -11,9 +11,15 @@ pub fn render(report: &SynthesisReport, device: &FpgaDevice) -> String {
     let res = &report.resources;
     let u = &report.utilization;
     let mut s = String::new();
-    let _ = writeln!(s, "================================================================");
+    let _ = writeln!(
+        s,
+        "================================================================"
+    );
     let _ = writeln!(s, " PolyMem synthesis report — {}", device.name);
-    let _ = writeln!(s, "================================================================");
+    let _ = writeln!(
+        s,
+        "================================================================"
+    );
     let _ = writeln!(
         s,
         " design      : {} scheme, {}x{} banks ({} lanes), {} read port(s)",
@@ -31,18 +37,43 @@ pub fn render(report: &SynthesisReport, device: &FpgaDevice) -> String {
         cfg.cols,
         cfg.element_bytes
     );
-    let _ = writeln!(s, " status      : {}", if report.feasible { "ROUTED" } else { "FAILED (over capacity)" });
-    let _ = writeln!(s, " clock       : {:.1} MHz ({:.2} ns critical path)", report.fmax_mhz, 1000.0 / report.fmax_mhz);
-    let _ = writeln!(s, "----------------------------------------------------------------");
+    let _ = writeln!(
+        s,
+        " status      : {}",
+        if report.feasible {
+            "ROUTED"
+        } else {
+            "FAILED (over capacity)"
+        }
+    );
+    let _ = writeln!(
+        s,
+        " clock       : {:.1} MHz ({:.2} ns critical path)",
+        report.fmax_mhz,
+        1000.0 / report.fmax_mhz
+    );
+    let _ = writeln!(
+        s,
+        "----------------------------------------------------------------"
+    );
     let _ = writeln!(s, " resource          used        avail      util");
     let row = |s: &mut String, name: &str, used: f64, avail: usize, pct: f64| {
         let _ = writeln!(s, " {name:<14} {used:>9.0} {avail:>12} {pct:>8.2}%");
     };
     row(&mut s, "slices", res.slices, device.slices, u.logic_pct);
     row(&mut s, "LUT6", res.luts, device.luts, u.lut_pct);
-    row(&mut s, "flip-flops", res.flip_flops, device.flip_flops, u.ff_pct);
+    row(
+        &mut s,
+        "flip-flops",
+        res.flip_flops,
+        device.flip_flops,
+        u.ff_pct,
+    );
     row(&mut s, "BRAM36", res.bram_blocks, device.bram36, u.bram_pct);
-    let _ = writeln!(s, "----------------------------------------------------------------");
+    let _ = writeln!(
+        s,
+        "----------------------------------------------------------------"
+    );
     let _ = writeln!(s, " slice breakdown:");
     let b = &res.breakdown;
     for (name, v) in [
@@ -52,9 +83,16 @@ pub fn render(report: &SynthesisReport, device: &FpgaDevice) -> String {
         ("BRAM glue", b.bram_glue),
         ("AGU + MAF", b.agu_maf),
     ] {
-        let _ = writeln!(s, "   {name:<16} {v:>9.0}  ({:>5.1}%)", 100.0 * v / b.total());
+        let _ = writeln!(
+            s,
+            "   {name:<16} {v:>9.0}  ({:>5.1}%)",
+            100.0 * v / b.total()
+        );
     }
-    let _ = writeln!(s, "----------------------------------------------------------------");
+    let _ = writeln!(
+        s,
+        "----------------------------------------------------------------"
+    );
     let _ = writeln!(
         s,
         " bandwidth   : write {:.1} GB/s | read (aggregate) {:.1} GB/s | total {:.1} GB/s",
@@ -95,10 +133,16 @@ mod tests {
     fn breakdown_percentages_sum_to_100() {
         let rep = synthesize_vectis(&config_for(1024, 16, 2, AccessScheme::RoCo));
         let b = rep.resources.breakdown;
-        let sum = [b.infrastructure, b.crossbars, b.port_control, b.bram_glue, b.agu_maf]
-            .iter()
-            .map(|v| 100.0 * v / b.total())
-            .sum::<f64>();
+        let sum = [
+            b.infrastructure,
+            b.crossbars,
+            b.port_control,
+            b.bram_glue,
+            b.agu_maf,
+        ]
+        .iter()
+        .map(|v| 100.0 * v / b.total())
+        .sum::<f64>();
         assert!((sum - 100.0).abs() < 1e-9);
     }
 }

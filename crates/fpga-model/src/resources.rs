@@ -323,14 +323,22 @@ mod tests {
         let small = estimate(&cfg(512, 8, 1, AccessScheme::ReO)).utilization(&DEV);
         let large = estimate(&cfg(4096, 8, 1, AccessScheme::RoCo)).utilization(&DEV);
         assert!(large.logic_pct - small.logic_pct < 3.5);
-        assert!((large.logic_pct - 13.05).abs() < 0.7, "got {}", large.logic_pct);
+        assert!(
+            (large.logic_pct - 13.05).abs() < 0.7,
+            "got {}",
+            large.logic_pct
+        );
     }
 
     #[test]
     fn supra_linear_lane_scaling() {
         let l8 = estimate(&cfg(512, 8, 1, AccessScheme::ReRo)).slices;
         let l16 = estimate(&cfg(512, 16, 1, AccessScheme::ReRo)).slices;
-        assert!(l16 / l8 > 2.0, "lane doubling must be supra-linear: {}", l16 / l8);
+        assert!(
+            l16 / l8 > 2.0,
+            "lane doubling must be supra-linear: {}",
+            l16 / l8
+        );
     }
 
     #[test]
@@ -339,7 +347,11 @@ mod tests {
         let lo = estimate(&cfg(512, 8, 1, AccessScheme::ReO)).utilization(&DEV);
         let hi = estimate(&cfg(2048, 16, 2, AccessScheme::ReRo)).utilization(&DEV);
         assert!(lo.lut_pct > 6.0 && lo.lut_pct < 9.0, "low {}", lo.lut_pct);
-        assert!(hi.lut_pct > 24.0 && hi.lut_pct < 30.0, "high {}", hi.lut_pct);
+        assert!(
+            hi.lut_pct > 24.0 && hi.lut_pct < 30.0,
+            "high {}",
+            hi.lut_pct
+        );
     }
 
     #[test]
@@ -358,12 +370,22 @@ mod tests {
             }
         }
         let expect = vec![
-            (512, 8, 1), (512, 8, 2), (512, 8, 3), (512, 8, 4),
-            (512, 16, 1), (512, 16, 2),
-            (1024, 8, 1), (1024, 8, 2), (1024, 8, 3), (1024, 8, 4),
-            (1024, 16, 1), (1024, 16, 2),
-            (2048, 8, 1), (2048, 8, 2),
-            (2048, 16, 1), (2048, 16, 2),
+            (512, 8, 1),
+            (512, 8, 2),
+            (512, 8, 3),
+            (512, 8, 4),
+            (512, 16, 1),
+            (512, 16, 2),
+            (1024, 8, 1),
+            (1024, 8, 2),
+            (1024, 8, 3),
+            (1024, 8, 4),
+            (1024, 16, 1),
+            (1024, 16, 2),
+            (2048, 8, 1),
+            (2048, 8, 2),
+            (2048, 16, 1),
+            (2048, 16, 2),
             (4096, 8, 1),
             (4096, 16, 1),
         ];
@@ -390,7 +412,10 @@ mod tests {
             }
         }
         assert!(max < 38.0, "max feasible logic {max}");
-        assert!(max > 30.0, "densest design should be wiring-heavy, got {max}");
+        assert!(
+            max > 30.0,
+            "densest design should be wiring-heavy, got {max}"
+        );
     }
 
     #[test]

@@ -139,9 +139,7 @@ mod tests {
     fn aggregate_is_read_plus_write() {
         let r = synthesize_vectis(&config_for(512, 8, 2, AccessScheme::RoCo));
         assert!(
-            (r.aggregate_bandwidth_mbps()
-                - (r.read_bandwidth_mbps + r.write_bandwidth_mbps))
-                .abs()
+            (r.aggregate_bandwidth_mbps() - (r.read_bandwidth_mbps + r.write_bandwidth_mbps)).abs()
                 < 1e-9
         );
     }

@@ -29,52 +29,22 @@ impl Agu {
         self.p * self.q
     }
 
-    /// Expand `access` into per-lane coordinates, appended to `out` (which is
-    /// cleared first). Allocation-free when `out` has capacity for
-    /// [`Self::lanes`] entries; callers on the hot path reuse one buffer.
+    /// Bounds-check `access` without expanding coordinates.
     ///
     /// Returns [`PolyMemError::OutOfBounds`] if any element of the pattern
     /// falls outside the logical space (including the leftward reach of a
-    /// secondary diagonal).
-    pub fn expand_into(&self, access: ParallelAccess, out: &mut Vec<(usize, usize)>) -> Result<()> {
-        out.clear();
+    /// secondary diagonal). This is the whole per-access guard of the
+    /// compiled-plan path, where routing is replayed from a cached plan and
+    /// the coordinates themselves are never materialised.
+    pub fn check_bounds(&self, access: ParallelAccess) -> Result<()> {
         let n = self.lanes();
         let (i0, j0) = (access.i, access.j);
         match access.pattern {
-            AccessPattern::Rectangle => {
-                self.check_extent(i0, j0, self.p, self.q)?;
-                for a in 0..self.p {
-                    for b in 0..self.q {
-                        out.push((i0 + a, j0 + b));
-                    }
-                }
-            }
-            AccessPattern::TransposedRectangle => {
-                self.check_extent(i0, j0, self.q, self.p)?;
-                for a in 0..self.q {
-                    for b in 0..self.p {
-                        out.push((i0 + a, j0 + b));
-                    }
-                }
-            }
-            AccessPattern::Row => {
-                self.check_extent(i0, j0, 1, n)?;
-                for k in 0..n {
-                    out.push((i0, j0 + k));
-                }
-            }
-            AccessPattern::Column => {
-                self.check_extent(i0, j0, n, 1)?;
-                for k in 0..n {
-                    out.push((i0 + k, j0));
-                }
-            }
-            AccessPattern::MainDiagonal => {
-                self.check_extent(i0, j0, n, n)?;
-                for k in 0..n {
-                    out.push((i0 + k, j0 + k));
-                }
-            }
+            AccessPattern::Rectangle => self.check_extent(i0, j0, self.p, self.q),
+            AccessPattern::TransposedRectangle => self.check_extent(i0, j0, self.q, self.p),
+            AccessPattern::Row => self.check_extent(i0, j0, 1, n),
+            AccessPattern::Column => self.check_extent(i0, j0, n, 1),
+            AccessPattern::MainDiagonal => self.check_extent(i0, j0, n, n),
             AccessPattern::SecondaryDiagonal => {
                 // Origin is the top-right element; lanes walk down-left.
                 if j0 + 1 < n {
@@ -85,7 +55,52 @@ impl Agu {
                         cols: self.cols,
                     });
                 }
-                self.check_extent(i0, j0 + 1 - n, n, n)?;
+                self.check_extent(i0, j0 + 1 - n, n, n)
+            }
+        }
+    }
+
+    /// Expand `access` into per-lane coordinates, appended to `out` (which is
+    /// cleared first). Allocation-free when `out` has capacity for
+    /// [`Self::lanes`] entries; callers on the hot path reuse one buffer.
+    ///
+    /// Bounds are checked up front via [`Self::check_bounds`].
+    pub fn expand_into(&self, access: ParallelAccess, out: &mut Vec<(usize, usize)>) -> Result<()> {
+        self.check_bounds(access)?;
+        out.clear();
+        let n = self.lanes();
+        let (i0, j0) = (access.i, access.j);
+        match access.pattern {
+            AccessPattern::Rectangle => {
+                for a in 0..self.p {
+                    for b in 0..self.q {
+                        out.push((i0 + a, j0 + b));
+                    }
+                }
+            }
+            AccessPattern::TransposedRectangle => {
+                for a in 0..self.q {
+                    for b in 0..self.p {
+                        out.push((i0 + a, j0 + b));
+                    }
+                }
+            }
+            AccessPattern::Row => {
+                for k in 0..n {
+                    out.push((i0, j0 + k));
+                }
+            }
+            AccessPattern::Column => {
+                for k in 0..n {
+                    out.push((i0 + k, j0));
+                }
+            }
+            AccessPattern::MainDiagonal => {
+                for k in 0..n {
+                    out.push((i0 + k, j0 + k));
+                }
+            }
+            AccessPattern::SecondaryDiagonal => {
                 for k in 0..n {
                     out.push((i0 + k, j0 - k));
                 }
@@ -197,6 +212,23 @@ mod tests {
         agu.expand_into(PA::rect(2, 4), &mut buf).unwrap();
         assert_eq!(ptr, buf.as_ptr(), "no reallocation on reuse");
         assert_eq!(buf[0], (2, 4));
+    }
+
+    #[test]
+    fn check_bounds_agrees_with_expand() {
+        let agu = agu();
+        for pattern in AccessPattern::ALL {
+            for i in 0..10 {
+                for j in 0..18 {
+                    let a = PA::new(i, j, pattern);
+                    assert_eq!(
+                        agu.check_bounds(a).is_ok(),
+                        agu.expand(a).is_ok(),
+                        "{pattern} at ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

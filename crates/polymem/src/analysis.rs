@@ -122,7 +122,10 @@ mod tests {
         );
         assert_eq!(ranked[0].1.cycles_needed, 1);
         // ReO and ReRo must be strictly worse.
-        let reo = ranked.iter().find(|(s, _)| *s == AccessScheme::ReO).unwrap();
+        let reo = ranked
+            .iter()
+            .find(|(s, _)| *s == AccessScheme::ReO)
+            .unwrap();
         assert!(reo.1.cycles_needed > 1);
     }
 

@@ -102,6 +102,19 @@ impl<T: Copy + Default> BankArray<T> {
     pub fn bank_slice(&self, bank: usize) -> &[T] {
         &self.data[bank * self.depth..(bank + 1) * self.depth]
     }
+
+    /// Bank-major flat view of the whole storage (element `a` of bank `b`
+    /// is `flat()[b * depth + a]`) — the gather surface of compiled plans.
+    #[inline]
+    pub(crate) fn flat(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable bank-major flat view — the scatter surface of compiled plans.
+    #[inline]
+    pub(crate) fn flat_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
 }
 
 #[cfg(test)]

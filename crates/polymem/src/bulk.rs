@@ -15,7 +15,7 @@ use crate::config::PolyMemConfig;
 use crate::error::{PolyMemError, Result};
 use crate::mem::PolyMem;
 use crate::region::Region;
-use crate::scheme::AccessScheme;
+use crate::scheme::{AccessScheme, ParallelAccess};
 
 impl<T: Copy + Default> PolyMem<T> {
     /// Read a whole region through parallel accesses, in the region's
@@ -34,7 +34,9 @@ impl<T: Copy + Default> PolyMem<T> {
         // The per-access lane order concatenated is not necessarily the
         // region's canonical order for Block regions (accesses walk tiles);
         // reorder via coordinates.
-        Ok(reorder_to_region_order(region, &accesses, cfg.p, cfg.q, flat))
+        Ok(reorder_to_region_order(
+            region, &accesses, cfg.p, cfg.q, flat,
+        ))
     }
 
     /// Write a whole region (values in the region's canonical order).
@@ -90,12 +92,26 @@ impl<T: Copy + Default> PolyMem<T> {
     /// element. This models the paper's "runtime partial reconfiguration":
     /// the logical content is unchanged, the conflict-free pattern set
     /// switches to the new scheme's.
-    pub fn convert_scheme(&self, scheme: AccessScheme) -> Result<PolyMem<T>> {
+    ///
+    /// The transfer walks aligned `p x q` rectangle tiles, which every
+    /// scheme serves conflict-free (Table I; RoCo needs alignment, which
+    /// tile origins satisfy by construction). All tiles share one residue
+    /// class, so each side compiles exactly one access plan and the copy
+    /// degenerates to a gather/scatter per tile.
+    pub fn convert_scheme(&mut self, scheme: AccessScheme) -> Result<PolyMem<T>> {
         let mut cfg: PolyMemConfig = *self.config();
         cfg.scheme = scheme;
         cfg.validate()?;
         let mut out = PolyMem::new(cfg)?;
-        out.load_row_major(&self.dump_row_major())?;
+        let (p, q) = (cfg.p, cfg.q);
+        let mut buf = vec![T::default(); cfg.lanes()];
+        for ti in (0..cfg.rows).step_by(p) {
+            for tj in (0..cfg.cols).step_by(q) {
+                let tile = ParallelAccess::rect(ti, tj);
+                self.read_into(0, tile, &mut buf)?;
+                out.write(tile, &buf)?;
+            }
+        }
         Ok(out)
     }
 }
@@ -159,7 +175,11 @@ mod tests {
         let mut m = mem(AccessScheme::ReO);
         let r = Region::new("b", 2, 4, RegionShape::Block { rows: 4, cols: 8 });
         let vals = m.read_region(0, &r).unwrap();
-        let want: Vec<u64> = r.coords().iter().map(|&(i, j)| (i * 16 + j) as u64).collect();
+        let want: Vec<u64> = r
+            .coords()
+            .iter()
+            .map(|&(i, j)| (i * 16 + j) as u64)
+            .collect();
         assert_eq!(vals, want);
     }
 
@@ -226,7 +246,7 @@ mod tests {
 
     #[test]
     fn convert_scheme_all_pairs_identity() {
-        let base = mem(AccessScheme::ReO);
+        let mut base = mem(AccessScheme::ReO);
         let snapshot = base.dump_row_major();
         for scheme in AccessScheme::ALL {
             let converted = base.convert_scheme(scheme).unwrap();

@@ -20,8 +20,11 @@ use crate::agu::Agu;
 use crate::config::PolyMemConfig;
 use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
+use crate::plan::{AccessPlan, PlanCache, PlanCacheStats};
 use crate::scheme::ParallelAccess;
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A PolyMem whose ports can be driven from multiple threads through `&self`.
 #[derive(Debug)]
@@ -31,6 +34,10 @@ pub struct ConcurrentPolyMem<T> {
     afn: AddressingFunction,
     agu: Agu,
     banks: Vec<RwLock<Vec<T>>>,
+    /// Shared compiled-plan cache: ports take the read lock on the hot path
+    /// and the write lock only to install a newly compiled class.
+    plans: RwLock<PlanCache>,
+    planning: AtomicBool,
 }
 
 impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
@@ -47,12 +54,44 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             afn: AddressingFunction::new(config.p, config.q, config.rows, config.cols),
             agu: Agu::new(config.p, config.q, config.rows, config.cols),
             banks,
+            plans: RwLock::new(PlanCache::new(config.lanes(), depth)),
+            planning: AtomicBool::new(true),
         })
     }
 
     /// The configuration.
     pub fn config(&self) -> &PolyMemConfig {
         &self.config
+    }
+
+    /// Enable or disable the compiled-plan fast path (enabled by default).
+    /// Callable from any thread; in-flight accesses finish on the path they
+    /// started on.
+    pub fn set_planning(&self, enabled: bool) {
+        self.planning.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether accesses go through compiled plans.
+    #[inline]
+    pub fn planning(&self) -> bool {
+        self.planning.load(Ordering::Relaxed)
+    }
+
+    /// Activity counters of the shared plan cache.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.read().stats()
+    }
+
+    /// The compiled plan for `access`'s residue class: read-lock lookup
+    /// first, write-lock compile on miss. Callers bounds-check separately.
+    fn plan_for(&self, access: ParallelAccess) -> Result<Arc<AccessPlan>> {
+        if let Some(plan) = self.plans.read().lookup(access) {
+            return Ok(plan);
+        }
+        self.plans
+            .write()
+            .get_or_compile(access, &self.agu, &self.maf, &self.afn)
+            .map(Arc::clone)
     }
 
     fn check_access(&self, access: ParallelAccess) -> Result<()> {
@@ -63,7 +102,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
                 pattern: access.pattern,
             });
         }
-        if scheme.requires_alignment(access.pattern) && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q)) {
+        if scheme.requires_alignment(access.pattern)
+            && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q))
+        {
             return Err(PolyMemError::Misaligned {
                 scheme,
                 pattern: access.pattern,
@@ -78,6 +119,16 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
     /// threads.
     pub fn read(&self, access: ParallelAccess) -> Result<Vec<T>> {
         self.check_access(access)?;
+        if self.planning() {
+            self.agu.check_bounds(access)?;
+            let plan = self.plan_for(access)?;
+            let base = self.afn.address(access.i, access.j) as isize;
+            let mut out = Vec::with_capacity(plan.lanes());
+            for (&bank, &delta) in plan.banks.iter().zip(&plan.deltas) {
+                out.push(self.banks[bank as usize].read()[(base + delta) as usize]);
+            }
+            return Ok(out);
+        }
         let coords = self.agu.expand(access)?;
         let mut out = Vec::with_capacity(coords.len());
         for (i, j) in coords {
@@ -99,6 +150,15 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             });
         }
         self.check_access(access)?;
+        if self.planning() {
+            self.agu.check_bounds(access)?;
+            let plan = self.plan_for(access)?;
+            let base = self.afn.address(access.i, access.j) as isize;
+            for ((&bank, &delta), &v) in plan.banks.iter().zip(&plan.deltas).zip(data) {
+                self.banks[bank as usize].write()[(base + delta) as usize] = v;
+            }
+            return Ok(());
+        }
         let coords = self.agu.expand(access)?;
         for ((i, j), &v) in coords.into_iter().zip(data) {
             let bank = self.maf.assign_linear(i, j);
@@ -238,6 +298,40 @@ mod tests {
     }
 
     #[test]
+    fn planned_path_matches_interpreted() {
+        let m = mem();
+        for r in 0..16usize {
+            for c in 0..16usize {
+                m.set(r, c, (r * 16 + c) as u64).unwrap();
+            }
+        }
+        let accesses = [
+            PA::row(3, 8),
+            PA::col(5, 9),
+            PA::rect(2, 8),
+            PA::rect(14, 8),
+        ];
+        for a in accesses {
+            let planned = m.read(a).unwrap();
+            m.set_planning(false);
+            let interpreted = m.read(a).unwrap();
+            m.set_planning(true);
+            assert_eq!(planned, interpreted, "{:?}", a.pattern);
+        }
+        let stats = m.plan_stats();
+        assert!(
+            stats.misses >= 3,
+            "each residue class compiles once: {stats:?}"
+        );
+        // Planned writes land where interpreted reads expect them.
+        let vals: Vec<u64> = (900..908).collect();
+        m.write(PA::row(7, 0), &vals).unwrap();
+        m.set_planning(false);
+        assert_eq!(m.read(PA::row(7, 0)).unwrap(), vals);
+        m.set_planning(true);
+    }
+
+    #[test]
     fn scalar_access_and_bounds() {
         let m = mem();
         m.set(5, 5, 42).unwrap();
@@ -249,7 +343,9 @@ mod tests {
     #[test]
     fn scheme_checks_apply() {
         let m = mem(); // RoCo
-        assert!(m.read(PA::new(0, 0, crate::scheme::AccessPattern::MainDiagonal)).is_err());
+        assert!(m
+            .read(PA::new(0, 0, crate::scheme::AccessPattern::MainDiagonal))
+            .is_err());
         assert!(m.read(PA::rect(1, 1)).is_err()); // misaligned RoCo rect
         assert!(m.read(PA::rect(2, 4)).is_ok());
     }

@@ -130,7 +130,10 @@ impl PolyMemConfig {
         if self.element_bytes == 0 {
             return fail("element width must be positive".into());
         }
-        if self.scheme == AccessScheme::ReTr && !self.p.is_multiple_of(self.q) && !self.q.is_multiple_of(self.p) {
+        if self.scheme == AccessScheme::ReTr
+            && !self.p.is_multiple_of(self.q)
+            && !self.q.is_multiple_of(self.p)
+        {
             return fail(format!(
                 "ReTr requires p | q or q | p, got {} x {}",
                 self.p, self.q

@@ -146,7 +146,8 @@ mod tests {
 
     #[test]
     fn error_trait_object_works() {
-        let e: Box<dyn std::error::Error> = Box::new(PolyMemError::InvalidPort { port: 4, ports: 2 });
+        let e: Box<dyn std::error::Error> =
+            Box::new(PolyMemError::InvalidPort { port: 4, ports: 2 });
         assert!(e.to_string().contains("port 4"));
     }
 }

@@ -100,9 +100,9 @@ pub fn from_image(mut image: Bytes) -> Result<PolyMem<u64>> {
             "payload count {count} inconsistent with {rows}x{cols}"
         )));
     }
-    let payload_bytes = count.checked_mul(8).ok_or_else(|| fail(format!(
-        "payload count {count} overflows"
-    )))?;
+    let payload_bytes = count
+        .checked_mul(8)
+        .ok_or_else(|| fail(format!("payload count {count} overflows")))?;
     if image.remaining() != payload_bytes {
         return Err(fail(format!(
             "payload truncated: {} bytes, expected {}",

@@ -39,6 +39,7 @@
 //! | Shuffles (crossbars) | [`shuffle`] |
 //! | Memory banks | [`banks`] |
 //! | ports / façade | [`mem`], [`concurrent`] |
+//! | compiled access plans (routing cache) | [`plan`] |
 //! | access schemes & patterns (Table I, Fig. 2) | [`scheme`], [`region`] |
 //! | conflict-freedom theorems | [`theory`] |
 //!
@@ -51,8 +52,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addressing;
-pub mod analysis;
 pub mod agu;
+pub mod analysis;
 pub mod banded;
 pub mod banks;
 pub mod bulk;
@@ -63,14 +64,15 @@ pub mod image;
 pub mod maf;
 pub mod matrix;
 pub mod mem;
+pub mod plan;
 pub mod region;
 pub mod scheme;
 pub mod shuffle;
 pub mod theory;
 
 pub use addressing::AddressingFunction;
-pub use analysis::{analyse, bank_heatmap, rank_schemes, ConflictReport};
 pub use agu::Agu;
+pub use analysis::{analyse, bank_heatmap, rank_schemes, ConflictReport};
 pub use banded::BandedMatrix;
 pub use banks::BankArray;
 pub use concurrent::ConcurrentPolyMem;
@@ -80,6 +82,7 @@ pub use image::{from_image, to_image};
 pub use maf::{BankId, ModuleAssignment};
 pub use matrix::PolyMatrix;
 pub use mem::{AccessStats, PolyMem};
+pub use plan::{AccessPlan, PlanCache, PlanCacheStats, PlanKey};
 pub use region::{Region, RegionShape};
 pub use scheme::{AccessPattern, AccessScheme, ParallelAccess};
 pub use shuffle::Crossbar;

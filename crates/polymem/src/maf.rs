@@ -70,7 +70,12 @@ impl ModuleAssignment {
             }
             _ => 1,
         };
-        Self { scheme, p, q, ratio }
+        Self {
+            scheme,
+            p,
+            q,
+            ratio,
+        }
     }
 
     /// The scheme this MAF implements.
@@ -162,7 +167,10 @@ mod tests {
     use crate::scheme::AccessPattern;
 
     fn banks_of(maf: &ModuleAssignment, coords: &[(usize, usize)]) -> Vec<usize> {
-        coords.iter().map(|&(i, j)| maf.assign_linear(i, j)).collect()
+        coords
+            .iter()
+            .map(|&(i, j)| maf.assign_linear(i, j))
+            .collect()
     }
 
     fn all_distinct(mut xs: Vec<usize>) -> bool {
@@ -212,9 +220,15 @@ mod tests {
         for i0 in 0..4 {
             for j0 in 0..4 {
                 let main: Vec<_> = (0..8).map(|k| (i0 + k, j0 + k)).collect();
-                assert!(all_distinct(banks_of(&maf, &main)), "main diag at ({i0},{j0})");
+                assert!(
+                    all_distinct(banks_of(&maf, &main)),
+                    "main diag at ({i0},{j0})"
+                );
                 let sec: Vec<_> = (0..8).map(|k| (i0 + k, j0 + 16 - k)).collect();
-                assert!(all_distinct(banks_of(&maf, &sec)), "sec diag at ({i0},{j0})");
+                assert!(
+                    all_distinct(banks_of(&maf, &sec)),
+                    "sec diag at ({i0},{j0})"
+                );
             }
         }
     }

@@ -73,7 +73,8 @@ impl<T: Copy + Default + PartialEq> PolyMatrix<T> {
         let mut out = Vec::with_capacity(cols);
         let mut buf = vec![T::default(); lanes];
         for j0 in (0..cols).step_by(lanes) {
-            self.mem.read_into(0, ParallelAccess::row(i, j0), &mut buf)?;
+            self.mem
+                .read_into(0, ParallelAccess::row(i, j0), &mut buf)?;
             out.extend_from_slice(&buf);
         }
         Ok(out)
@@ -86,7 +87,8 @@ impl<T: Copy + Default + PartialEq> PolyMatrix<T> {
         let mut out = Vec::with_capacity(rows);
         let mut buf = vec![T::default(); lanes];
         for i0 in (0..rows).step_by(lanes) {
-            self.mem.read_into(0, ParallelAccess::col(i0, j), &mut buf)?;
+            self.mem
+                .read_into(0, ParallelAccess::col(i0, j), &mut buf)?;
             out.extend_from_slice(&buf);
         }
         Ok(out)
@@ -144,7 +146,10 @@ impl<T: Copy + Default + PartialEq> PolyMatrix<T> {
         let (n, p, q) = (cfg.rows, cfg.p, cfg.q);
         if cfg.rows != cfg.cols {
             return Err(crate::error::PolyMemError::InvalidGeometry {
-                reason: format!("transpose needs a square matrix, got {}x{}", cfg.rows, cfg.cols),
+                reason: format!(
+                    "transpose needs a square matrix, got {}x{}",
+                    cfg.rows, cfg.cols
+                ),
             });
         }
         let mut out = PolyMatrix::new(n, n, p, q, cfg.scheme)?;
@@ -177,6 +182,17 @@ impl<T: Copy + Default + PartialEq> PolyMatrix<T> {
     /// Borrow the underlying memory (e.g. for stats or region operations).
     pub fn memory(&mut self) -> &mut PolyMem<T> {
         &mut self.mem
+    }
+
+    /// Enable or disable the compiled-plan fast path of the underlying
+    /// memory (see [`PolyMem::set_planning`]). Enabled by default.
+    pub fn set_planning(&mut self, enabled: bool) {
+        self.mem.set_planning(enabled);
+    }
+
+    /// Plan-cache activity of the underlying memory.
+    pub fn plan_stats(&self) -> crate::plan::PlanCacheStats {
+        self.mem.plan_stats()
     }
 }
 

@@ -19,6 +19,7 @@ use crate::banks::BankArray;
 use crate::config::PolyMemConfig;
 use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
+use crate::plan::{PlanCache, PlanCacheStats};
 use crate::scheme::{AccessPattern, ParallelAccess};
 use crate::shuffle::Crossbar;
 
@@ -56,8 +57,15 @@ pub struct PolyMem<T> {
     banked: Vec<T>,
     stats: AccessStats,
     /// When `Some`, every touched coordinate is appended (profiling mode
-    /// for the scheduler's application analysis).
+    /// for the scheduler's application analysis). Tracing needs the
+    /// expanded coordinates, so it forces the interpreted pipeline.
     trace_log: Option<Vec<(usize, usize)>>,
+    /// Compiled routing per residue class (see [`crate::plan`]).
+    plans: PlanCache,
+    /// When `true` (the default), reads and writes replay compiled plans;
+    /// when `false`, every access walks the full interpreted Fig. 3
+    /// pipeline (the oracle the plans are verified against).
+    planning: bool,
 }
 
 impl<T: Copy + Default> PolyMem<T> {
@@ -83,6 +91,8 @@ impl<T: Copy + Default> PolyMem<T> {
             banked: vec![T::default(); lanes],
             stats: AccessStats::default(),
             trace_log: None,
+            plans: PlanCache::new(lanes, config.bank_depth()),
+            planning: true,
         })
     }
 
@@ -109,6 +119,32 @@ impl<T: Copy + Default> PolyMem<T> {
         self.stats = AccessStats::default();
     }
 
+    /// Enable or disable compiled-plan replay (enabled by default).
+    ///
+    /// With planning off, every access walks the interpreted AGU → MAF →
+    /// addressing → crossbar pipeline. The two paths are bit-identical;
+    /// the switch exists as an escape hatch and for differential testing
+    /// and benchmarking.
+    pub fn set_planning(&mut self, enabled: bool) {
+        self.planning = enabled;
+    }
+
+    /// Whether compiled-plan replay is enabled.
+    #[inline]
+    pub fn planning(&self) -> bool {
+        self.planning
+    }
+
+    /// Plan-cache activity: hits, misses (= compilations), entries.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Drop all compiled plans (they recompile lazily on next use).
+    pub fn clear_plans(&mut self) {
+        self.plans.clear();
+    }
+
     /// Start recording every coordinate touched by parallel accesses —
     /// the "analyze applications" front of the paper's §VII toolchain.
     /// Any previous recording is discarded.
@@ -133,13 +169,68 @@ impl<T: Copy + Default> PolyMem<T> {
                 pattern: access.pattern,
             });
         }
-        if scheme.requires_alignment(access.pattern) && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q)) {
+        if scheme.requires_alignment(access.pattern)
+            && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q))
+        {
             return Err(PolyMemError::Misaligned {
                 scheme,
                 pattern: access.pattern,
                 i: access.i,
                 j: access.j,
             });
+        }
+        Ok(())
+    }
+
+    /// Whether the next access should replay a compiled plan. Tracing
+    /// needs per-lane coordinates, so it forces the interpreted path.
+    #[inline]
+    fn use_plan(&self) -> bool {
+        self.planning && self.trace_log.is_none()
+    }
+
+    /// Planned parallel read: one bounds check, one tile address, one
+    /// gather — the compiled replacement for `prepare` + bank read +
+    /// read-data shuffle.
+    fn read_planned(&mut self, access: ParallelAccess, out: &mut [T]) -> Result<()> {
+        self.check_access(access)?;
+        // Plans are per residue class; bounds depend on the actual origin
+        // and must be re-checked even on a cache hit.
+        self.agu.check_bounds(access)?;
+        let base = self.afn.address(access.i, access.j) as isize;
+        let Self {
+            plans,
+            agu,
+            maf,
+            afn,
+            banks,
+            ..
+        } = self;
+        let plan = plans.get_or_compile(access, agu, maf, afn)?;
+        let flat = banks.flat();
+        for (o, &f) in out.iter_mut().zip(&plan.fold) {
+            *o = flat[(base + f) as usize];
+        }
+        Ok(())
+    }
+
+    /// Planned parallel write: the scatter mirror of [`Self::read_planned`].
+    fn write_planned(&mut self, access: ParallelAccess, data: &[T]) -> Result<()> {
+        self.check_access(access)?;
+        self.agu.check_bounds(access)?;
+        let base = self.afn.address(access.i, access.j) as isize;
+        let Self {
+            plans,
+            agu,
+            maf,
+            afn,
+            banks,
+            ..
+        } = self;
+        let plan = plans.get_or_compile(access, agu, maf, afn)?;
+        let flat = banks.flat_mut();
+        for (&f, &v) in plan.fold.iter().zip(data) {
+            flat[(base + f) as usize] = v;
         }
         Ok(())
     }
@@ -152,11 +243,15 @@ impl<T: Copy + Default> PolyMem<T> {
         if let Some(log) = &mut self.trace_log {
             log.extend_from_slice(&self.coords);
         }
+        // Hoist the (Copy) function blocks into locals so the per-lane loop
+        // reads registers, not `self` fields.
+        let maf = self.maf;
+        let afn = self.afn;
         self.route.clear();
         self.lane_addrs.clear();
         for &(i, j) in &self.coords {
-            self.route.push(self.maf.assign_linear(i, j));
-            self.lane_addrs.push(self.afn.address(i, j));
+            self.route.push(maf.assign_linear(i, j));
+            self.lane_addrs.push(afn.address(i, j));
         }
         // Address Shuffle: lane order -> bank order. A BankConflict here can
         // only arise from a broken MAF (surfaced for fault-injection tests).
@@ -182,18 +277,23 @@ impl<T: Copy + Default> PolyMem<T> {
                 expected: lanes,
             });
         }
-        self.prepare(access)?;
-        // Write Data Shuffle (the paper's inverse shuffle): lane -> bank order.
-        let Self {
-            xbar,
-            route,
-            banked,
-            banks,
-            bank_addrs,
-            ..
-        } = self;
-        xbar.scatter(data, route, banked)?;
-        banks.write_all(bank_addrs, banked);
+        if self.use_plan() {
+            self.write_planned(access, data)?;
+        } else {
+            self.prepare(access)?;
+            // Write Data Shuffle (the paper's inverse shuffle): lane -> bank
+            // order.
+            let Self {
+                xbar,
+                route,
+                banked,
+                banks,
+                bank_addrs,
+                ..
+            } = self;
+            xbar.scatter(data, route, banked)?;
+            banks.write_all(bank_addrs, banked);
+        }
         self.stats.writes += 1;
         self.stats.elements_written += lanes as u64;
         Ok(())
@@ -217,10 +317,14 @@ impl<T: Copy + Default> PolyMem<T> {
                 expected: lanes,
             });
         }
-        self.prepare(access)?;
-        self.banks.read_all(&self.bank_addrs, &mut self.banked);
-        // Read Data Shuffle (regular shuffle): bank order -> lane order.
-        self.xbar.gather(&self.banked, &self.route, out);
+        if self.use_plan() {
+            self.read_planned(access, out)?;
+        } else {
+            self.prepare(access)?;
+            self.banks.read_all(&self.bank_addrs, &mut self.banked);
+            // Read Data Shuffle (regular shuffle): bank order -> lane order.
+            self.xbar.gather(&self.banked, &self.route, out);
+        }
         self.stats.reads += 1;
         self.stats.elements_read += lanes as u64;
         Ok(())
@@ -277,7 +381,8 @@ impl<T: Copy + Default> PolyMem<T> {
         for i in 0..self.config.rows {
             for j in 0..self.config.cols {
                 let bank = self.maf.assign_linear(i, j);
-                self.banks.write(bank, self.afn.address(i, j), data[i * self.config.cols + j]);
+                self.banks
+                    .write(bank, self.afn.address(i, j), data[i * self.config.cols + j]);
             }
         }
         Ok(())
@@ -393,7 +498,10 @@ mod tests {
         let mut m = mem(AccessScheme::ReO);
         assert!(m.read(1, PA::rect(0, 0)).is_ok());
         let err = m.read(2, PA::rect(0, 0)).unwrap_err();
-        assert!(matches!(err, PolyMemError::InvalidPort { port: 2, ports: 2 }));
+        assert!(matches!(
+            err,
+            PolyMemError::InvalidPort { port: 2, ports: 2 }
+        ));
     }
 
     #[test]
@@ -402,7 +510,10 @@ mod tests {
         let err = m.write(PA::rect(0, 0), &[1, 2, 3]).unwrap_err();
         assert!(matches!(
             err,
-            PolyMemError::WrongLaneCount { got: 3, expected: 8 }
+            PolyMemError::WrongLaneCount {
+                got: 3,
+                expected: 8
+            }
         ));
     }
 

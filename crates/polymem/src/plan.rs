@@ -1,0 +1,444 @@
+//! Compiled access plans: the Fig. 3 pipeline folded into one gather.
+//!
+//! Every per-lane quantity the interpreted pipeline computes — the AGU's
+//! coordinate offsets, the MAF's bank choice, the addressing function's
+//! intra-bank address, the crossbar routing — is **periodic in the access
+//! origin** with period `N = p*q` in both `i` and `j`:
+//!
+//! * the AGU offsets `(di_k, dj_k)` of lane `k` depend only on the pattern;
+//! * every MAF term is one of `i mod p`, `j mod q`, `(i/p) mod q`,
+//!   `(j/q) mod p`, `(i/p) mod r`, `(j/p) mod r` (with `r | q`), all of
+//!   which are invariant under `i -> i + N`, `j -> j + N`;
+//! * the intra-bank address `A(i0+di, j0+dj) - A(i0, j0)` telescopes to
+//!   `((i0 mod p + di) / p) * tile_cols + floor((j0 mod q + dj) / q)`,
+//!   a function of `(i0 mod p, j0 mod q)` only (signed: the secondary
+//!   diagonal walks `j` leftward).
+//!
+//! So all routing for a `(pattern, i0 mod N, j0 mod N)` *residue class* can
+//! be compiled once — by running the existing [`Agu`] → [`ModuleAssignment`]
+//! → [`AddressingFunction`] → [`Crossbar`] blocks — into an [`AccessPlan`]:
+//! per-lane flat storage offsets relative to the origin's aligned tile.
+//! Replaying the plan turns a parallel access into a bounds check, one tile
+//! address computation, and a single gather/scatter loop with one add per
+//! lane — no per-lane div/mod, no crossbar traversal.
+//!
+//! [`PlanCache`] memoises plans per residue class. The interpreted pipeline
+//! stays in [`crate::mem`] as the oracle: plans are verified against it at
+//! compile time, and `proptest` equivalence suites assert bit-identical
+//! behaviour across every (scheme, pattern) pair.
+
+use crate::addressing::AddressingFunction;
+use crate::agu::Agu;
+use crate::error::{PolyMemError, Result};
+use crate::maf::ModuleAssignment;
+use crate::scheme::{AccessPattern, ParallelAccess};
+use crate::shuffle::Crossbar;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Multiply-rotate hasher (the rustc-hash construction) for [`PlanKey`]s.
+/// The key is three small integers, so the default SipHash costs more than
+/// the gather it guards; plan-cache lookups are on every planned access.
+#[derive(Default)]
+pub struct PlanKeyHasher {
+    hash: u64,
+}
+
+impl PlanKeyHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for PlanKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.add(x as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.add(x as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.add(x);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.add(x as u64);
+    }
+}
+
+type PlanMap = HashMap<PlanKey, Arc<AccessPlan>, BuildHasherDefault<PlanKeyHasher>>;
+
+/// Identity of one residue class of accesses: all origins congruent mod
+/// `p*q` (in both coordinates) share identical routing for a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The access shape.
+    pub pattern: AccessPattern,
+    /// `i0 mod (p*q)`.
+    pub ri: u32,
+    /// `j0 mod (p*q)`.
+    pub rj: u32,
+}
+
+impl PlanKey {
+    /// The residue class of `access` for a memory with `period = p*q`.
+    #[inline]
+    pub fn of(access: ParallelAccess, period: usize) -> Self {
+        Self {
+            pattern: access.pattern,
+            ri: (access.i % period) as u32,
+            rj: (access.j % period) as u32,
+        }
+    }
+}
+
+/// A compiled parallel access: per-lane routing for one residue class.
+///
+/// `fold[k] = banks[k] * bank_depth + delta[k]` is the lane's offset into
+/// the bank-major flat storage, relative to the origin's aligned-tile
+/// address `A(i0, j0)`. A read is then
+/// `out[k] = flat[(A(i0, j0) + fold[k]) as usize]` for every lane.
+#[derive(Debug, Clone)]
+pub struct AccessPlan {
+    /// The pattern this plan serves (for diagnostics).
+    pub pattern: AccessPattern,
+    /// Per-lane linear bank index (the crossbar steering signal).
+    pub banks: Vec<u32>,
+    /// Inverse route: `inverse[b]` is the lane served by bank `b`.
+    pub inverse: Vec<u32>,
+    /// Per-lane signed intra-bank address delta relative to `A(i0, j0)`.
+    /// Negative deltas arise from the secondary diagonal's leftward walk.
+    pub deltas: Vec<isize>,
+    /// Per-lane flat-storage offset: `banks[k] * depth + deltas[k]`.
+    pub fold: Vec<isize>,
+}
+
+impl AccessPlan {
+    /// Compile the plan for `access`'s residue class by running the
+    /// interpreted blocks once and folding their outputs.
+    ///
+    /// `depth` is the bank depth of the backing storage (for `fold`).
+    /// The compiled routing is verified against the crossbar path: the
+    /// Address Shuffle's bank-ordered addresses must equal
+    /// `A(origin) + delta` lane for lane.
+    pub fn compile(
+        access: ParallelAccess,
+        agu: &Agu,
+        maf: &ModuleAssignment,
+        afn: &AddressingFunction,
+        depth: usize,
+    ) -> Result<Self> {
+        let coords = agu.expand(access)?;
+        let lanes = coords.len();
+        let base = afn.address(access.i, access.j) as isize;
+        let mut banks = Vec::with_capacity(lanes);
+        let mut deltas = Vec::with_capacity(lanes);
+        let mut fold = Vec::with_capacity(lanes);
+        let mut inverse = vec![u32::MAX; lanes];
+        for (k, &(i, j)) in coords.iter().enumerate() {
+            let b = maf.assign_linear(i, j);
+            if inverse[b] != u32::MAX {
+                return Err(PolyMemError::BankConflict {
+                    bank: b,
+                    lane_a: inverse[b] as usize,
+                    lane_b: k,
+                });
+            }
+            inverse[b] = k as u32;
+            let delta = afn.address(i, j) as isize - base;
+            banks.push(b as u32);
+            deltas.push(delta);
+            fold.push(b as isize * depth as isize + delta);
+        }
+        let plan = Self {
+            pattern: access.pattern,
+            banks,
+            inverse,
+            deltas,
+            fold,
+        };
+        plan.verify(access, &coords, afn, base)?;
+        Ok(plan)
+    }
+
+    /// Cross-check the compiled routing against the interpreted Address
+    /// Shuffle: scatter the per-lane addresses through a [`Crossbar`] and
+    /// compare the bank-ordered result with `base + delta`.
+    fn verify(
+        &self,
+        access: ParallelAccess,
+        coords: &[(usize, usize)],
+        afn: &AddressingFunction,
+        base: isize,
+    ) -> Result<()> {
+        let lanes = coords.len();
+        let mut xbar = Crossbar::new(lanes);
+        let route: Vec<usize> = self.banks.iter().map(|&b| b as usize).collect();
+        let lane_addrs: Vec<usize> = coords.iter().map(|&(i, j)| afn.address(i, j)).collect();
+        let mut bank_addrs = vec![0usize; lanes];
+        xbar.scatter(&lane_addrs, &route, &mut bank_addrs)?;
+        for (b, &addr) in bank_addrs.iter().enumerate() {
+            let lane = self.inverse[b] as usize;
+            if addr as isize != base + self.deltas[lane] {
+                return Err(PolyMemError::InvalidGeometry {
+                    reason: format!(
+                        "plan verification failed for {:?} at ({}, {}): bank {b} expects \
+                         address {addr}, plan folds to {}",
+                        access.pattern,
+                        access.i,
+                        access.j,
+                        base + self.deltas[lane]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of lanes this plan moves.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.banks.len()
+    }
+}
+
+/// Snapshot of a [`PlanCache`]'s activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Accesses served by an already-compiled plan.
+    pub hits: u64,
+    /// Accesses that triggered a compilation.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// Lazy per-residue-class cache of [`AccessPlan`]s.
+///
+/// The class count is bounded by `6 patterns * (p*q)^2`, so entries are
+/// never evicted. Hit/miss counters are atomic so shared-`&self` users
+/// (e.g. [`crate::concurrent::ConcurrentPolyMem`]) can count lookups.
+#[derive(Debug)]
+pub struct PlanCache {
+    period: usize,
+    depth: usize,
+    map: PlanMap,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Empty cache for a memory with `p*q == period` lanes and banks of
+    /// `depth` elements.
+    pub fn new(period: usize, depth: usize) -> Self {
+        Self {
+            period,
+            depth,
+            map: PlanMap::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The residue period (`p*q`).
+    #[inline]
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Look up the plan for `access`'s residue class without compiling.
+    /// Counts a hit when present (misses are counted by the compile path).
+    pub fn lookup(&self, access: ParallelAccess) -> Option<Arc<AccessPlan>> {
+        let found = self.map.get(&PlanKey::of(access, self.period)).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// The plan for `access`'s residue class, compiling it on first use.
+    ///
+    /// Note: `access` itself serves as the class representative, so the
+    /// caller must have bounds-checked it (compilation re-checks via the
+    /// AGU; cache hits do not).
+    pub fn get_or_compile(
+        &mut self,
+        access: ParallelAccess,
+        agu: &Agu,
+        maf: &ModuleAssignment,
+        afn: &AddressingFunction,
+    ) -> Result<&Arc<AccessPlan>> {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(PlanKey::of(access, self.period)) {
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(e.into_mut())
+            }
+            Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let plan = AccessPlan::compile(access, agu, maf, afn, self.depth)?;
+                Ok(v.insert(Arc::new(plan)))
+            }
+        }
+    }
+
+    /// Insert a pre-compiled plan (used by shared-cache wrappers that
+    /// compile outside the map borrow).
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<AccessPlan>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.insert(key, plan);
+    }
+
+    /// Drop every cached plan (counters keep running).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Activity counters and current size.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.len(),
+        }
+    }
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        Self {
+            period: self.period,
+            depth: self.depth,
+            map: self.map.clone(),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{AccessScheme, ParallelAccess as PA};
+
+    fn blocks(
+        scheme: AccessScheme,
+        p: usize,
+        q: usize,
+        rows: usize,
+        cols: usize,
+    ) -> (Agu, ModuleAssignment, AddressingFunction) {
+        (
+            Agu::new(p, q, rows, cols),
+            ModuleAssignment::new(scheme, p, q),
+            AddressingFunction::new(p, q, rows, cols),
+        )
+    }
+
+    #[test]
+    fn plan_matches_interpreted_pipeline() {
+        let (agu, maf, afn) = blocks(AccessScheme::ReRo, 2, 4, 16, 16);
+        let depth = (16 / 2) * (16 / 4);
+        let access = PA::row(3, 5);
+        let plan = AccessPlan::compile(access, &agu, &maf, &afn, depth).unwrap();
+        let base = afn.address(3, 5) as isize;
+        for (k, &(i, j)) in agu.expand(access).unwrap().iter().enumerate() {
+            let bank = maf.assign_linear(i, j);
+            let addr = afn.address(i, j);
+            assert_eq!(plan.banks[k] as usize, bank);
+            assert_eq!(base + plan.deltas[k], addr as isize);
+            assert_eq!(
+                plan.fold[k],
+                bank as isize * depth as isize + addr as isize - base
+            );
+            assert_eq!(plan.inverse[bank] as usize, k);
+        }
+    }
+
+    #[test]
+    fn secondary_diagonal_has_negative_deltas() {
+        // Negative deltas need the leftward walk to cross a j-tile boundary
+        // while the origin's tile row is still current — i.e. q < p and an
+        // origin with small j0 % q: lane (k, j0-k) for k < p then has
+        // address floor((j0%q - k)/q) < 0 relative to the origin tile.
+        let (agu, maf, afn) = blocks(AccessScheme::ReRo, 4, 2, 16, 16);
+        let access = PA::new(0, 9, AccessPattern::SecondaryDiagonal);
+        let plan = AccessPlan::compile(access, &agu, &maf, &afn, 32).unwrap();
+        assert!(
+            plan.deltas.iter().any(|&d| d < 0),
+            "leftward walk must produce negative address deltas: {:?}",
+            plan.deltas
+        );
+    }
+
+    #[test]
+    fn plan_is_invariant_across_residue_class() {
+        // Origins congruent mod p*q compile to the identical plan.
+        let (agu, maf, afn) = blocks(AccessScheme::RoCo, 2, 4, 32, 32);
+        let depth = (32 / 2) * (32 / 4);
+        let a = AccessPlan::compile(PA::row(3, 5), &agu, &maf, &afn, depth).unwrap();
+        let b = AccessPlan::compile(PA::row(3 + 8, 5 + 16), &agu, &maf, &afn, depth).unwrap();
+        assert_eq!(a.banks, b.banks);
+        assert_eq!(a.deltas, b.deltas);
+        assert_eq!(a.fold, b.fold);
+    }
+
+    #[test]
+    fn conflict_is_surfaced() {
+        // RoCo unaligned rectangle conflicts (the scheme's documented gap);
+        // compiling it must surface BankConflict, like the crossbar would.
+        let (agu, maf, afn) = blocks(AccessScheme::RoCo, 2, 2, 8, 8);
+        let err = AccessPlan::compile(PA::rect(1, 1), &agu, &maf, &afn, 16).unwrap_err();
+        assert!(matches!(err, PolyMemError::BankConflict { .. }));
+    }
+
+    #[test]
+    fn cache_hits_and_misses_counted() {
+        let (agu, maf, afn) = blocks(AccessScheme::ReRo, 2, 4, 16, 16);
+        let mut cache = PlanCache::new(8, 32);
+        cache
+            .get_or_compile(PA::row(0, 0), &agu, &maf, &afn)
+            .unwrap();
+        cache
+            .get_or_compile(PA::row(8, 8), &agu, &maf, &afn)
+            .unwrap(); // same class
+        cache
+            .get_or_compile(PA::row(1, 0), &agu, &maf, &afn)
+            .unwrap(); // new class
+        let s = cache.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.entries, 2);
+        assert!(cache.lookup(PA::row(16, 0)).is_some());
+        assert!(cache.lookup(PA::col(0, 0)).is_none());
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn key_of_reduces_mod_period() {
+        let k = PlanKey::of(PA::rect(10, 13), 8);
+        assert_eq!((k.ri, k.rj), (2, 5));
+    }
+}

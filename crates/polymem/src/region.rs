@@ -147,7 +147,9 @@ impl Region {
                 }
                 Ok((0..len)
                     .step_by(n)
-                    .map(|k| ParallelAccess::new(self.i + k, self.j + k, AccessPattern::MainDiagonal))
+                    .map(|k| {
+                        ParallelAccess::new(self.i + k, self.j + k, AccessPattern::MainDiagonal)
+                    })
                     .collect())
             }
             RegionShape::SecondaryDiag { len } => {

@@ -310,7 +310,10 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(AccessScheme::ReRo.to_string(), "ReRo");
-        assert_eq!(AccessPattern::SecondaryDiagonal.to_string(), "secondary diagonal");
+        assert_eq!(
+            AccessPattern::SecondaryDiagonal.to_string(),
+            "secondary diagonal"
+        );
     }
 
     #[test]

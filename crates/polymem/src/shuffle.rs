@@ -99,7 +99,8 @@ mod tests {
     fn scatter_routes_lane_to_bank() {
         let mut xb = Crossbar::new(4);
         let mut out = [0u64; 4];
-        xb.scatter(&[10, 11, 12, 13], &[2, 0, 3, 1], &mut out).unwrap();
+        xb.scatter(&[10, 11, 12, 13], &[2, 0, 3, 1], &mut out)
+            .unwrap();
         assert_eq!(out, [11, 13, 10, 12]);
     }
 
@@ -118,9 +119,15 @@ mod tests {
     fn conflict_detected() {
         let mut xb = Crossbar::new(4);
         let mut out = [0u64; 4];
-        let err = xb.scatter(&[1, 2, 3, 4], &[0, 1, 1, 2], &mut out).unwrap_err();
+        let err = xb
+            .scatter(&[1, 2, 3, 4], &[0, 1, 1, 2], &mut out)
+            .unwrap_err();
         match err {
-            PolyMemError::BankConflict { bank, lane_a, lane_b } => {
+            PolyMemError::BankConflict {
+                bank,
+                lane_a,
+                lane_b,
+            } => {
                 assert_eq!(bank, 1);
                 assert_eq!(lane_a, 1);
                 assert_eq!(lane_b, 2);

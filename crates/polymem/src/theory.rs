@@ -68,7 +68,13 @@ pub fn pattern_conflict_positions(
 /// Verify that `(bank, A)` is injective over the whole `rows x cols` space:
 /// no two logical elements share a physical location. This is the storage
 /// soundness property all schemes must satisfy regardless of pattern support.
-pub fn addressing_injective(scheme: AccessScheme, p: usize, q: usize, rows: usize, cols: usize) -> bool {
+pub fn addressing_injective(
+    scheme: AccessScheme,
+    p: usize,
+    q: usize,
+    rows: usize,
+    cols: usize,
+) -> bool {
     let maf = ModuleAssignment::new(scheme, p, q);
     let afn = AddressingFunction::new(p, q, rows, cols);
     let depth = afn.bank_depth(rows);
@@ -89,7 +95,12 @@ pub fn addressing_injective(scheme: AccessScheme, p: usize, q: usize, rows: usiz
 /// The full Table I verification: for each scheme, check every advertised
 /// pattern at every position and return the verified support matrix. Used by
 /// the `table1_schemes` experiment binary and the integration tests.
-pub fn verify_table1(p: usize, q: usize, rows: usize, cols: usize) -> Vec<(AccessScheme, Vec<AccessPattern>)> {
+pub fn verify_table1(
+    p: usize,
+    q: usize,
+    rows: usize,
+    cols: usize,
+) -> Vec<(AccessScheme, Vec<AccessPattern>)> {
     let mut out = Vec::new();
     for scheme in AccessScheme::ALL {
         let mut verified = Vec::new();
@@ -175,7 +186,10 @@ mod tests {
             AccessPattern::Rectangle,
             false,
         );
-        assert!(pos.is_some(), "expected an unaligned RoCo rectangle conflict");
+        assert!(
+            pos.is_some(),
+            "expected an unaligned RoCo rectangle conflict"
+        );
     }
 
     #[test]

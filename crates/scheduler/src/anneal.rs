@@ -172,7 +172,10 @@ mod tests {
             let a = solve(&inst, &AnnealOptions::default());
             assert!(a.complete);
             assert!(inst.verify(&a));
-            assert!(a.len() <= g.len(), "stride {stride}: anneal must not lose to its seed");
+            assert!(
+                a.len() <= g.len(),
+                "stride {stride}: anneal must not lose to its seed"
+            );
         }
     }
 
@@ -204,14 +207,8 @@ mod tests {
             8,
         );
         assert!(!solve(&inst, &AnnealOptions::default()).complete);
-        let empty = CoverInstance::build(
-            AccessTrace::from_coords([]),
-            AccessScheme::ReO,
-            2,
-            4,
-            8,
-            8,
-        );
+        let empty =
+            CoverInstance::build(AccessTrace::from_coords([]), AccessScheme::ReO, 2, 4, 8, 8);
         let s = solve(&empty, &AnnealOptions::default());
         assert!(s.complete && s.is_empty());
     }

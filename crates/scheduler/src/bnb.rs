@@ -103,9 +103,7 @@ pub fn solve(inst: &CoverInstance, node_budget: u64) -> ExactResult {
                 .map(|e| (e, &self.element_cands[e]))
                 .min_by_key(|(_, cs)| {
                     cs.iter()
-                        .filter(|&&ci| {
-                            !self.inst.candidates[ci].cover.is_disjoint(uncovered)
-                        })
+                        .filter(|&&ci| !self.inst.candidates[ci].cover.is_disjoint(uncovered))
                         .count()
                 })
                 .expect("nonempty uncovered set");
@@ -225,7 +223,11 @@ mod tests {
         let trace = AccessTrace::block(0, 1, 2, 3); // ragged 2x3 block
         let mut inst = CoverInstance::build(trace, AccessScheme::ReO, 2, 2, 4, 8);
         inst.prune_dominated();
-        assert!(inst.candidates.len() <= 24, "{} candidates", inst.candidates.len());
+        assert!(
+            inst.candidates.len() <= 24,
+            "{} candidates",
+            inst.candidates.len()
+        );
         let bf = brute_force(&inst).expect("coverable");
         let e = solve(&inst, 1_000_000);
         assert!(e.proved_optimal);
@@ -242,14 +244,8 @@ mod tests {
 
     #[test]
     fn empty_trace() {
-        let inst = CoverInstance::build(
-            AccessTrace::from_coords([]),
-            AccessScheme::ReO,
-            2,
-            4,
-            8,
-            16,
-        );
+        let inst =
+            CoverInstance::build(AccessTrace::from_coords([]), AccessScheme::ReO, 2, 4, 8, 16);
         let r = solve(&inst, 10);
         assert!(r.proved_optimal);
         assert!(r.schedule.is_empty());

@@ -198,7 +198,10 @@ mod tests {
         let mut inst = CoverInstance::build(trace, AccessScheme::ReRo, 2, 4, 8, 16);
         let before = inst.candidates.len();
         let removed = inst.prune_dominated();
-        assert!(removed > 0, "rows fully covering the block dominate partial rects");
+        assert!(
+            removed > 0,
+            "rows fully covering the block dominate partial rects"
+        );
         assert_eq!(inst.candidates.len(), before - removed);
         // The full-cover candidate must survive.
         assert!(inst.candidates.iter().any(|c| c.cover.count() == 8));

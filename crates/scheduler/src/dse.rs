@@ -48,7 +48,12 @@ impl Default for SweepOptions {
 
 /// Evaluate every (scheme, grid) configuration for `trace` over a logical
 /// space of `rows x cols` (rounded up internally to tile each grid).
-pub fn sweep(trace: &AccessTrace, rows: usize, cols: usize, opts: &SweepOptions) -> Vec<ConfigResult> {
+pub fn sweep(
+    trace: &AccessTrace,
+    rows: usize,
+    cols: usize,
+    opts: &SweepOptions,
+) -> Vec<ConfigResult> {
     let mut out = Vec::new();
     for &(p, q) in &opts.grids {
         let r = rows.next_multiple_of(p).max(p);

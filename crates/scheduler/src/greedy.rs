@@ -51,7 +51,11 @@ mod tests {
         let inst = CoverInstance::build(trace, AccessScheme::ReO, 2, 4, 8, 16);
         let s = solve(&inst);
         assert!(s.complete);
-        assert_eq!(s.len(), 4, "aligned tiled block should need exactly 4 accesses");
+        assert_eq!(
+            s.len(),
+            4,
+            "aligned tiled block should need exactly 4 accesses"
+        );
         assert!(inst.verify(&s));
     }
 

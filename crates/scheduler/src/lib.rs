@@ -31,8 +31,8 @@ pub mod ports;
 
 pub use anneal::{solve as solve_anneal, AnnealOptions};
 pub use bitset::BitSet;
-pub use codegen::{execute_gather, render_maxj, render_rust};
 pub use bnb::{brute_force, solve as solve_exact, ExactResult};
+pub use codegen::{execute_gather, render_maxj, render_rust};
 pub use cover::{Candidate, CoverInstance, Schedule};
 pub use dse::{best, sweep, ConfigResult, SweepOptions};
 pub use greedy::solve as solve_greedy;

@@ -117,14 +117,8 @@ mod tests {
 
     #[test]
     fn empty_trace_bound_zero() {
-        let inst = CoverInstance::build(
-            AccessTrace::from_coords([]),
-            AccessScheme::ReO,
-            2,
-            4,
-            8,
-            8,
-        );
+        let inst =
+            CoverInstance::build(AccessTrace::from_coords([]), AccessScheme::ReO, 2, 4, 8, 8);
         assert_eq!(dual_bound(&inst), 0.0);
         assert_eq!(lower_bound(&inst), 0);
     }

@@ -46,9 +46,7 @@ impl AccessTrace {
     /// the sparse-matrix-ish pattern from the paper's motivation.
     pub fn strided(rows: usize, cols: usize, stride: usize) -> Self {
         assert!(stride > 0);
-        Self::from_coords(
-            (0..rows).flat_map(|i| (0..cols).step_by(stride).map(move |j| (i, j))),
-        )
+        Self::from_coords((0..rows).flat_map(|i| (0..cols).step_by(stride).map(move |j| (i, j))))
     }
 
     /// The coordinates, sorted.

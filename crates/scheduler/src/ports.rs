@@ -51,10 +51,7 @@ pub fn pack_reads(schedule: &Schedule, read_ports: usize) -> PortSchedule {
         .chunks(read_ports)
         .map(<[ParallelAccess]>::to_vec)
         .collect();
-    PortSchedule {
-        cycles,
-        read_ports,
-    }
+    PortSchedule { cycles, read_ports }
 }
 
 /// A read/write program: each element is one parallel access tagged by

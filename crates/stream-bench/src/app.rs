@@ -77,7 +77,9 @@ impl StreamApp {
         read_latency: u64,
     ) -> polymem::Result<Self> {
         let ports = layout.config.read_ports;
-        let rq: Vec<_> = (0..ports).map(|p| stream(format!("read-req-{p}"), 8)).collect();
+        let rq: Vec<_> = (0..ports)
+            .map(|p| stream(format!("read-req-{p}"), 8))
+            .collect();
         let rs: Vec<_> = (0..ports)
             .map(|p| stream(format!("read-resp-{p}"), read_latency as usize + 8))
             .collect();
@@ -316,8 +318,7 @@ mod tests {
     fn latency_affects_fixed_cost_not_steady_state() {
         let mk = |lat| {
             let layout = StreamLayout::new(2048, 64, 2, 4, AccessScheme::RoCo, 2).unwrap();
-            let mut app =
-                StreamApp::with_latency(StreamOp::Copy, layout, 120.0, lat).unwrap();
+            let mut app = StreamApp::with_latency(StreamOp::Copy, layout, 120.0, lat).unwrap();
             let (a, b, c) = vectors(2048);
             app.load(&a, &b, &c).unwrap();
             app.measure(1).cycles_per_run

@@ -12,8 +12,8 @@
 use crate::layout::StreamLayout;
 use crate::op::StreamOp;
 use dfe_sim::kernel::Kernel;
-use dfe_sim::stream::StreamRef;
 use dfe_sim::polymem_kernel::{ReadRequest, ReadResponse, WriteRequest};
+use dfe_sim::stream::StreamRef;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -116,9 +116,7 @@ impl Kernel for Controller {
         }
         // Issue phase: one chunk's reads per cycle, if all request FIFOs
         // have room (lockstep ports).
-        if st.issued < self.chunks
-            && (0..reads).all(|p| self.read_req[p].borrow().can_push())
-        {
+        if st.issued < self.chunks && (0..reads).all(|p| self.read_req[p].borrow().can_push()) {
             for (p, req) in self.read_req.iter().enumerate().take(reads) {
                 req.borrow_mut().push(self.source(p).access(st.issued));
             }
@@ -169,18 +167,35 @@ mod tests {
     }
 
     #[allow(clippy::type_complexity)]
-    fn make(op: StreamOp) -> (Controller, Vec<StreamRef<ReadRequest>>, Vec<StreamRef<ReadResponse>>, StreamRef<WriteRequest>, StateRef) {
+    fn make(
+        op: StreamOp,
+    ) -> (
+        Controller,
+        Vec<StreamRef<ReadRequest>>,
+        Vec<StreamRef<ReadResponse>>,
+        StreamRef<WriteRequest>,
+        StateRef,
+    ) {
         let layout = tiny_layout();
-        let rq: Vec<StreamRef<ReadRequest>> =
-            (0..2).map(|p| dfe_sim::stream(format!("rq{p}"), 16)).collect();
-        let rs: Vec<StreamRef<ReadResponse>> =
-            (0..2).map(|p| dfe_sim::stream(format!("rs{p}"), 16)).collect();
+        let rq: Vec<StreamRef<ReadRequest>> = (0..2)
+            .map(|p| dfe_sim::stream(format!("rq{p}"), 16))
+            .collect();
+        let rs: Vec<StreamRef<ReadResponse>> = (0..2)
+            .map(|p| dfe_sim::stream(format!("rs{p}"), 16))
+            .collect();
         let wq = dfe_sim::stream("wq", 16);
         let state: StateRef = Rc::new(RefCell::new(ControllerState {
             running: true,
             ..Default::default()
         }));
-        let c = Controller::new(op, layout, Rc::clone(&state), rq.clone(), rs.clone(), Rc::clone(&wq));
+        let c = Controller::new(
+            op,
+            layout,
+            Rc::clone(&state),
+            rq.clone(),
+            rs.clone(),
+            Rc::clone(&wq),
+        );
         (c, rq, rs, wq, state)
     }
 

@@ -126,7 +126,9 @@ impl Kernel for WriteKernel {
                 StreamOp::Copy => self.layout.c,
                 _ => self.layout.a,
             };
-            self.write_req.borrow_mut().push((dst.access(self.next), data));
+            self.write_req
+                .borrow_mut()
+                .push((dst.access(self.next), data));
             self.next += 1;
         }
     }
@@ -222,7 +224,13 @@ pub fn run_modular(
         let (i, j) = dst.coord(k);
         out.push(f64::from_bits(pm.mem().get(i, j)?));
     }
-    Ok((out, ModularRun { cycles: cycle, chunks }))
+    Ok((
+        out,
+        ModularRun {
+            cycles: cycle,
+            chunks,
+        },
+    ))
 }
 
 #[cfg(test)]

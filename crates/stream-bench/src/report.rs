@@ -1,6 +1,6 @@
 //! STREAM-standard reporting, plus the Fig. 10 bandwidth-vs-size series.
 
-use crate::app::{StreamApp, StageTiming, PAPER_STREAM_FREQ_MHZ};
+use crate::app::{StageTiming, StreamApp, PAPER_STREAM_FREQ_MHZ};
 use crate::layout::StreamLayout;
 use crate::op::StreamOp;
 use serde::{Deserialize, Serialize};

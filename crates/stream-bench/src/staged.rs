@@ -185,8 +185,15 @@ mod tests {
         let rq: Vec<_> = (0..2).map(|p| stream(format!("rq{p}"), 8)).collect();
         let rs: Vec<_> = (0..2).map(|p| stream(format!("rs{p}"), 32)).collect();
         let wq = stream("wq", 8);
-        let pm = PolyMemKernel::new("pm", layout.config, 14, rq.clone(), rs.clone(), Rc::clone(&wq))
-            .unwrap();
+        let pm = PolyMemKernel::new(
+            "pm",
+            layout.config,
+            14,
+            rq.clone(),
+            rs.clone(),
+            Rc::clone(&wq),
+        )
+        .unwrap();
         (layout, rq, rs, wq, pm)
     }
 
@@ -215,7 +222,10 @@ mod tests {
         mgr.add_kernel(Box::new(pm));
         let cycles = mgr.run_until_idle(10_000);
         // PCIe-paced: 32 chunks at 1 per 4 cycles.
-        assert!(cycles >= 4 * (n as u64 / 8 - 1), "load must be PCIe-bound, took {cycles}");
+        assert!(
+            cycles >= 4 * (n as u64 / 8 - 1),
+            "load must be PCIe-bound, took {cycles}"
+        );
         let _ = cycles;
     }
 

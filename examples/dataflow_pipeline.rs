@@ -21,7 +21,11 @@ fn main() {
     let mut mgr = Manager::new(100.0);
     // Source: a noisy ramp.
     let data: Vec<u64> = (0..24).map(|k| 10 * k + (k * 7) % 5).collect();
-    mgr.add_kernel(Box::new(Generator::new("source", data.clone(), Rc::clone(&input))));
+    mgr.add_kernel(Box::new(Generator::new(
+        "source",
+        data.clone(),
+        Rc::clone(&input),
+    )));
 
     // A 4-tap moving-average kernel with an internal shift register.
     let (inp, out, tr) = (Rc::clone(&input), Rc::clone(&averaged), tracer.clone());
@@ -56,7 +60,11 @@ fn main() {
     }
 
     let got = sink.take();
-    println!("4-tap moving average over {} samples -> {} outputs", data.len(), got.len());
+    println!(
+        "4-tap moving average over {} samples -> {} outputs",
+        data.len(),
+        got.len()
+    );
     assert_eq!(got.len(), data.len() - 3);
     // Verify against the scalar filter.
     for (k, &g) in got.iter().enumerate() {
@@ -79,7 +87,10 @@ fn main() {
     }
 
     let doc = vcd.render("pipeline", 10.0);
-    println!("\nVCD waveform: {} lines (open in GTKWave); first change records:", doc.lines().count());
+    println!(
+        "\nVCD waveform: {} lines (open in GTKWave); first change records:",
+        doc.lines().count()
+    );
     for line in doc.lines().skip_while(|l| !l.starts_with('#')).take(6) {
         println!("  {line}");
     }

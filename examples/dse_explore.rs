@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         node_budget: 100_000,
     };
     let results = sweep(&trace, trace.rows(), trace.cols(), &opts);
-    println!("\n{:<6} {:>5} {:>9} {:>8} {:>11} {:>8}", "Scheme", "Grid", "Accesses", "Speedup", "Efficiency", "Optimal");
+    println!(
+        "\n{:<6} {:>5} {:>9} {:>8} {:>11} {:>8}",
+        "Scheme", "Grid", "Accesses", "Speedup", "Efficiency", "Optimal"
+    );
     for r in &results {
         match r.metrics {
             Some(m) => println!(
@@ -47,7 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 m.efficiency,
                 if r.proved_optimal { "yes" } else { "no" }
             ),
-            None => println!("{:<6} {:>2}x{:<2} {:>9}", r.scheme.name(), r.p, r.q, "cannot serve"),
+            None => println!(
+                "{:<6} {:>2}x{:<2} {:>9}",
+                r.scheme.name(),
+                r.p,
+                r.q,
+                "cannot serve"
+            ),
         }
     }
 

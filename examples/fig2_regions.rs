@@ -16,8 +16,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data: Vec<u64> = (0..cfg.capacity_elems() as u64).collect();
     mem.load_row_major(&data)?;
 
-    println!("Fig. 2: ten regions, one memory ({} banks, {} scheme)\n", cfg.lanes(), cfg.scheme);
-    println!("{:<4} {:<22} {:>9} {:>18}", "name", "shape", "elements", "parallel accesses");
+    println!(
+        "Fig. 2: ten regions, one memory ({} banks, {} scheme)\n",
+        cfg.lanes(),
+        cfg.scheme
+    );
+    println!(
+        "{:<4} {:<22} {:>9} {:>18}",
+        "name", "shape", "elements", "parallel accesses"
+    );
 
     let maf = ModuleAssignment::new(cfg.scheme, cfg.p, cfg.q);
     for region in fig2_regions() {
@@ -34,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             Err(_) => {
                 let report = analyse(&maf, &coords);
-                format!("(no direct RoCo pattern: {} bank cycle(s))", report.cycles_needed)
+                format!(
+                    "(no direct RoCo pattern: {} bank cycle(s))",
+                    report.cycles_needed
+                )
             }
         };
         println!(
@@ -63,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         polymem::ParallelAccess::new(4, 4, polymem::AccessPattern::MainDiagonal),
     )?;
     assert_eq!(d.len(), 8);
-    println!("...verified: the R5 diagonal read returned {} elements in one access.", d.len());
+    println!(
+        "...verified: the R5 diagonal read returned {} elements in one access.",
+        d.len()
+    );
     Ok(())
 }

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut accesses = 0usize;
     for bi in (0..N).step_by(q) {
         for bj in (0..N).step_by(p) {
-            let block = src.read(0, ParallelAccess::new(bi, bj, AccessPattern::TransposedRectangle))?;
+            let block = src.read(
+                0,
+                ParallelAccess::new(bi, bj, AccessPattern::TransposedRectangle),
+            )?;
             // block lane order: (bi+a, bj+b) for a in 0..q, b in 0..p —
             // i.e. row-major of the q x p source block. Transposed, that
             // becomes column-major of the destination p x q block; reorder
@@ -67,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut reo = PolyMem::<u64>::new(cfg_reo)?;
     reo.load_row_major(&data)?;
     let err = reo
-        .read(0, ParallelAccess::new(0, 0, AccessPattern::TransposedRectangle))
+        .read(
+            0,
+            ParallelAccess::new(0, 0, AccessPattern::TransposedRectangle),
+        )
         .unwrap_err();
     println!("on ReO the transposed read is refused: {err}");
     Ok(())

@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run -p polymem-apps --example quickstart`
 
-use polymem::{
-    AccessPattern, AccessScheme, ParallelAccess, PolyMem, PolyMemConfig,
-};
+use polymem::{AccessPattern, AccessScheme, ParallelAccess, PolyMem, PolyMemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8 x 16 matrix of 64-bit values over a 2 x 4 bank grid (8 lanes).
@@ -37,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diag = mem.read(0, ParallelAccess::new(0, 2, AccessPattern::MainDiagonal))?;
     println!("main diagonal @(0,2)  = {diag:?}");
 
-    let anti = mem.read(0, ParallelAccess::new(0, 9, AccessPattern::SecondaryDiagonal))?;
+    let anti = mem.read(
+        0,
+        ParallelAccess::new(0, 9, AccessPattern::SecondaryDiagonal),
+    )?;
     println!("secondary diag @(0,9) = {anti:?}");
 
     // Writes use the same shapes. Scale row 3 by 100 through a row access.

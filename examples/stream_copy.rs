@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (c, t_off) = app.offload();
     assert_eq!(c, a, "C must be an exact copy of A");
     assert!(app.errors().is_empty());
-    println!("Offload stage: {:.1} us; copy verified element-exact", t_off / 1000.0);
+    println!(
+        "Offload stage: {:.1} us; copy verified element-exact",
+        t_off / 1000.0
+    );
 
     let stats = app.host_stats();
     println!(

@@ -3,9 +3,11 @@
 //! cycle-level pipelined kernel — must agree on every observable result for
 //! every (deterministically generated) operation sequence.
 
-use polymem::{AccessPattern, AccessScheme, ConcurrentPolyMem, ParallelAccess, PolyMem, PolyMemConfig};
-use proptest::prelude::*;
 use dfe_sim::Kernel as _;
+use polymem::{
+    AccessPattern, AccessScheme, ConcurrentPolyMem, ParallelAccess, PolyMem, PolyMemConfig,
+};
+use proptest::prelude::*;
 
 const ROWS: usize = 16;
 const COLS: usize = 16;
@@ -15,7 +17,11 @@ fn cfg(scheme: AccessScheme) -> PolyMemConfig {
 }
 
 /// Deterministic LCG-driven op sequence: (access, write data or read).
-fn op_sequence(scheme: AccessScheme, seed: u64, len: usize) -> Vec<(ParallelAccess, Option<Vec<u64>>)> {
+fn op_sequence(
+    scheme: AccessScheme,
+    seed: u64,
+    len: usize,
+) -> Vec<(ParallelAccess, Option<Vec<u64>>)> {
     let patterns = scheme.supported_patterns(2, 4);
     let mut state = seed | 1;
     let mut next = move || {
@@ -50,7 +56,10 @@ fn op_sequence(scheme: AccessScheme, seed: u64, len: usize) -> Vec<(ParallelAcce
     ops
 }
 
-fn run_sequential(scheme: AccessScheme, ops: &[(ParallelAccess, Option<Vec<u64>>)]) -> (Vec<Vec<u64>>, Vec<u64>) {
+fn run_sequential(
+    scheme: AccessScheme,
+    ops: &[(ParallelAccess, Option<Vec<u64>>)],
+) -> (Vec<Vec<u64>>, Vec<u64>) {
     let mut mem = PolyMem::<u64>::new(cfg(scheme)).unwrap();
     let mut reads = Vec::new();
     for (access, data) in ops {
@@ -64,7 +73,10 @@ fn run_sequential(scheme: AccessScheme, ops: &[(ParallelAccess, Option<Vec<u64>>
     (reads, mem.dump_row_major())
 }
 
-fn run_concurrent(scheme: AccessScheme, ops: &[(ParallelAccess, Option<Vec<u64>>)]) -> (Vec<Vec<u64>>, Vec<u64>) {
+fn run_concurrent(
+    scheme: AccessScheme,
+    ops: &[(ParallelAccess, Option<Vec<u64>>)],
+) -> (Vec<Vec<u64>>, Vec<u64>) {
     let mem = ConcurrentPolyMem::<u64>::new(cfg(scheme)).unwrap();
     let mut reads = Vec::new();
     for (access, data) in ops {
@@ -82,7 +94,10 @@ fn run_concurrent(scheme: AccessScheme, ops: &[(ParallelAccess, Option<Vec<u64>>
     (reads, dump)
 }
 
-fn run_kernel(scheme: AccessScheme, ops: &[(ParallelAccess, Option<Vec<u64>>)]) -> (Vec<Vec<u64>>, Vec<u64>) {
+fn run_kernel(
+    scheme: AccessScheme,
+    ops: &[(ParallelAccess, Option<Vec<u64>>)],
+) -> (Vec<Vec<u64>>, Vec<u64>) {
     // The pipelined kernel processes one op per cycle; to preserve program
     // order between reads and writes we issue strictly one op at a time.
     let rq = vec![dfe_sim::stream("rq", 4), dfe_sim::stream("rq1", 4)];

@@ -135,7 +135,10 @@ fn dram_vs_polymem_contrast() {
     // For large streaming transfers DRAM amortizes its latency.
     let t_stream = dram.access_time_ns(1 << 20);
     let stream_bw = (1u64 << 20) as f64 / t_stream;
-    assert!(stream_bw > 10.0, "streaming DRAM bandwidth {stream_bw} GB/s");
+    assert!(
+        stream_bw > 10.0,
+        "streaming DRAM bandwidth {stream_bw} GB/s"
+    );
 }
 
 #[test]
@@ -186,7 +189,11 @@ fn profile_then_recommend_closes_the_toolchain_loop() {
         let _ = mem.read(1, ParallelAccess::col(i0, 12)).unwrap();
     }
     let trace = scheduler::AccessTrace::from_coords(mem.take_trace());
-    assert_eq!(trace.len(), 4 * 16 - 4, "two rows + two cols minus overlaps");
+    assert_eq!(
+        trace.len(),
+        4 * 16 - 4,
+        "two rows + two cols minus overlaps"
+    );
 
     let results = scheduler::sweep(
         &trace,

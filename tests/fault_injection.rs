@@ -17,7 +17,11 @@ fn corrupted_shuffle_route_is_detected() {
     let mut out = vec![0u64; 8];
     let err = xb.scatter(&[0; 8], &route, &mut out).unwrap_err();
     match err {
-        PolyMemError::BankConflict { bank, lane_a, lane_b } => {
+        PolyMemError::BankConflict {
+            bank,
+            lane_a,
+            lane_b,
+        } => {
             assert_eq!(bank, 2);
             assert_eq!((lane_a, lane_b), (2, 5));
         }
@@ -36,9 +40,16 @@ fn unsupported_patterns_rejected_not_corrupted() {
     let before = mem.dump_row_major();
     assert!(mem.write(ParallelAccess::row(0, 0), &[9; 8]).is_err());
     assert!(mem
-        .write(ParallelAccess::new(0, 0, AccessPattern::MainDiagonal), &[9; 8])
+        .write(
+            ParallelAccess::new(0, 0, AccessPattern::MainDiagonal),
+            &[9; 8]
+        )
         .is_err());
-    assert_eq!(mem.dump_row_major(), before, "failed writes must not commit");
+    assert_eq!(
+        mem.dump_row_major(),
+        before,
+        "failed writes must not commit"
+    );
 }
 
 #[test]
@@ -62,9 +73,15 @@ fn sim_kernel_surfaces_invalid_requests_and_keeps_running() {
     let rq = vec![dfe_sim::stream("rq", 16)];
     let rs = vec![dfe_sim::stream("rs", 16)];
     let wq = dfe_sim::stream("wq", 16);
-    let mut kernel =
-        dfe_sim::PolyMemKernel::new("pm", cfg, 2, rq.clone(), rs.clone(), std::rc::Rc::clone(&wq))
-            .unwrap();
+    let mut kernel = dfe_sim::PolyMemKernel::new(
+        "pm",
+        cfg,
+        2,
+        rq.clone(),
+        rs.clone(),
+        std::rc::Rc::clone(&wq),
+    )
+    .unwrap();
     for i in 0..16 {
         for j in 0..16 {
             kernel.mem().set(i, j, (i + j) as u64).unwrap();

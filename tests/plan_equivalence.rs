@@ -1,0 +1,203 @@
+//! Planned == interpreted: the compiled-plan fast path must be
+//! bit-identical to the interpreted Fig. 3 pipeline for every scheme,
+//! every pattern, every geometry and every origin — including the error
+//! cases (out-of-bounds origins, unsupported patterns, misaligned RoCo
+//! rectangles, and the secondary diagonal's leftward reach).
+//!
+//! The interpreted path is the oracle: `set_planning(false)` forces it.
+
+use polymem::{AccessPattern, AccessScheme, ParallelAccess, PolyMem, PolyMemConfig};
+use proptest::prelude::*;
+
+/// Geometries with both orientations (q > p, q < p, square) so tile
+/// addressing and the ReTr mirror case are all exercised.
+const GEOMS: [(usize, usize); 5] = [(2, 2), (2, 4), (4, 2), (2, 8), (4, 4)];
+
+fn build(
+    scheme: AccessScheme,
+    p: usize,
+    q: usize,
+    mr: usize,
+    mc: usize,
+    seed: u64,
+) -> PolyMem<u64> {
+    let n = p * q;
+    let (rows, cols) = (n * mr, n * mc);
+    let cfg = PolyMemConfig::new(rows, cols, p, q, scheme, 1).unwrap();
+    let mut m = PolyMem::new(cfg).unwrap();
+    let mix = seed | 1;
+    let data: Vec<u64> = (0..(rows * cols) as u64)
+        .map(|k| k.wrapping_mul(mix).rotate_left((k % 63) as u32))
+        .collect();
+    m.load_row_major(&data).unwrap();
+    m
+}
+
+/// Exhaustive sweep: every scheme x pattern x geometry x *all* origins in
+/// (and slightly beyond) bounds. Deterministic and cheap — the geometries
+/// are small — so the full product is covered on every run.
+#[test]
+fn planned_equals_interpreted_exhaustive() {
+    for scheme in AccessScheme::ALL {
+        for (p, q) in GEOMS {
+            let n = p * q;
+            let (rows, cols) = (2 * n, 2 * n);
+            let cfg = PolyMemConfig::new(rows, cols, p, q, scheme, 1).unwrap();
+            let mut m = PolyMem::<u64>::new(cfg).unwrap();
+            let data: Vec<u64> = (0..(rows * cols) as u64).map(|k| k * 3 + 1).collect();
+            m.load_row_major(&data).unwrap();
+            for pattern in AccessPattern::ALL {
+                for i in 0..rows + 2 {
+                    for j in 0..cols + 2 {
+                        let access = ParallelAccess::new(i, j, pattern);
+                        m.set_planning(true);
+                        let planned = m.read(0, access);
+                        m.set_planning(false);
+                        let interpreted = m.read(0, access);
+                        match (&planned, &interpreted) {
+                            (Ok(a), Ok(b)) => assert_eq!(
+                                a, b,
+                                "{scheme} {pattern} ({i},{j}) {p}x{q}: value mismatch"
+                            ),
+                            (Err(_), Err(_)) => {}
+                            _ => panic!(
+                                "{scheme} {pattern} ({i},{j}) {p}x{q}: parity broken — \
+                                 planned {planned:?} vs interpreted {interpreted:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The secondary diagonal's origin is its top-right corner; the walk goes
+/// down-left, so origins with `j < p*q - 1` under-run column 0. Both paths
+/// must reject them identically, and legal origins one step from the edge
+/// must read identically.
+#[test]
+fn secondary_diagonal_leftward_reach_parity() {
+    for scheme in [AccessScheme::ReRo, AccessScheme::ReCo] {
+        for (p, q) in GEOMS {
+            let n = p * q;
+            let mut m = build(scheme, p, q, 2, 2, 0xD1A6);
+            for j in 0..2 * n {
+                let access = ParallelAccess::new(0, j, AccessPattern::SecondaryDiagonal);
+                m.set_planning(true);
+                let planned = m.read(0, access);
+                m.set_planning(false);
+                let interpreted = m.read(0, access);
+                assert_eq!(
+                    planned.is_ok(),
+                    interpreted.is_ok(),
+                    "{scheme} secondary diagonal at j={j} ({p}x{q})"
+                );
+                if j + 1 < n {
+                    assert!(planned.is_err(), "j={j} must under-run column 0");
+                } else {
+                    assert_eq!(planned.unwrap(), interpreted.unwrap());
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Randomized read parity: any scheme, pattern, geometry, rectangular
+    /// extent and origin (aligned or not, in bounds or not).
+    #[test]
+    fn planned_read_matches_interpreted(
+        scheme_idx in 0..5usize,
+        pattern_idx in 0..6usize,
+        geom_idx in 0..5usize,
+        mr in 1..4usize,
+        mc in 1..4usize,
+        oi in 0..128usize,
+        oj in 0..128usize,
+        seed in any::<u64>(),
+    ) {
+        let scheme = AccessScheme::ALL[scheme_idx];
+        let pattern = AccessPattern::ALL[pattern_idx];
+        let (p, q) = GEOMS[geom_idx];
+        let n = p * q;
+        let (rows, cols) = (n * mr, n * mc);
+        let mut m = build(scheme, p, q, mr, mc, seed);
+        let access = ParallelAccess::new(oi % (rows + 2), oj % (cols + 2), pattern);
+        let planned = m.read(0, access);
+        m.set_planning(false);
+        let interpreted = m.read(0, access);
+        match (&planned, &interpreted) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(
+                false,
+                "parity broken for {} {} at ({},{}): planned {:?} vs interpreted {:?}",
+                scheme, pattern, access.i, access.j, planned, interpreted
+            ),
+        }
+    }
+
+    /// Randomized write parity: scatter through the plan on one memory and
+    /// through the interpreted crossbar on its twin; final contents must be
+    /// identical element for element.
+    #[test]
+    fn planned_write_matches_interpreted(
+        scheme_idx in 0..5usize,
+        pattern_idx in 0..6usize,
+        geom_idx in 0..5usize,
+        oi in 0..64usize,
+        oj in 0..64usize,
+        seed in any::<u64>(),
+    ) {
+        let scheme = AccessScheme::ALL[scheme_idx];
+        let pattern = AccessPattern::ALL[pattern_idx];
+        let (p, q) = GEOMS[geom_idx];
+        let n = p * q;
+        let (rows, cols) = (2 * n, 2 * n);
+        let mut planned_mem = build(scheme, p, q, 2, 2, seed);
+        let mut oracle_mem = build(scheme, p, q, 2, 2, seed);
+        oracle_mem.set_planning(false);
+        let access = ParallelAccess::new(oi % (rows + 1), oj % (cols + 1), pattern);
+        let vals: Vec<u64> = (0..n as u64).map(|k| k.wrapping_mul(seed | 3) ^ 0xBEEF).collect();
+        let a = planned_mem.write(access, &vals);
+        let b = oracle_mem.write(access, &vals);
+        prop_assert_eq!(a.is_ok(), b.is_ok(), "write parity for {} {}", scheme, pattern);
+        prop_assert_eq!(planned_mem.dump_row_major(), oracle_mem.dump_row_major());
+    }
+
+    /// Read-write cycles keep parity: interleave planned reads and writes on
+    /// one memory and interpreted ones on a twin, comparing every response.
+    #[test]
+    fn mixed_traffic_stays_bit_identical(
+        scheme_idx in 0..5usize,
+        geom_idx in 0..5usize,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0..6usize, 0..64usize, 0..64usize, any::<u64>()), 1..24),
+    ) {
+        let scheme = AccessScheme::ALL[scheme_idx];
+        let (p, q) = GEOMS[geom_idx];
+        let n = p * q;
+        let (rows, cols) = (2 * n, 2 * n);
+        let mut fast = build(scheme, p, q, 2, 2, seed);
+        let mut oracle = build(scheme, p, q, 2, 2, seed);
+        oracle.set_planning(false);
+        for (k, &(pat, oi, oj, v)) in ops.iter().enumerate() {
+            let access = ParallelAccess::new(oi % (rows + 1), oj % (cols + 1), AccessPattern::ALL[pat]);
+            if k % 2 == 0 {
+                let a = fast.read(0, access);
+                let b = oracle.read(0, access);
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+                if let (Ok(x), Ok(y)) = (a, b) {
+                    prop_assert_eq!(x, y);
+                }
+            } else {
+                let vals: Vec<u64> = (0..n as u64).map(|l| l.wrapping_add(v)).collect();
+                let a = fast.write(access, &vals);
+                let b = oracle.write(access, &vals);
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+            }
+        }
+        prop_assert_eq!(fast.dump_row_major(), oracle.dump_row_major());
+    }
+}

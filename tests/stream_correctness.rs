@@ -1,9 +1,7 @@
 //! STREAM-on-PolyMem correctness and timing invariants across the suite.
 
 use polymem::AccessScheme;
-use stream_bench::{
-    scalar_reference, StreamApp, StreamLayout, StreamOp, PAPER_STREAM_FREQ_MHZ,
-};
+use stream_bench::{scalar_reference, StreamApp, StreamLayout, StreamOp, PAPER_STREAM_FREQ_MHZ};
 
 fn vectors(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let a: Vec<f64> = (0..n).map(|k| (k as f64) * 1.5 - 7.0).collect();
@@ -119,8 +117,7 @@ fn wrong_vector_length_rejected() {
     let mut app = StreamApp::new(StreamOp::Copy, layout, 120.0).unwrap();
     let a = vec![0.0; 512];
     let short = vec![0.0; 100];
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        app.load(&a, &short, &a)
-    }));
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| app.load(&a, &short, &a)));
     assert!(result.is_err(), "length mismatch must be rejected");
 }

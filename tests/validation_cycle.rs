@@ -3,14 +3,14 @@
 //! them back using parallel accesses" — across every scheme, both paper
 //! bank grids, and every pattern each scheme supports.
 
-use polymem::{
-    AccessPattern, AccessScheme, ParallelAccess, PolyMem, PolyMemConfig,
-};
+use polymem::{AccessPattern, AccessScheme, ParallelAccess, PolyMem, PolyMemConfig};
 use proptest::prelude::*;
 
 fn validate_config(cfg: PolyMemConfig) {
     let mut mem = PolyMem::<u64>::new(cfg).unwrap();
-    let data: Vec<u64> = (0..cfg.capacity_elems() as u64).map(|x| x * 31 + 7).collect();
+    let data: Vec<u64> = (0..cfg.capacity_elems() as u64)
+        .map(|x| x * 31 + 7)
+        .collect();
     mem.load_row_major(&data).unwrap();
     let at = |i: usize, j: usize| data[i * cfg.cols + j];
 
@@ -40,9 +40,7 @@ fn validate_config(cfg: PolyMemConfig) {
                     AccessPattern::Row => (0..n).map(|k| at(i, j + k)).collect(),
                     AccessPattern::Column => (0..n).map(|k| at(i + k, j)).collect(),
                     AccessPattern::MainDiagonal => (0..n).map(|k| at(i + k, j + k)).collect(),
-                    AccessPattern::SecondaryDiagonal => {
-                        (0..n).map(|k| at(i + k, j - k)).collect()
-                    }
+                    AccessPattern::SecondaryDiagonal => (0..n).map(|k| at(i + k, j - k)).collect(),
                 };
                 assert_eq!(got, expect, "{} {} at ({i},{j})", cfg.scheme, pattern);
                 let _ = dj;

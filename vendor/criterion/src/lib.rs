@@ -1,0 +1,321 @@
+//! Offline stub of `criterion` 0.5: real wall-clock measurement behind the
+//! API subset this workspace's benches use (`benchmark_group`, `throughput`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `black_box`, `criterion_group!`/`criterion_main!`).
+//!
+//! Per benchmark it calibrates an iteration count targeting ~50ms per
+//! sample, collects `sample_size` samples, and reports median ns/iter plus
+//! derived throughput. No statistical regression analysis or HTML reports.
+//!
+//! Set `CRITERION_JSON=<path>` to append one JSON object per benchmark
+//! (`{"group","bench","ns_per_iter","throughput",...}`) — used to record
+//! baseline files like `BENCH_plan.json`.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter (`name/param`).
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`, keeping each result alive via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Run a single ungrouped benchmark (upstream convenience API).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().id;
+        let mut g = self.benchmark_group(name);
+        g.run(BenchmarkId { id: String::new() }, &mut f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (reporting happens per benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: grow iteration count until one sample takes >= 50ms
+        // (or the count gets large enough that timer noise is negligible).
+        let target = Duration::from_millis(50);
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 24 {
+                break;
+            }
+            // Aim directly at the target with headroom, at least doubling.
+            let scaled = if b.elapsed.as_nanos() == 0 {
+                iters * 16
+            } else {
+                let want =
+                    (target.as_nanos() * 12 / 10 * iters as u128) / b.elapsed.as_nanos().max(1);
+                want.min(u64::MAX as u128) as u64
+            };
+            iters = scaled.max(iters * 2);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples_ns[samples_ns.len() / 2];
+        let lo = samples_ns[0];
+        let hi = samples_ns[samples_ns.len() - 1];
+
+        let throughput_desc = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gibs = n as f64 / median / 1.073_741_824;
+                Some(format!("{gibs:.3} GiB/s"))
+            }
+            Some(Throughput::Elements(n)) => {
+                let melem = n as f64 * 1e3 / median;
+                Some(format!("{melem:.1} Melem/s"))
+            }
+            None => None,
+        };
+
+        let label = if id.id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        println!(
+            "{}: [{:.1} ns {:.1} ns {:.1} ns]{}  ({} iters x {} samples)",
+            label,
+            lo,
+            median,
+            hi,
+            throughput_desc
+                .as_deref()
+                .map(|t| format!("  {t}"))
+                .unwrap_or_default(),
+            iters,
+            self.sample_size,
+        );
+
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let (tp_kind, tp_per_iter) = match self.throughput {
+                    Some(Throughput::Bytes(n)) => ("bytes", n),
+                    Some(Throughput::Elements(n)) => ("elements", n),
+                    None => ("none", 0),
+                };
+                let line = format!(
+                    concat!(
+                        "{{\"group\":\"{}\",\"bench\":\"{}\",",
+                        "\"ns_per_iter\":{:.3},\"ns_min\":{:.3},\"ns_max\":{:.3},",
+                        "\"throughput_kind\":\"{}\",\"throughput_per_iter\":{},",
+                        "\"iters\":{},\"samples\":{}}}\n"
+                    ),
+                    self.name, id, median, lo, hi, tp_kind, tp_per_iter, iters, self.sample_size,
+                );
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = file.write_all(line.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Define a benchmark group runner (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups (mirrors criterion's macro).
+///
+/// Accepts and ignores `--bench`-style arguments cargo passes through.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` / harness probing should not explode.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub_smoke");
+        g.throughput(Throughput::Elements(64));
+        g.sample_size(3);
+        g.bench_function(BenchmarkId::from_parameter("sum64"), |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("scaled", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", "b").to_string(), "a/b");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

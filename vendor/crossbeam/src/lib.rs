@@ -1,0 +1,111 @@
+//! Offline stub of `crossbeam`, providing `crossbeam::scope` on top of
+//! `std::thread::scope` (stable since Rust 1.63, which post-dates crossbeam's
+//! scoped-thread API). The closure-taking `spawn(|scope| ...)` signature and
+//! the `Result`-returning `scope(...)` entry point match crossbeam 0.8.
+
+/// Scoped-thread module, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result of a scope or a join: `Err` carries the panic payload.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle passed to `scope` closures and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; returns once all of them finished.
+    ///
+    /// Unjoined panicked children make the whole call return `Err` in
+    /// crossbeam; `std::thread::scope` resumes the panic instead, so this
+    /// stub intercepts it with `catch_unwind` to preserve the `Result`
+    /// contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // AssertUnwindSafe matches crossbeam, which imposes no UnwindSafe
+        // bound on the scope closure.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stdthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+pub use thread::Scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let counter_ref = &counter;
+        let total = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|k| {
+                    s.spawn(move |_| {
+                        counter_ref.fetch_add(1, Ordering::SeqCst);
+                        k * 10
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let res = super::scope(|s| {
+            let h = s.spawn(|_| panic!("child panic"));
+            h.join()
+        })
+        .unwrap();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn unjoined_panic_yields_err() {
+        let res = super::scope(|s| {
+            s.spawn(|_| panic!("unjoined child"));
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stub of `serde`.
+//!
+//! The container building this repository has no network access to
+//! crates.io, so the real serde cannot be fetched. Nothing in the workspace
+//! actually serializes through serde (there is no `serde_json`; the binary
+//! image format in `polymem::image` is hand-rolled) — the dependency exists
+//! only for `#[derive(Serialize, Deserialize)]` annotations kept so the
+//! types remain serde-ready when the real crate is swapped back in.
+//!
+//! This stub therefore provides the two traits as markers with blanket
+//! impls, and re-exports no-op derive macros from the stub `serde_derive`.
+//! Swapping back to real serde is a one-line change in the workspace
+//! `Cargo.toml`.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stub of the `serde::de` module (trait re-exports only).
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

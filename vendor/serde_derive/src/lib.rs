@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real derive macros generate `Serialize`/`Deserialize` impls. The stub
+//! `serde` crate (see `vendor/serde`) provides those traits with blanket
+//! impls, so the derives here expand to nothing: any type that derives them
+//! already satisfies the trait bounds. `#[serde(...)]` helper attributes are
+//! accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
