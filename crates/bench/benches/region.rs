@@ -1,0 +1,116 @@
+//! Criterion: compiled region plans vs the per-access path.
+//!
+//! Three questions, one group each:
+//!
+//! * `region_read` — whole-region gather throughput for Block and Row
+//!   regions, three ways: region-planned (one flat map), per-access-planned
+//!   (PR-1 compiled plans, one lookup per chunk) and interpreted (full
+//!   Fig. 3 pipeline per chunk) — the ISSUE's >= 2x acceptance bar is
+//!   region-planned vs per-access-planned;
+//! * `region_copy` — the fused plan-to-plan copy vs the per-access copy;
+//! * `stream_copy` — STREAM-Copy (C = A) over the paper's vector layout,
+//!   whole-vector region copies vs the per-chunk baseline, in GB/s-equivalent
+//!   bytes/iteration.
+//!
+//! Run with `CRITERION_JSON=BENCH_region.json cargo bench -p polymem-bench
+//! --bench region` to append machine-readable baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymem::{AccessScheme, PolyMem, PolyMemConfig, Region, RegionShape};
+use stream_bench::layout::StreamLayout;
+use stream_bench::region_copy::RegionCopy;
+
+fn mem(scheme: AccessScheme) -> PolyMem<u64> {
+    let cfg = PolyMemConfig::new(64, 64, 2, 4, scheme, 2).unwrap();
+    let mut m = PolyMem::new(cfg).unwrap();
+    let data: Vec<u64> = (0..cfg.capacity_elems() as u64).collect();
+    m.load_row_major(&data).unwrap();
+    m
+}
+
+/// The three execution modes under measurement.
+const MODES: [&str; 3] = ["region_plan", "access_plan", "interp"];
+
+fn apply_mode(m: &mut PolyMem<u64>, mode: &str) {
+    m.set_planning(mode != "interp");
+    m.set_region_planning(mode == "region_plan");
+}
+
+fn bench_region_read(c: &mut Criterion) {
+    let regions = [
+        (
+            "block32x32",
+            Region::new("b", 0, 0, RegionShape::Block { rows: 32, cols: 32 }),
+        ),
+        (
+            "row64",
+            Region::new("r", 5, 0, RegionShape::Row { len: 64 }),
+        ),
+    ];
+    let mut g = c.benchmark_group("region_read");
+    for (name, region) in regions {
+        g.throughput(Throughput::Bytes((region.len() * 8) as u64));
+        for mode in MODES {
+            let mut m = mem(AccessScheme::ReRo);
+            apply_mode(&mut m, mode);
+            let mut out = vec![0u64; region.len()];
+            g.bench_function(BenchmarkId::new(mode, name), |b| {
+                b.iter(|| {
+                    m.read_region_into(0, black_box(&region), &mut out).unwrap();
+                    out[0]
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_region_copy(c: &mut Criterion) {
+    let src = Region::new("s", 0, 0, RegionShape::Block { rows: 16, cols: 32 });
+    let dst = Region::new("d", 32, 32, RegionShape::Block { rows: 16, cols: 32 });
+    let mut g = c.benchmark_group("region_copy");
+    // STREAM counting: each element is read once and written once.
+    g.throughput(Throughput::Bytes((2 * src.len() * 8) as u64));
+    for mode in ["region_plan", "access_plan"] {
+        let mut m = mem(AccessScheme::ReRo);
+        apply_mode(&mut m, mode);
+        g.bench_function(BenchmarkId::new(mode, "block16x32"), |b| {
+            b.iter(|| {
+                m.copy_region(0, black_box(&src), black_box(&dst)).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stream_copy(c: &mut Criterion) {
+    // 16 rows x 512 cols per vector = 8192 elements; rows tile p = 2, so
+    // each vector is one Block region.
+    let layout = StreamLayout::new(16 * 512, 512, 2, 4, AccessScheme::RoCo, 2).unwrap();
+    let vals: Vec<f64> = (0..layout.a.len).map(|k| k as f64 + 0.5).collect();
+    let mut g = c.benchmark_group("stream_copy");
+    for via_regions in [true, false] {
+        let mut rc = RegionCopy::new(layout).unwrap();
+        rc.load_a(&vals).unwrap();
+        g.throughput(Throughput::Bytes(rc.bytes_per_pass() as u64));
+        let mode = if via_regions { "regions" } else { "per_access" };
+        g.bench_function(BenchmarkId::new(mode, "16x512"), |b| {
+            b.iter(|| {
+                if via_regions {
+                    rc.copy_via_regions().unwrap();
+                } else {
+                    rc.copy_per_access().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_region_read,
+    bench_region_copy,
+    bench_stream_copy
+);
+criterion_main!(benches);

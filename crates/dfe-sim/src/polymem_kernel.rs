@@ -9,7 +9,7 @@
 
 use crate::kernel::{DelayLine, Kernel};
 use crate::stream::StreamRef;
-use polymem::{ParallelAccess, PolyMem, PolyMemConfig, PolyMemError};
+use polymem::{ParallelAccess, PolyMem, PolyMemConfig, PolyMemError, Region};
 
 /// The read latency of the paper's synthesized design, in cycles.
 pub const PAPER_READ_LATENCY: u64 = 14;
@@ -20,6 +20,10 @@ pub type ReadRequest = ParallelAccess;
 pub type ReadResponse = Vec<u64>;
 /// A write request: target access + lane data.
 pub type WriteRequest = (ParallelAccess, Vec<u64>);
+/// A region read request (served via the compiled region plan).
+pub type RegionRequest = Region;
+/// A region read response: the region's elements in canonical order.
+pub type RegionResponse = Vec<u64>;
 
 /// PolyMem wrapped as a ticked kernel with request/response streams.
 pub struct PolyMemKernel {
@@ -30,6 +34,18 @@ pub struct PolyMemKernel {
     read_resp: Vec<StreamRef<ReadResponse>>,
     pipelines: Vec<DelayLine<ReadResponse>>,
     write_req: StreamRef<WriteRequest>,
+    /// Optional region port: whole-region requests stream out in canonical
+    /// order through the compiled region plan. See [`attach_region_port`].
+    ///
+    /// [`attach_region_port`]: PolyMemKernel::attach_region_port
+    region_req: Option<StreamRef<RegionRequest>>,
+    region_resp: Option<StreamRef<RegionResponse>>,
+    /// An in-flight region transfer: (delivery cycle, data). The region
+    /// engine occupies port 0 for `ceil(len / lanes)` cycles — one parallel
+    /// access per cycle, exactly what the burst costs in hardware — then the
+    /// pipeline latency applies once to the whole burst.
+    region_inflight: Option<(u64, Vec<u64>)>,
+    region_reads_served: u64,
     /// Reusable lane buffer: the compiled-plan gather lands here each cycle,
     /// so the steady-state read path performs no routing work per tick.
     scratch: Vec<u64>,
@@ -70,6 +86,10 @@ impl PolyMemKernel {
             read_resp,
             pipelines,
             write_req,
+            region_req: None,
+            region_resp: None,
+            region_inflight: None,
+            region_reads_served: 0,
             scratch: vec![0; config.lanes()],
             errors: Vec::new(),
             reads_served: 0,
@@ -98,6 +118,30 @@ impl PolyMemKernel {
         self.mem.plan_stats()
     }
 
+    /// Region-plan-cache activity of the wrapped memory.
+    pub fn region_plan_stats(&self) -> polymem::RegionPlanCacheStats {
+        self.mem.region_plan_stats()
+    }
+
+    /// Attach a region port: whole-region read requests pop from
+    /// `region_req` and the region's elements (canonical order) emerge on
+    /// `region_resp` after `ceil(len / lanes)` access cycles plus the read
+    /// latency. The region engine shares port 0's datapath, so a region
+    /// transfer and per-access reads on port 0 serialize against each other.
+    pub fn attach_region_port(
+        &mut self,
+        region_req: StreamRef<RegionRequest>,
+        region_resp: StreamRef<RegionResponse>,
+    ) {
+        self.region_req = Some(region_req);
+        self.region_resp = Some(region_resp);
+    }
+
+    /// Region reads served so far.
+    pub fn region_reads_served(&self) -> u64 {
+        self.region_reads_served
+    }
+
     /// Errors accumulated from invalid requests.
     pub fn errors(&self) -> &[PolyMemError] {
         &self.errors
@@ -118,6 +162,11 @@ impl PolyMemKernel {
         self.pipelines.iter().all(DelayLine::is_empty)
             && self.read_req.iter().all(|s| s.borrow().is_empty())
             && self.write_req.borrow().is_empty()
+            && self.region_inflight.is_none()
+            && self
+                .region_req
+                .as_ref()
+                .is_none_or(|s| s.borrow().is_empty())
     }
 }
 
@@ -137,10 +186,50 @@ impl Kernel for PolyMemKernel {
                 }
             }
         }
-        // 2. Issue one read per port (reads see pre-write state: they are
+        // 2. Region engine: deliver a finished burst, then accept the next
+        //    region request. A region of `len` elements costs
+        //    `ceil(len / lanes)` access cycles (one parallel access per
+        //    cycle) before the pipeline latency — the whole burst is one
+        //    compiled gather, so the model charges cycles without paying any
+        //    per-access routing work.
+        if let Some((ready, _)) = self.region_inflight {
+            let can_push = self
+                .region_resp
+                .as_ref()
+                .is_some_and(|s| s.borrow().can_push());
+            if cycle >= ready && can_push {
+                let (_, data) = self.region_inflight.take().unwrap();
+                self.region_resp.as_ref().unwrap().borrow_mut().push(data);
+            }
+        }
+        let region_busy = matches!(&self.region_inflight,
+            Some((ready, _)) if cycle < ready.saturating_sub(self.read_latency));
+        if self.region_inflight.is_none() {
+            if let Some(req) = &self.region_req {
+                if let Some(region) = req.borrow_mut().pop() {
+                    match self.mem.read_region(0, &region) {
+                        Ok(data) => {
+                            let lanes = self.mem.config().lanes();
+                            let access_cycles = region.len().div_ceil(lanes).max(1) as u64;
+                            self.region_inflight =
+                                Some((cycle + access_cycles + self.read_latency, data));
+                            self.region_reads_served += 1;
+                            self.reads_served += region.len().div_ceil(lanes) as u64;
+                        }
+                        Err(e) => self.errors.push(e),
+                    }
+                }
+            }
+        }
+        // 3. Issue one read per port (reads see pre-write state: they are
         //    served before this cycle's write commits). Only issue when the
-        //    response path has room for what is already in flight.
+        //    response path has room for what is already in flight. Port 0
+        //    shares its datapath with the region engine and stalls while a
+        //    region burst is streaming.
         for port in 0..self.read_req.len() {
+            if port == 0 && region_busy {
+                continue;
+            }
             let room = {
                 let resp = self.read_resp[port].borrow();
                 resp.can_push()
@@ -159,7 +248,7 @@ impl Kernel for PolyMemKernel {
                 }
             }
         }
-        // 3. Commit one write.
+        // 4. Commit one write.
         let w = self.write_req.borrow_mut().pop();
         if let Some((access, data)) = w {
             match self.mem.write(access, &data) {
@@ -334,6 +423,79 @@ mod tests {
         k.tick(902);
         let interp = rs[0].borrow_mut().pop().unwrap();
         assert_eq!(interp, planned[3], "interpreted path agrees with planned");
+    }
+
+    #[test]
+    fn region_port_streams_whole_region() {
+        use polymem::RegionShape;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let rq = vec![stream("rq", 8)];
+        let rs = vec![stream("rs", 8)];
+        let wq = stream("wq", 8);
+        let gq = stream("gq", 8);
+        let gs = stream("gs", 8);
+        let mut k = PolyMemKernel::new("pm", cfg, 2, rq, rs, wq).unwrap();
+        k.attach_region_port(Rc::clone(&gq), Rc::clone(&gs));
+        for r in 0..16usize {
+            for c in 0..16usize {
+                k.mem().set(r, c, (r * 16 + c) as u64).unwrap();
+            }
+        }
+        // A 4x8 block = 32 elements = 4 accesses of 8 lanes. Issued at
+        // cycle 0 -> ready at 0 + 4 + 2 = 6, delivered by the tick of 6.
+        let region = Region::new("b", 2, 0, RegionShape::Block { rows: 4, cols: 8 });
+        gq.borrow_mut().push(region.clone());
+        for cycle in 0..6 {
+            k.tick(cycle);
+            assert!(gs.borrow().is_empty(), "not before latency elapses");
+        }
+        k.tick(6);
+        let got = gs.borrow_mut().pop().expect("delivered at cycle 6");
+        let want: Vec<u64> = region
+            .coords_iter()
+            .unwrap()
+            .map(|(i, j)| (i * 16 + j) as u64)
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(k.region_reads_served(), 1);
+        assert_eq!(k.reads_served(), 4, "burst charged as 4 parallel accesses");
+        // The transfer compiled exactly one region plan; replaying it hits.
+        gq.borrow_mut().push(region);
+        for cycle in 7..20 {
+            k.tick(cycle);
+        }
+        let rp = k.region_plan_stats();
+        assert_eq!(rp.misses, 1, "{rp:?}");
+        assert!(rp.hits >= 1, "{rp:?}");
+    }
+
+    #[test]
+    fn region_errors_surface_not_panic() {
+        use polymem::RegionShape;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let gq = stream("gq", 8);
+        let gs = stream("gs", 8);
+        let mut k = PolyMemKernel::new(
+            "pm",
+            cfg,
+            0,
+            vec![stream("rq", 8)],
+            vec![stream("rs", 8)],
+            stream("wq", 8),
+        )
+        .unwrap();
+        k.attach_region_port(Rc::clone(&gq), Rc::clone(&gs));
+        // Out of bounds block.
+        gq.borrow_mut().push(Region::new(
+            "oob",
+            14,
+            0,
+            RegionShape::Block { rows: 4, cols: 8 },
+        ));
+        k.tick(0);
+        assert_eq!(k.errors().len(), 1);
+        assert_eq!(k.region_reads_served(), 0);
+        assert!(gs.borrow().is_empty());
     }
 
     #[test]

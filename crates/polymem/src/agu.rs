@@ -29,6 +29,18 @@ impl Agu {
         self.p * self.q
     }
 
+    /// Bank-grid rows `p`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Bank-grid columns `q`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
     /// Bounds-check `access` without expanding coordinates.
     ///
     /// Returns [`PolyMemError::OutOfBounds`] if any element of the pattern

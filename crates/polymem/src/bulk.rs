@@ -6,37 +6,97 @@
 //! * [`PolyMem::read_region`] / [`PolyMem::write_region`] — move an entire
 //!   [`Region`] through the minimum sequence of parallel accesses (the
 //!   Fig. 2 "R0 takes several accesses" decomposition);
-//! * [`PolyMem::copy_region`] — region-to-region copy through the ports;
+//! * [`PolyMem::copy_region`] — region-to-region copy through the ports
+//!   (the STREAM-Copy inner loop as a library call);
 //! * [`PolyMem::convert_scheme`] — re-materialise the memory under another
 //!   scheme (the "runtime partial reconfiguration" the paper mentions as a
 //!   deployment option: same data, different conflict-free view set).
+//!
+//! By default every operation replays a compiled [`RegionPlan`]
+//! (see [`crate::region_plan`]): one bounds check, one origin address, one
+//! flat gather/scatter loop — no per-access plan lookups, no coordinate
+//! reordering, no allocation beyond the caller's output buffer. The
+//! per-access path survives behind [`PolyMem::set_region_planning`] as the
+//! differential-testing oracle and the tracing path.
 
 use crate::config::PolyMemConfig;
 use crate::error::{PolyMemError, Result};
 use crate::mem::PolyMem;
-use crate::region::Region;
-use crate::scheme::{AccessScheme, ParallelAccess};
+use crate::region::{Region, RegionShape};
+use crate::region_plan::RegionPlan;
+use crate::scheme::ParallelAccess;
+use crate::AccessScheme;
+use std::sync::Arc;
 
 impl<T: Copy + Default> PolyMem<T> {
+    /// The compiled region plan for `region`'s residue class (compiling on
+    /// first use). Returned by `Arc` so callers can release the cache borrow
+    /// before touching bank storage.
+    pub(crate) fn region_plan_for(&mut self, region: &Region) -> Result<Arc<RegionPlan>> {
+        let Self {
+            region_plans,
+            plans,
+            agu,
+            maf,
+            afn,
+            config,
+            ..
+        } = self;
+        region_plans
+            .get_or_compile(region, config.scheme, agu, maf, afn, plans)
+            .map(Arc::clone)
+    }
+
     /// Read a whole region through parallel accesses, in the region's
-    /// canonical element order. The region must tile the access geometry
+    /// canonical element order, into `out` (which must hold exactly
+    /// [`Region::len`] elements). The region must tile the access geometry
     /// (use the `scheduler` crate for ragged covers).
-    pub fn read_region(&mut self, port: usize, region: &Region) -> Result<Vec<T>> {
+    pub fn read_region_into(&mut self, port: usize, region: &Region, out: &mut [T]) -> Result<()> {
+        if port >= self.config.read_ports {
+            return Err(PolyMemError::InvalidPort {
+                port,
+                ports: self.config.read_ports,
+            });
+        }
+        if out.len() != region.len() {
+            return Err(PolyMemError::WrongLaneCount {
+                got: out.len(),
+                expected: region.len(),
+            });
+        }
+        if self.use_region_plan() {
+            let plan = self.region_plan_for(region)?;
+            plan.check_bounds(region, self.config.rows, self.config.cols)?;
+            let base = self.afn.address(region.i, region.j) as isize;
+            let flat = self.banks.flat();
+            for (o, &f) in out.iter_mut().zip(&plan.fold) {
+                *o = flat[(base + f) as usize];
+            }
+            self.stats.reads += plan.accesses as u64;
+            self.stats.elements_read += plan.len() as u64;
+            return Ok(());
+        }
+        // Per-access oracle path: one parallel read per access, lanes
+        // splayed to canonical positions through the closed-form index.
         let cfg = *self.config();
         let accesses = region.plan_accesses(cfg.p, cfg.q)?;
+        let order = region_order_indices(region, &accesses, cfg.p, cfg.q);
         let lanes = cfg.lanes();
-        let mut flat = Vec::with_capacity(region.len());
         let mut buf = vec![T::default(); lanes];
-        for access in &accesses {
+        for (a, access) in accesses.iter().enumerate() {
             self.read_into(port, *access, &mut buf)?;
-            flat.extend_from_slice(&buf);
+            for (k, &v) in buf.iter().enumerate() {
+                out[order[a * lanes + k]] = v;
+            }
         }
-        // The per-access lane order concatenated is not necessarily the
-        // region's canonical order for Block regions (accesses walk tiles);
-        // reorder via coordinates.
-        Ok(reorder_to_region_order(
-            region, &accesses, cfg.p, cfg.q, flat,
-        ))
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around [`Self::read_region_into`].
+    pub fn read_region(&mut self, port: usize, region: &Region) -> Result<Vec<T>> {
+        let mut out = vec![T::default(); region.len()];
+        self.read_region_into(port, region, &mut out)?;
+        Ok(out)
     }
 
     /// Write a whole region (values in the region's canonical order).
@@ -47,6 +107,18 @@ impl<T: Copy + Default> PolyMem<T> {
                 expected: region.len(),
             });
         }
+        if self.use_region_plan() {
+            let plan = self.region_plan_for(region)?;
+            plan.check_bounds(region, self.config.rows, self.config.cols)?;
+            let base = self.afn.address(region.i, region.j) as isize;
+            let flat = self.banks.flat_mut();
+            for (&f, &v) in plan.fold.iter().zip(values) {
+                flat[(base + f) as usize] = v;
+            }
+            self.stats.writes += plan.accesses as u64;
+            self.stats.elements_written += plan.len() as u64;
+            return Ok(());
+        }
         let cfg = *self.config();
         let accesses = region.plan_accesses(cfg.p, cfg.q)?;
         // Map canonical region order -> per-access lane order.
@@ -54,8 +126,8 @@ impl<T: Copy + Default> PolyMem<T> {
         let lanes = cfg.lanes();
         let mut buf = vec![T::default(); lanes];
         for (a, access) in accesses.iter().enumerate() {
-            for k in 0..lanes {
-                buf[k] = values[order[a * lanes + k]];
+            for (k, slot) in buf.iter_mut().enumerate() {
+                *slot = values[order[a * lanes + k]];
             }
             self.write(*access, &buf)?;
         }
@@ -64,21 +136,50 @@ impl<T: Copy + Default> PolyMem<T> {
 
     /// Copy `src` to `dst` through the ports (one read + one write per
     /// access pair — the STREAM-Copy inner loop as a library call).
-    /// Regions must have equal length and identical shape decomposition.
+    /// Regions must decompose into the same number of accesses; lane `k` of
+    /// source access `t` lands in lane `k` of destination access `t`, so
+    /// overlapping regions behave exactly like the explicit per-access loop.
     pub fn copy_region(&mut self, port: usize, src: &Region, dst: &Region) -> Result<()> {
+        if port >= self.config.read_ports {
+            return Err(PolyMemError::InvalidPort {
+                port,
+                ports: self.config.read_ports,
+            });
+        }
+        if self.use_region_plan() {
+            let sp = self.region_plan_for(src)?;
+            let dp = self.region_plan_for(dst)?;
+            if sp.accesses != dp.accesses {
+                return Err(copy_shape_mismatch(src, sp.accesses, dst, dp.accesses));
+            }
+            sp.check_bounds(src, self.config.rows, self.config.cols)?;
+            dp.check_bounds(dst, self.config.rows, self.config.cols)?;
+            let sbase = self.afn.address(src.i, src.j) as isize;
+            let dbase = self.afn.address(dst.i, dst.j) as isize;
+            let lanes = self.config.lanes();
+            let mut buf = vec![T::default(); lanes];
+            let flat = self.banks.flat_mut();
+            for t in 0..sp.accesses {
+                let sa = &sp.afold[t * lanes..(t + 1) * lanes];
+                let da = &dp.afold[t * lanes..(t + 1) * lanes];
+                for (b, &f) in buf.iter_mut().zip(sa) {
+                    *b = flat[(sbase + f) as usize];
+                }
+                for (&f, &v) in da.iter().zip(&buf) {
+                    flat[(dbase + f) as usize] = v;
+                }
+            }
+            self.stats.reads += sp.accesses as u64;
+            self.stats.writes += dp.accesses as u64;
+            self.stats.elements_read += sp.len() as u64;
+            self.stats.elements_written += dp.len() as u64;
+            return Ok(());
+        }
         let cfg = *self.config();
         let src_acc = src.plan_accesses(cfg.p, cfg.q)?;
         let dst_acc = dst.plan_accesses(cfg.p, cfg.q)?;
         if src_acc.len() != dst_acc.len() {
-            return Err(PolyMemError::InvalidGeometry {
-                reason: format!(
-                    "copy_region: {} decomposes into {} accesses but {} into {}",
-                    src.name,
-                    src_acc.len(),
-                    dst.name,
-                    dst_acc.len()
-                ),
-            });
+            return Err(copy_shape_mismatch(src, src_acc.len(), dst, dst_acc.len()));
         }
         let mut buf = vec![T::default(); cfg.lanes()];
         for (s, d) in src_acc.iter().zip(&dst_acc) {
@@ -93,17 +194,44 @@ impl<T: Copy + Default> PolyMem<T> {
     /// the logical content is unchanged, the conflict-free pattern set
     /// switches to the new scheme's.
     ///
-    /// The transfer walks aligned `p x q` rectangle tiles, which every
-    /// scheme serves conflict-free (Table I; RoCo needs alignment, which
-    /// tile origins satisfy by construction). All tiles share one residue
-    /// class, so each side compiles exactly one access plan and the copy
-    /// degenerates to a gather/scatter per tile.
+    /// With region planning on, the whole logical space is treated as one
+    /// `rows x cols` Block region on each side: both memories compile one
+    /// region plan (cached for repeat conversions on the source side) and
+    /// the transfer is a single fused gather/scatter loop. The fallback
+    /// walks aligned `p x q` rectangle tiles, which every scheme serves
+    /// conflict-free (Table I; RoCo needs alignment, which tile origins
+    /// satisfy by construction).
     pub fn convert_scheme(&mut self, scheme: AccessScheme) -> Result<PolyMem<T>> {
         let mut cfg: PolyMemConfig = *self.config();
         cfg.scheme = scheme;
         cfg.validate()?;
         let mut out = PolyMem::new(cfg)?;
         let (p, q) = (cfg.p, cfg.q);
+        if self.use_region_plan() {
+            let whole = Region::new(
+                "__convert",
+                0,
+                0,
+                RegionShape::Block {
+                    rows: cfg.rows,
+                    cols: cfg.cols,
+                },
+            );
+            let sp = self.region_plan_for(&whole)?;
+            let dp = out.region_plan_for(&whole)?;
+            let sbase = self.afn.address(0, 0) as isize;
+            let dbase = out.afn.address(0, 0) as isize;
+            let sflat = self.banks.flat();
+            let dflat = out.banks.flat_mut();
+            for (&sf, &df) in sp.fold.iter().zip(&dp.fold) {
+                dflat[(dbase + df) as usize] = sflat[(sbase + sf) as usize];
+            }
+            self.stats.reads += sp.accesses as u64;
+            self.stats.elements_read += sp.len() as u64;
+            out.stats.writes += dp.accesses as u64;
+            out.stats.elements_written += dp.len() as u64;
+            return Ok(out);
+        }
         let mut buf = vec![T::default(); cfg.lanes()];
         for ti in (0..cfg.rows).step_by(p) {
             for tj in (0..cfg.cols).step_by(q) {
@@ -116,42 +244,34 @@ impl<T: Copy + Default> PolyMem<T> {
     }
 }
 
+fn copy_shape_mismatch(src: &Region, n: usize, dst: &Region, m: usize) -> PolyMemError {
+    PolyMemError::InvalidGeometry {
+        reason: format!(
+            "copy_region: {} decomposes into {n} accesses but {} into {m}",
+            src.name, dst.name
+        ),
+    }
+}
+
 /// For each access (in order) and lane, the index into the region's
-/// canonical element order.
+/// canonical element order. Uses the closed-form
+/// [`Region::canonical_index`] — no coordinate `HashMap`.
 fn region_order_indices(
     region: &Region,
-    accesses: &[crate::scheme::ParallelAccess],
+    accesses: &[ParallelAccess],
     p: usize,
     q: usize,
 ) -> Vec<usize> {
-    use std::collections::HashMap;
-    let canon: HashMap<(usize, usize), usize> = region
-        .coords()
-        .into_iter()
-        .enumerate()
-        .map(|(k, c)| (c, k))
-        .collect();
     let agu = crate::agu::Agu::new(p, q, usize::MAX / 2, usize::MAX / 2);
     let mut out = Vec::with_capacity(accesses.len() * p * q);
     for access in accesses {
-        for coord in agu.expand(*access).expect("planned access expands") {
-            out.push(*canon.get(&coord).expect("planned access stays in region"));
+        for (i, j) in agu.expand(*access).expect("planned access expands") {
+            out.push(
+                region
+                    .canonical_index(i, j)
+                    .expect("planned access stays in region"),
+            );
         }
-    }
-    out
-}
-
-fn reorder_to_region_order<T: Copy + Default>(
-    region: &Region,
-    accesses: &[crate::scheme::ParallelAccess],
-    p: usize,
-    q: usize,
-    flat: Vec<T>,
-) -> Vec<T> {
-    let order = region_order_indices(region, accesses, p, q);
-    let mut out = vec![T::default(); flat.len()];
-    for (v, &dst) in flat.into_iter().zip(&order) {
-        out[dst] = v;
     }
     out
 }
@@ -177,6 +297,7 @@ mod tests {
         let vals = m.read_region(0, &r).unwrap();
         let want: Vec<u64> = r
             .coords()
+            .unwrap()
             .iter()
             .map(|&(i, j)| (i * 16 + j) as u64)
             .collect();
@@ -190,6 +311,71 @@ mod tests {
         let vals = m.read_region(0, &r).unwrap();
         let want: Vec<u64> = (0..16).map(|j| (5 * 16 + j) as u64).collect();
         assert_eq!(vals, want);
+    }
+
+    #[test]
+    fn planned_and_per_access_paths_agree() {
+        for scheme in [AccessScheme::ReRo, AccessScheme::RoCo, AccessScheme::ReO] {
+            let mut m = mem(scheme);
+            let regions = [
+                Region::new("b", 2, 4, RegionShape::Block { rows: 4, cols: 8 }),
+                Region::new("b2", 0, 0, RegionShape::Block { rows: 2, cols: 4 }),
+            ];
+            for r in &regions {
+                let planned = m.read_region(0, r).unwrap();
+                m.set_region_planning(false);
+                let naive = m.read_region(0, r).unwrap();
+                m.set_region_planning(true);
+                assert_eq!(planned, naive, "{scheme} {}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn region_plan_compiles_once_per_class() {
+        let mut m = mem(AccessScheme::ReRo);
+        let r = Region::new("row", 5, 0, RegionShape::Row { len: 16 });
+        for _ in 0..4 {
+            m.read_region(0, &r).unwrap();
+        }
+        // Same class, shifted by the period (8): still one plan.
+        let shifted = Region::new("row2", 13, 0, RegionShape::Row { len: 16 });
+        m.read_region(0, &shifted).unwrap();
+        let s = m.region_plan_stats();
+        assert_eq!(s.misses, 1, "one compile for the residue class: {s:?}");
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > 0);
+        m.clear_region_plans();
+        assert_eq!(m.region_plan_stats().entries, 0);
+    }
+
+    #[test]
+    fn read_region_into_checks_output_length() {
+        let mut m = mem(AccessScheme::ReO);
+        let r = Region::new("b", 0, 0, RegionShape::Block { rows: 2, cols: 4 });
+        let mut small = vec![0u64; 4];
+        assert!(matches!(
+            m.read_region_into(0, &r, &mut small),
+            Err(PolyMemError::WrongLaneCount {
+                got: 4,
+                expected: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn region_port_checked_up_front() {
+        let mut m = mem(AccessScheme::ReO);
+        let r = Region::new("b", 0, 0, RegionShape::Block { rows: 2, cols: 4 });
+        assert!(matches!(
+            m.read_region(1, &r),
+            Err(PolyMemError::InvalidPort { port: 1, ports: 1 })
+        ));
+        assert!(matches!(
+            m.copy_region(1, &r, &r),
+            Err(PolyMemError::InvalidPort { .. })
+        ));
     }
 
     #[test]
@@ -222,11 +408,52 @@ mod tests {
     }
 
     #[test]
+    fn copy_region_overlap_matches_per_access_path() {
+        // Overlapping src/dst exercise the read-chunk-then-write-chunk
+        // interleaving; planned and per-access paths must agree exactly.
+        let src = Region::new("s", 2, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let dst = Region::new("d", 4, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let mut planned = mem(AccessScheme::ReO);
+        planned.copy_region(0, &src, &dst).unwrap();
+        let mut naive = mem(AccessScheme::ReO);
+        naive.set_region_planning(false);
+        naive.copy_region(0, &src, &dst).unwrap();
+        assert_eq!(planned.dump_row_major(), naive.dump_row_major());
+    }
+
+    #[test]
+    fn copy_region_cross_shape_matches_per_access_path() {
+        // Row strip into column strip: same access count, different lane
+        // geometry — pairing is positional, like the explicit loop.
+        let src = Region::new("s", 1, 0, RegionShape::Row { len: 8 });
+        let dst = Region::new("d", 0, 11, RegionShape::Col { len: 8 });
+        let mut planned = mem(AccessScheme::RoCo);
+        planned.copy_region(0, &src, &dst).unwrap();
+        let mut naive = mem(AccessScheme::RoCo);
+        naive.set_region_planning(false);
+        naive.copy_region(0, &src, &dst).unwrap();
+        assert_eq!(planned.dump_row_major(), naive.dump_row_major());
+    }
+
+    #[test]
     fn copy_region_shape_mismatch_rejected() {
         let mut m = mem(AccessScheme::RoCo);
         let src = Region::new("src", 0, 0, RegionShape::Row { len: 16 });
         let dst = Region::new("dst", 0, 0, RegionShape::Col { len: 8 });
         assert!(m.copy_region(0, &src, &dst).is_err());
+    }
+
+    #[test]
+    fn region_stats_match_per_access_path() {
+        let r = Region::new("b", 2, 4, RegionShape::Block { rows: 4, cols: 8 });
+        let mut a = mem(AccessScheme::ReO);
+        a.reset_stats();
+        let _ = a.read_region(0, &r).unwrap();
+        let mut b = mem(AccessScheme::ReO);
+        b.set_region_planning(false);
+        b.reset_stats();
+        let _ = b.read_region(0, &r).unwrap();
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]
@@ -251,6 +478,11 @@ mod tests {
         for scheme in AccessScheme::ALL {
             let converted = base.convert_scheme(scheme).unwrap();
             assert_eq!(converted.dump_row_major(), snapshot, "{scheme}");
+            // The fused path must also agree with the tile-walk fallback.
+            base.set_region_planning(false);
+            let tiled = base.convert_scheme(scheme).unwrap();
+            base.set_region_planning(true);
+            assert_eq!(tiled.dump_row_major(), snapshot, "{scheme} tiled");
         }
     }
 }

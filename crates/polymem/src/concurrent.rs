@@ -8,6 +8,18 @@
 //! locks are never contended by lanes of the same access — contention can
 //! only occur between ports, and read ports never block each other.
 //!
+//! The compiled-plan cache is sharded per access pattern (one
+//! `RwLock<PlanCache>` per [`AccessPattern`]): ports replaying different
+//! patterns never touch the same lock, so a cold compile of one pattern
+//! cannot stall the hot path of another — the single-`RwLock` bottleneck
+//! the roadmap flagged.
+//!
+//! Region operations ([`ConcurrentPolyMem::read_region`] /
+//! [`ConcurrentPolyMem::write_region`]) replay compiled [`RegionPlan`]s:
+//! reads shard the canonical element range across the configured read ports
+//! (one contiguous output chunk per port thread), writes take each bank
+//! lock once and drain that bank's elements in a batch.
+//!
 //! Granularity note: each element access locks its bank individually, so a
 //! concurrent reader may observe a simultaneous write partially applied
 //! (element-level atomicity, not access-level). Cycle-accurate port
@@ -21,10 +33,16 @@ use crate::config::PolyMemConfig;
 use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
 use crate::plan::{AccessPlan, PlanCache, PlanCacheStats};
-use crate::scheme::ParallelAccess;
+use crate::region::Region;
+use crate::region_plan::{RegionPlan, RegionPlanCache, RegionPlanCacheStats};
+use crate::scheme::{AccessPattern, ParallelAccess};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Below this many elements a region read is gathered serially: spawning
+/// port threads costs more than the gather itself.
+const PARALLEL_REGION_MIN: usize = 256;
 
 /// A PolyMem whose ports can be driven from multiple threads through `&self`.
 #[derive(Debug)]
@@ -34,9 +52,14 @@ pub struct ConcurrentPolyMem<T> {
     afn: AddressingFunction,
     agu: Agu,
     banks: Vec<RwLock<Vec<T>>>,
-    /// Shared compiled-plan cache: ports take the read lock on the hot path
-    /// and the write lock only to install a newly compiled class.
-    plans: RwLock<PlanCache>,
+    /// Per-pattern shards of the compiled-plan cache (indexed by
+    /// [`AccessPattern::index`]). Ports take a shard's read lock on the hot
+    /// path and its write lock only to install a newly compiled class.
+    plans: [RwLock<PlanCache>; AccessPattern::COUNT],
+    /// Compiled whole-region transfers. Lock order: a pattern shard is
+    /// always taken *before* this lock (region compilation feeds per-access
+    /// plans through the pattern shard).
+    region_plans: RwLock<RegionPlanCache>,
     planning: AtomicBool,
 }
 
@@ -54,7 +77,8 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             afn: AddressingFunction::new(config.p, config.q, config.rows, config.cols),
             agu: Agu::new(config.p, config.q, config.rows, config.cols),
             banks,
-            plans: RwLock::new(PlanCache::new(config.lanes(), depth)),
+            plans: std::array::from_fn(|_| RwLock::new(PlanCache::new(config.lanes(), depth))),
+            region_plans: RwLock::new(RegionPlanCache::new(config.lanes())),
             planning: AtomicBool::new(true),
         })
     }
@@ -77,42 +101,63 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         self.planning.load(Ordering::Relaxed)
     }
 
-    /// Activity counters of the shared plan cache.
+    /// Aggregated activity counters across all per-pattern cache shards.
     pub fn plan_stats(&self) -> PlanCacheStats {
-        self.plans.read().stats()
+        let mut total = PlanCacheStats::default();
+        for shard in &self.plans {
+            let s = shard.read().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.entries += s.entries;
+        }
+        total
     }
 
-    /// The compiled plan for `access`'s residue class: read-lock lookup
-    /// first, write-lock compile on miss. Callers bounds-check separately.
+    /// Activity counters of the region-plan cache.
+    pub fn region_plan_stats(&self) -> RegionPlanCacheStats {
+        self.region_plans.read().stats()
+    }
+
+    /// The compiled plan for `access`'s residue class: read-lock lookup on
+    /// the pattern's shard first, write-lock compile on miss. Callers
+    /// bounds-check separately.
     fn plan_for(&self, access: ParallelAccess) -> Result<Arc<AccessPlan>> {
-        if let Some(plan) = self.plans.read().lookup(access) {
+        let shard = &self.plans[access.pattern.index()];
+        if let Some(plan) = shard.read().lookup(access) {
             return Ok(plan);
         }
-        self.plans
+        shard
             .write()
             .get_or_compile(access, &self.agu, &self.maf, &self.afn)
             .map(Arc::clone)
     }
 
+    /// The compiled region plan for `region`'s residue class. A region's
+    /// shape maps to exactly one access pattern, so a cold compile
+    /// write-locks one pattern shard plus the region cache (in that order).
+    fn region_plan_for(&self, region: &Region) -> Result<Arc<RegionPlan>> {
+        if let Some(plan) = self.region_plans.read().lookup(region) {
+            return Ok(plan);
+        }
+        let shard = &self.plans[region.shape.pattern().index()];
+        let mut acc_cache = shard.write();
+        let mut regions = self.region_plans.write();
+        regions
+            .get_or_compile(
+                region,
+                self.config.scheme,
+                &self.agu,
+                &self.maf,
+                &self.afn,
+                &mut acc_cache,
+            )
+            .map(Arc::clone)
+    }
+
     fn check_access(&self, access: ParallelAccess) -> Result<()> {
-        let (scheme, p, q) = (self.config.scheme, self.config.p, self.config.q);
-        if !scheme.supports(access.pattern, p, q) {
-            return Err(PolyMemError::UnsupportedPattern {
-                scheme,
-                pattern: access.pattern,
-            });
-        }
-        if scheme.requires_alignment(access.pattern)
-            && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q))
-        {
-            return Err(PolyMemError::Misaligned {
-                scheme,
-                pattern: access.pattern,
-                i: access.i,
-                j: access.j,
-            });
-        }
-        Ok(())
+        self.config
+            .scheme
+            .check_access(access, self.config.p, self.config.q)
     }
 
     /// Parallel read through any read port; callable concurrently from many
@@ -164,6 +209,68 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             let bank = self.maf.assign_linear(i, j);
             let addr = self.afn.address(i, j);
             self.banks[bank].write()[addr] = v;
+        }
+        Ok(())
+    }
+
+    /// Read a whole region in canonical element order, sharding the compiled
+    /// gather across the configured read ports: each port thread fills one
+    /// contiguous chunk of the output, exactly as each hardware port streams
+    /// one slice of a burst. Small regions are gathered inline — thread
+    /// launch would dominate.
+    pub fn read_region(&self, region: &Region) -> Result<Vec<T>> {
+        let plan = self.region_plan_for(region)?;
+        plan.check_bounds(region, self.config.rows, self.config.cols)?;
+        let base = self.afn.address(region.i, region.j) as isize;
+        let len = plan.len();
+        let mut out = vec![T::default(); len];
+        let ports = self.config.read_ports.max(1);
+        if ports == 1 || len < PARALLEL_REGION_MIN {
+            self.gather_range(&plan, base, 0, &mut out);
+            return Ok(out);
+        }
+        let chunk = len.div_ceil(ports);
+        let plan_ref = &plan;
+        crossbeam::scope(|s| {
+            for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                s.spawn(move |_| {
+                    self.gather_range(plan_ref, base, ci * chunk, out_chunk);
+                });
+            }
+        })
+        .expect("region port thread panicked");
+        Ok(out)
+    }
+
+    /// Gather canonical elements `[start, start + out.len())` of a region
+    /// plan into `out`.
+    fn gather_range(&self, plan: &RegionPlan, base: isize, start: usize, out: &mut [T]) {
+        for (t, o) in out.iter_mut().enumerate() {
+            let c = start + t;
+            *o = self.banks[plan.banks[c] as usize].read()[(base + plan.deltas[c]) as usize];
+        }
+    }
+
+    /// Write a whole region (values in canonical order), taking each bank
+    /// lock exactly once and draining that bank's elements in a batch —
+    /// `p*q` lock acquisitions per region instead of one per element.
+    pub fn write_region(&self, region: &Region, values: &[T]) -> Result<()> {
+        if values.len() != region.len() {
+            return Err(PolyMemError::WrongLaneCount {
+                got: values.len(),
+                expected: region.len(),
+            });
+        }
+        let plan = self.region_plan_for(region)?;
+        plan.check_bounds(region, self.config.rows, self.config.cols)?;
+        let base = self.afn.address(region.i, region.j) as isize;
+        for (b, bank) in self.banks.iter().enumerate().take(plan.lanes) {
+            let elems = &plan.bank_elems[b * plan.accesses..(b + 1) * plan.accesses];
+            let mut guard = bank.write();
+            for &c in elems {
+                let c = c as usize;
+                guard[(base + plan.deltas[c]) as usize] = values[c];
+            }
         }
         Ok(())
     }
@@ -224,12 +331,21 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::region::RegionShape;
     use crate::scheme::{AccessScheme, ParallelAccess as PA};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn mem() -> ConcurrentPolyMem<u64> {
         ConcurrentPolyMem::new(PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 4).unwrap())
             .unwrap()
+    }
+
+    fn fill(m: &ConcurrentPolyMem<u64>) {
+        for r in 0..16usize {
+            for c in 0..16usize {
+                m.set(r, c, (r * 16 + c) as u64).unwrap();
+            }
+        }
     }
 
     #[test]
@@ -300,11 +416,7 @@ mod tests {
     #[test]
     fn planned_path_matches_interpreted() {
         let m = mem();
-        for r in 0..16usize {
-            for c in 0..16usize {
-                m.set(r, c, (r * 16 + c) as u64).unwrap();
-            }
-        }
+        fill(&m);
         let accesses = [
             PA::row(3, 8),
             PA::col(5, 9),
@@ -329,6 +441,89 @@ mod tests {
         m.set_planning(false);
         assert_eq!(m.read(PA::row(7, 0)).unwrap(), vals);
         m.set_planning(true);
+    }
+
+    #[test]
+    fn pattern_shards_isolate_cache_traffic() {
+        let m = mem();
+        fill(&m);
+        let _ = m.read(PA::row(0, 0)).unwrap();
+        let _ = m.read(PA::row(0, 0)).unwrap();
+        let _ = m.read(PA::col(0, 0)).unwrap();
+        // One miss per pattern class, one hit on the repeated row.
+        let s = m.plan_stats();
+        assert_eq!(s.misses, 2, "{s:?}");
+        assert_eq!(s.hits, 1, "{s:?}");
+        assert_eq!(s.entries, 2, "{s:?}");
+    }
+
+    #[test]
+    fn region_read_matches_per_access_reads() {
+        let m = mem();
+        fill(&m);
+        let r = Region::new("b", 2, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let got = m.read_region(&r).unwrap();
+        let want: Vec<u64> = r
+            .coords_iter()
+            .unwrap()
+            .map(|(i, j)| (i * 16 + j) as u64)
+            .collect();
+        assert_eq!(got, want);
+        let s = m.region_plan_stats();
+        assert_eq!(s.misses, 1);
+        // Repeat: pure cache hit.
+        assert_eq!(m.read_region(&r).unwrap(), want);
+        assert_eq!(m.region_plan_stats().hits, 1);
+    }
+
+    #[test]
+    fn region_write_lands_like_element_writes() {
+        let m = mem();
+        let r = Region::new("col", 0, 5, RegionShape::Col { len: 16 });
+        let vals: Vec<u64> = (500..516).collect();
+        m.write_region(&r, &vals).unwrap();
+        for (k, &v) in vals.iter().enumerate() {
+            assert_eq!(m.get(k, 5).unwrap(), v);
+        }
+        // Neighbours untouched.
+        assert_eq!(m.get(0, 4).unwrap(), 0);
+        // Length is checked.
+        assert!(m.write_region(&r, &vals[..3]).is_err());
+    }
+
+    #[test]
+    fn region_read_bounds_and_shape_errors() {
+        let m = mem();
+        let oob = Region::new("b", 14, 0, RegionShape::Block { rows: 4, cols: 8 });
+        assert!(matches!(
+            m.read_region(&oob),
+            Err(PolyMemError::OutOfBounds { .. })
+        ));
+        // RoCo cannot serve diagonals.
+        let diag = Region::new("d", 0, 0, RegionShape::MainDiag { len: 8 });
+        assert!(matches!(
+            m.read_region(&diag),
+            Err(PolyMemError::UnsupportedPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn large_region_read_shards_across_ports() {
+        // 64x64 -> a 64x64 block region of 4096 elements, well above the
+        // serial threshold, so the crossbeam sharding path runs.
+        let m = ConcurrentPolyMem::<u64>::new(
+            PolyMemConfig::new(64, 64, 2, 4, AccessScheme::RoCo, 4).unwrap(),
+        )
+        .unwrap();
+        for r in 0..64usize {
+            for c in 0..64usize {
+                m.set(r, c, (r * 64 + c) as u64).unwrap();
+            }
+        }
+        let r = Region::new("all", 0, 0, RegionShape::Block { rows: 64, cols: 64 });
+        let got = m.read_region(&r).unwrap();
+        let want: Vec<u64> = (0..64 * 64).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -80,6 +80,15 @@ impl fmt::Display for PolyMemError {
                 f,
                 "scheme {scheme} does not support conflict-free {pattern} accesses"
             ),
+            // rows == cols == 0 marks a check made before any memory is
+            // involved (e.g. a secondary diagonal under-running column 0
+            // during region validation), where no extent exists to print.
+            PolyMemError::OutOfBounds {
+                i,
+                j,
+                rows: 0,
+                cols: 0,
+            } => write!(f, "access element ({i}, {j}) outside the logical space"),
             PolyMemError::OutOfBounds { i, j, rows, cols } => write!(
                 f,
                 "access element ({i}, {j}) outside logical space {rows}x{cols}"

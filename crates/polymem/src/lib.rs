@@ -40,6 +40,7 @@
 //! | Memory banks | [`banks`] |
 //! | ports / façade | [`mem`], [`concurrent`] |
 //! | compiled access plans (routing cache) | [`plan`] |
+//! | compiled region plans (bulk gather/scatter) | [`region_plan`] |
 //! | access schemes & patterns (Table I, Fig. 2) | [`scheme`], [`region`] |
 //! | conflict-freedom theorems | [`theory`] |
 //!
@@ -66,6 +67,7 @@ pub mod matrix;
 pub mod mem;
 pub mod plan;
 pub mod region;
+pub mod region_plan;
 pub mod scheme;
 pub mod shuffle;
 pub mod theory;
@@ -84,6 +86,7 @@ pub use matrix::PolyMatrix;
 pub use mem::{AccessStats, PolyMem};
 pub use plan::{AccessPlan, PlanCache, PlanCacheStats, PlanKey};
 pub use region::{Region, RegionShape};
+pub use region_plan::{RegionPlan, RegionPlanCache, RegionPlanCacheStats, RegionPlanKey};
 pub use scheme::{AccessPattern, AccessScheme, ParallelAccess};
 pub use shuffle::Crossbar;
 

@@ -20,6 +20,7 @@ use crate::config::PolyMemConfig;
 use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
 use crate::plan::{PlanCache, PlanCacheStats};
+use crate::region_plan::{RegionPlanCache, RegionPlanCacheStats};
 use crate::scheme::{AccessPattern, ParallelAccess};
 use crate::shuffle::Crossbar;
 
@@ -42,11 +43,13 @@ pub struct AccessStats {
 /// Default` type works, e.g. `u64`, `f64`, or a packed struct).
 #[derive(Debug, Clone)]
 pub struct PolyMem<T> {
-    config: PolyMemConfig,
-    maf: ModuleAssignment,
-    afn: AddressingFunction,
-    agu: Agu,
-    banks: BankArray<T>,
+    // Fields are pub(crate) so the bulk-operation module can destructure
+    // them for disjoint borrows in the region-planned fast paths.
+    pub(crate) config: PolyMemConfig,
+    pub(crate) maf: ModuleAssignment,
+    pub(crate) afn: AddressingFunction,
+    pub(crate) agu: Agu,
+    pub(crate) banks: BankArray<T>,
     xbar: Crossbar,
     // Scratch buffers: reused across accesses so the hot path is
     // allocation-free (Rust Performance Book: avoid allocating in loops).
@@ -55,17 +58,25 @@ pub struct PolyMem<T> {
     lane_addrs: Vec<usize>,
     bank_addrs: Vec<usize>,
     banked: Vec<T>,
-    stats: AccessStats,
+    pub(crate) stats: AccessStats,
     /// When `Some`, every touched coordinate is appended (profiling mode
     /// for the scheduler's application analysis). Tracing needs the
     /// expanded coordinates, so it forces the interpreted pipeline.
     trace_log: Option<Vec<(usize, usize)>>,
     /// Compiled routing per residue class (see [`crate::plan`]).
-    plans: PlanCache,
+    pub(crate) plans: PlanCache,
     /// When `true` (the default), reads and writes replay compiled plans;
     /// when `false`, every access walks the full interpreted Fig. 3
     /// pipeline (the oracle the plans are verified against).
     planning: bool,
+    /// Compiled whole-region transfers (see [`crate::region_plan`]).
+    pub(crate) region_plans: RegionPlanCache,
+    /// When `true` (the default), bulk region operations replay compiled
+    /// region plans; when `false`, they fall back to the per-access loop
+    /// (which itself honours [`Self::planning`]). The two switches are
+    /// independent so benchmarks can compare region-planned vs per-access
+    /// planned vs fully interpreted.
+    pub(crate) region_planning: bool,
 }
 
 impl<T: Copy + Default> PolyMem<T> {
@@ -93,6 +104,8 @@ impl<T: Copy + Default> PolyMem<T> {
             trace_log: None,
             plans: PlanCache::new(lanes, config.bank_depth()),
             planning: true,
+            region_plans: RegionPlanCache::new(lanes),
+            region_planning: true,
         })
     }
 
@@ -145,6 +158,31 @@ impl<T: Copy + Default> PolyMem<T> {
         self.plans.clear();
     }
 
+    /// Enable or disable compiled region plans for bulk operations
+    /// (enabled by default). Independent of [`Self::set_planning`]: with
+    /// region planning off, bulk operations fall back to the per-access
+    /// loop, which still uses single-access plans unless planning is also
+    /// off.
+    pub fn set_region_planning(&mut self, enabled: bool) {
+        self.region_planning = enabled;
+    }
+
+    /// Whether bulk region operations replay compiled region plans.
+    #[inline]
+    pub fn region_planning(&self) -> bool {
+        self.region_planning
+    }
+
+    /// Region-plan cache activity: hits, misses, entries, heap bytes.
+    pub fn region_plan_stats(&self) -> RegionPlanCacheStats {
+        self.region_plans.stats()
+    }
+
+    /// Drop all compiled region plans (they recompile lazily on next use).
+    pub fn clear_region_plans(&mut self) {
+        self.region_plans.clear();
+    }
+
     /// Start recording every coordinate touched by parallel accesses —
     /// the "analyze applications" front of the paper's §VII toolchain.
     /// Any previous recording is discarded.
@@ -162,24 +200,9 @@ impl<T: Copy + Default> PolyMem<T> {
     /// Validate that `access` is conflict-free under the configured scheme:
     /// pattern supported (Table I) and, where required, aligned.
     pub fn check_access(&self, access: ParallelAccess) -> Result<()> {
-        let (scheme, p, q) = (self.config.scheme, self.config.p, self.config.q);
-        if !scheme.supports(access.pattern, p, q) {
-            return Err(PolyMemError::UnsupportedPattern {
-                scheme,
-                pattern: access.pattern,
-            });
-        }
-        if scheme.requires_alignment(access.pattern)
-            && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q))
-        {
-            return Err(PolyMemError::Misaligned {
-                scheme,
-                pattern: access.pattern,
-                i: access.i,
-                j: access.j,
-            });
-        }
-        Ok(())
+        self.config
+            .scheme
+            .check_access(access, self.config.p, self.config.q)
     }
 
     /// Whether the next access should replay a compiled plan. Tracing
@@ -187,6 +210,13 @@ impl<T: Copy + Default> PolyMem<T> {
     #[inline]
     fn use_plan(&self) -> bool {
         self.planning && self.trace_log.is_none()
+    }
+
+    /// Whether bulk operations should replay a compiled region plan.
+    /// Tracing forces the per-access path (it needs coordinates).
+    #[inline]
+    pub(crate) fn use_region_plan(&self) -> bool {
+        self.region_planning && self.trace_log.is_none()
     }
 
     /// Planned parallel read: one bounds check, one tile address, one

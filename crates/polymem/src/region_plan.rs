@@ -1,0 +1,531 @@
+//! Compiled region plans: whole-region transfers as one flat gather/scatter.
+//!
+//! [`crate::plan`] made single parallel accesses cheap (per-residue-class
+//! routing compiled once). Real workloads move [`Region`]s — many accesses
+//! plus a canonical-order permutation — and the naive bulk path still paid a
+//! per-access plan lookup, a per-access `Vec`, and a coordinate `HashMap`
+//! rebuilt per call. A [`RegionPlan`] compiles all of that once per
+//! *(region shape, origin residue class)*:
+//!
+//! * the access decomposition ([`Region::plan_accesses`]) is shape+residue
+//!   periodic: access origins sit at fixed offsets from the region origin
+//!   that are multiples of `p`/`q`/`p*q`, so each access's aligned-tile
+//!   address `A(acc) - A(origin)` telescopes exactly (the same argument as
+//!   the single-access plan, lifted to whole regions);
+//! * each access's per-lane routing comes from the existing
+//!   [`PlanCache`] (crossbar-verified at compile);
+//! * the canonical-order permutation is folded in at compile time via
+//!   [`Region::canonical_index`] (closed form, no `HashMap`): `fold[c]` is
+//!   the flat-storage offset of canonical element `c` relative to
+//!   `A(origin)`.
+//!
+//! Replaying a plan is then a bounds check plus a single loop:
+//! `out[c] = flat[(A(origin) + fold[c]) as usize]` — no per-access
+//! expansion, no reorder buffer. [`RegionPlanCache`] memoises plans with
+//! hit/miss/bytes counters, mirroring [`PlanCache`].
+
+use crate::addressing::AddressingFunction;
+use crate::agu::Agu;
+use crate::error::{PolyMemError, Result};
+use crate::maf::ModuleAssignment;
+use crate::plan::{PlanCache, PlanKeyHasher};
+use crate::region::{Region, RegionShape};
+use crate::scheme::AccessScheme;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type RegionPlanMap = HashMap<RegionPlanKey, Arc<RegionPlan>, BuildHasherDefault<PlanKeyHasher>>;
+
+/// Identity of one residue class of regions: same shape (including sizes)
+/// and origins congruent mod `p*q` in both coordinates share identical
+/// decomposition and routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionPlanKey {
+    /// The region shape, sizes included.
+    pub shape: RegionShape,
+    /// `i0 mod (p*q)`.
+    pub ri: u32,
+    /// `j0 mod (p*q)`.
+    pub rj: u32,
+}
+
+impl RegionPlanKey {
+    /// The residue class of `region` for a memory with `period = p*q`.
+    #[inline]
+    pub fn of(region: &Region, period: usize) -> Self {
+        Self {
+            shape: region.shape,
+            ri: (region.i % period) as u32,
+            rj: (region.j % period) as u32,
+        }
+    }
+}
+
+/// A compiled region transfer: every index a `read_region`/`write_region`/
+/// `copy_region` needs, in flat precomputed arrays.
+///
+/// All offsets are relative to `A(i0, j0)` of the *region origin*; a replay
+/// computes that one address and gathers/scatters through [`Self::fold`].
+#[derive(Debug, Clone)]
+pub struct RegionPlan {
+    /// The shape this plan serves (for diagnostics).
+    pub shape: RegionShape,
+    /// Per canonical element `c`: flat bank-major storage offset
+    /// (`bank * depth + addr_delta`) relative to `A(origin)`. The gather map
+    /// of reads and, read right-to-left, the scatter map of writes.
+    pub fold: Vec<isize>,
+    /// Per canonical element: owning bank (for per-bank-locked storage that
+    /// has no flat view, i.e. [`crate::concurrent::ConcurrentPolyMem`]).
+    pub banks: Vec<u32>,
+    /// Per canonical element: signed intra-bank address delta relative to
+    /// `A(origin)` (companion of [`Self::banks`]).
+    pub deltas: Vec<isize>,
+    /// Access-major mirror of [`Self::fold`]: slot `a * lanes + k` is the
+    /// flat offset of lane `k` of access `a`, in AGU lane order. `copy_region`
+    /// pairs source and destination slots positionally through this, which
+    /// preserves the per-access interleaved overlap semantics of the naive
+    /// read-one-access/write-one-access loop.
+    pub afold: Vec<isize>,
+    /// Canonical element indices grouped by bank: bank `b` owns
+    /// `bank_elems[b * accesses .. (b + 1) * accesses]` (every conflict-free
+    /// access touches each bank exactly once, so the grouping is rectangular).
+    /// Lets a concurrent write take each bank lock once per region.
+    pub bank_elems: Vec<u32>,
+    /// Number of parallel accesses the region decomposes into.
+    pub accesses: usize,
+    /// Lanes per access (`p * q`).
+    pub lanes: usize,
+    max_down: usize,
+    max_right: usize,
+    max_left: usize,
+}
+
+impl RegionPlan {
+    /// Compile the plan for `region`'s residue class.
+    ///
+    /// Runs the full checked pipeline once per access — scheme/alignment
+    /// check, AGU bounds check, per-access plan compile through `cache`
+    /// (crossbar-verified) — then splices every lane into canonical order.
+    /// Errors surface in the same order the naive per-access loop would hit
+    /// them. Failed compiles are not cached.
+    pub fn compile(
+        region: &Region,
+        scheme: AccessScheme,
+        agu: &Agu,
+        maf: &ModuleAssignment,
+        afn: &AddressingFunction,
+        cache: &mut PlanCache,
+    ) -> Result<Self> {
+        let (p, q) = (agu.p(), agu.q());
+        let accesses = region.plan_accesses(p, q)?;
+        let lanes = agu.lanes();
+        let len = region.len();
+        let base0 = afn.address(region.i, region.j) as isize;
+
+        let mut fold = vec![0isize; len];
+        let mut banks = vec![0u32; len];
+        let mut deltas = vec![0isize; len];
+        let mut afold = vec![0isize; len];
+        let mut seen = vec![false; len];
+        for (a, &acc) in accesses.iter().enumerate() {
+            scheme.check_access(acc, p, q)?;
+            agu.check_bounds(acc)?;
+            let abase = afn.address(acc.i, acc.j) as isize - base0;
+            // Borrow the plan out of the cache, then expand coordinates
+            // (compile-time only; replays never expand).
+            let plan = cache.get_or_compile(acc, agu, maf, afn)?.clone();
+            for (k, (i, j)) in agu.expand(acc)?.into_iter().enumerate() {
+                let c =
+                    region
+                        .canonical_index(i, j)
+                        .ok_or_else(|| PolyMemError::InvalidGeometry {
+                            reason: format!(
+                                "region {}: access {a} lane {k} at ({i}, {j}) falls \
+                             outside the region",
+                                region.name
+                            ),
+                        })?;
+                if seen[c] {
+                    return Err(PolyMemError::InvalidGeometry {
+                        reason: format!(
+                            "region {}: canonical element {c} covered twice",
+                            region.name
+                        ),
+                    });
+                }
+                seen[c] = true;
+                fold[c] = plan.fold[k] + abase;
+                banks[c] = plan.banks[k];
+                deltas[c] = plan.deltas[k] + abase;
+                afold[a * lanes + k] = plan.fold[k] + abase;
+            }
+        }
+        if let Some(c) = seen.iter().position(|&s| !s) {
+            return Err(PolyMemError::InvalidGeometry {
+                reason: format!(
+                    "region {}: canonical element {c} not covered by any access",
+                    region.name
+                ),
+            });
+        }
+
+        // CSR-by-bank grouping for merged per-bank writes.
+        let n_acc = accesses.len();
+        let mut bank_elems = vec![0u32; len];
+        let mut filled = vec![0usize; lanes.max(1)];
+        for (c, &b) in banks.iter().enumerate() {
+            let b = b as usize;
+            bank_elems[b * n_acc + filled[b]] = c as u32;
+            filled[b] += 1;
+        }
+
+        let (max_down, max_right, max_left) = region.extents();
+        Ok(Self {
+            shape: region.shape,
+            fold,
+            banks,
+            deltas,
+            afold,
+            bank_elems,
+            accesses: n_acc,
+            lanes,
+            max_down,
+            max_right,
+            max_left,
+        })
+    }
+
+    /// Elements the plan moves (the region length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fold.len()
+    }
+
+    /// Whether the plan moves nothing (zero-sized region).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fold.is_empty()
+    }
+
+    /// Bounds-check a concrete origin against the logical space. Plans are
+    /// shared across a residue class, so the actual origin must be re-checked
+    /// on every replay, exactly like the single-access plan's
+    /// [`Agu::check_bounds`]. Empty regions are always in bounds (the naive
+    /// path issues no access for them).
+    pub fn check_bounds(&self, region: &Region, rows: usize, cols: usize) -> Result<()> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let oob = |i: i64, j: i64| Err(PolyMemError::OutOfBounds { i, j, rows, cols });
+        if region.i + self.max_down >= rows {
+            return oob((region.i + self.max_down) as i64, region.j as i64);
+        }
+        if region.j + self.max_right >= cols {
+            return oob(region.i as i64, (region.j + self.max_right) as i64);
+        }
+        if region.j < self.max_left {
+            return oob(
+                (region.i + self.max_down) as i64,
+                region.j as i64 - self.max_left as i64,
+            );
+        }
+        Ok(())
+    }
+
+    /// Approximate heap footprint of the precomputed arrays, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.fold.len() * size_of::<isize>()
+            + self.banks.len() * size_of::<u32>()
+            + self.deltas.len() * size_of::<isize>()
+            + self.afold.len() * size_of::<isize>()
+            + self.bank_elems.len() * size_of::<u32>()
+    }
+}
+
+/// Snapshot of a [`RegionPlanCache`]'s activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionPlanCacheStats {
+    /// Region operations served by an already-compiled plan.
+    pub hits: u64,
+    /// Region operations that triggered a compilation.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+    /// Total heap bytes held by cached plans' index arrays.
+    pub bytes: u64,
+}
+
+/// Lazy cache of [`RegionPlan`]s, keyed per (shape, origin-residue) class.
+///
+/// Unlike [`PlanCache`] the key space is unbounded (shapes carry sizes), but
+/// applications use a small fixed set of region shapes, so entries are never
+/// evicted; [`RegionPlanCacheStats::bytes`] makes the footprint observable.
+/// Counters are atomic so shared-`&self` users can count lookups.
+#[derive(Debug)]
+pub struct RegionPlanCache {
+    period: usize,
+    map: RegionPlanMap,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl RegionPlanCache {
+    /// Empty cache for a memory with `p*q == period` lanes.
+    pub fn new(period: usize) -> Self {
+        Self {
+            period,
+            map: RegionPlanMap::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The residue period (`p*q`).
+    #[inline]
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Look up the plan for `region`'s residue class without compiling.
+    /// Counts a hit when present (misses are counted by the compile path).
+    pub fn lookup(&self, region: &Region) -> Option<Arc<RegionPlan>> {
+        let found = self
+            .map
+            .get(&RegionPlanKey::of(region, self.period))
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// The plan for `region`'s residue class, compiling through `cache` on
+    /// first use. The caller still bounds-checks the concrete origin via
+    /// [`RegionPlan::check_bounds`] (compilation checks the representative;
+    /// cache hits do not).
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_compile(
+        &mut self,
+        region: &Region,
+        scheme: AccessScheme,
+        agu: &Agu,
+        maf: &ModuleAssignment,
+        afn: &AddressingFunction,
+        cache: &mut PlanCache,
+    ) -> Result<&Arc<RegionPlan>> {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(RegionPlanKey::of(region, self.period)) {
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(e.into_mut())
+            }
+            Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let plan = RegionPlan::compile(region, scheme, agu, maf, afn, cache)?;
+                self.bytes
+                    .fetch_add(plan.heap_bytes() as u64, Ordering::Relaxed);
+                Ok(v.insert(Arc::new(plan)))
+            }
+        }
+    }
+
+    /// Insert a pre-compiled plan (used by shared-cache wrappers that
+    /// compile outside the map borrow).
+    pub fn insert(&mut self, key: RegionPlanKey, plan: Arc<RegionPlan>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(plan.heap_bytes() as u64, Ordering::Relaxed);
+        self.map.insert(key, plan);
+    }
+
+    /// Drop every cached plan (counters keep running, bytes resets).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Activity counters, current size, and heap footprint.
+    pub fn stats(&self) -> RegionPlanCacheStats {
+        RegionPlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.len(),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for RegionPlanCache {
+    fn clone(&self) -> Self {
+        Self {
+            period: self.period,
+            map: self.map.clone(),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            bytes: AtomicU64::new(self.bytes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::AccessScheme;
+
+    fn blocks(
+        scheme: AccessScheme,
+        p: usize,
+        q: usize,
+        rows: usize,
+        cols: usize,
+    ) -> (Agu, ModuleAssignment, AddressingFunction, PlanCache) {
+        (
+            Agu::new(p, q, rows, cols),
+            ModuleAssignment::new(scheme, p, q),
+            AddressingFunction::new(p, q, rows, cols),
+            PlanCache::new(p * q, (rows / p) * (cols / q)),
+        )
+    }
+
+    #[test]
+    fn block_plan_matches_interpreted_addressing() {
+        let (agu, maf, afn, mut cache) = blocks(AccessScheme::ReO, 2, 4, 16, 16);
+        let depth = (16 / 2) * (16 / 4);
+        let r = Region::new("b", 2, 4, RegionShape::Block { rows: 4, cols: 8 });
+        let plan =
+            RegionPlan::compile(&r, AccessScheme::ReO, &agu, &maf, &afn, &mut cache).unwrap();
+        assert_eq!(plan.len(), 32);
+        assert_eq!(plan.accesses, 4);
+        let base0 = afn.address(2, 4) as isize;
+        for (c, (i, j)) in r.coords_iter().unwrap().enumerate() {
+            let bank = maf.assign_linear(i, j);
+            let addr = afn.address(i, j) as isize;
+            assert_eq!(plan.banks[c] as usize, bank);
+            assert_eq!(base0 + plan.deltas[c], addr);
+            assert_eq!(plan.fold[c], bank as isize * depth as isize + addr - base0);
+        }
+    }
+
+    #[test]
+    fn plan_is_invariant_across_residue_class() {
+        let (agu, maf, afn, mut cache) = blocks(AccessScheme::ReRo, 2, 4, 64, 64);
+        let a = Region::new("a", 3, 8, RegionShape::Row { len: 16 });
+        let b = Region::new("b", 3 + 8, 8 + 16, RegionShape::Row { len: 16 });
+        let pa = RegionPlan::compile(&a, AccessScheme::ReRo, &agu, &maf, &afn, &mut cache).unwrap();
+        let pb = RegionPlan::compile(&b, AccessScheme::ReRo, &agu, &maf, &afn, &mut cache).unwrap();
+        assert_eq!(pa.fold, pb.fold);
+        assert_eq!(pa.deltas, pb.deltas);
+        assert_eq!(pa.afold, pb.afold);
+    }
+
+    #[test]
+    fn bank_elems_is_a_rectangular_cover() {
+        let (agu, maf, afn, mut cache) = blocks(AccessScheme::RoCo, 2, 4, 16, 16);
+        let r = Region::new("b", 2, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let plan =
+            RegionPlan::compile(&r, AccessScheme::RoCo, &agu, &maf, &afn, &mut cache).unwrap();
+        let mut all: Vec<u32> = plan.bank_elems.clone();
+        all.sort_unstable();
+        let want: Vec<u32> = (0..plan.len() as u32).collect();
+        assert_eq!(all, want, "every canonical element appears exactly once");
+        for b in 0..plan.lanes {
+            for &c in &plan.bank_elems[b * plan.accesses..(b + 1) * plan.accesses] {
+                assert_eq!(plan.banks[c as usize] as usize, b);
+            }
+        }
+    }
+
+    #[test]
+    fn check_bounds_replays_origin() {
+        let (agu, maf, afn, mut cache) = blocks(AccessScheme::ReRo, 2, 4, 16, 16);
+        let r = Region::new("row", 0, 0, RegionShape::Row { len: 16 });
+        let plan =
+            RegionPlan::compile(&r, AccessScheme::ReRo, &agu, &maf, &afn, &mut cache).unwrap();
+        assert!(plan
+            .check_bounds(&Region::new("x", 15, 0, r.shape), 16, 16)
+            .is_ok());
+        assert!(plan
+            .check_bounds(&Region::new("x", 16, 0, r.shape), 16, 16)
+            .is_err());
+        assert!(plan
+            .check_bounds(&Region::new("x", 0, 8, r.shape), 16, 16)
+            .is_err());
+    }
+
+    #[test]
+    fn secondary_diag_left_reach_checked() {
+        let (agu, maf, afn, mut cache) = blocks(AccessScheme::ReRo, 2, 4, 32, 32);
+        let r = Region::new("d", 0, 15, RegionShape::SecondaryDiag { len: 16 });
+        let plan =
+            RegionPlan::compile(&r, AccessScheme::ReRo, &agu, &maf, &afn, &mut cache).unwrap();
+        assert!(plan.check_bounds(&r, 32, 32).is_ok());
+        let shifted = Region::new("d", 8, 15 + 8, RegionShape::SecondaryDiag { len: 16 });
+        // Same residue class mod 8? 15 vs 23 -> both 7 mod 8; in bounds.
+        assert!(plan.check_bounds(&shifted, 32, 32).is_ok());
+        let tight = Region::new("d", 0, 7, RegionShape::SecondaryDiag { len: 16 });
+        assert!(matches!(
+            plan.check_bounds(&tight, 32, 32),
+            Err(PolyMemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_counts_and_bytes() {
+        let (agu, maf, afn, mut acc_cache) = blocks(AccessScheme::ReRo, 2, 4, 32, 32);
+        let mut cache = RegionPlanCache::new(8);
+        let r = Region::new("r", 0, 0, RegionShape::Row { len: 16 });
+        cache
+            .get_or_compile(&r, AccessScheme::ReRo, &agu, &maf, &afn, &mut acc_cache)
+            .unwrap();
+        // Same class: hit.
+        let r2 = Region::new("r2", 8, 16, RegionShape::Row { len: 16 });
+        cache
+            .get_or_compile(&r2, AccessScheme::ReRo, &agu, &maf, &afn, &mut acc_cache)
+            .unwrap();
+        // Different size: new class.
+        let r3 = Region::new("r3", 0, 0, RegionShape::Row { len: 8 });
+        cache
+            .get_or_compile(&r3, AccessScheme::ReRo, &agu, &maf, &afn, &mut acc_cache)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes > 0);
+        assert!(cache.lookup(&r).is_some());
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn failed_compile_not_cached() {
+        let (agu, maf, afn, mut acc_cache) = blocks(AccessScheme::ReO, 2, 4, 16, 16);
+        let mut cache = RegionPlanCache::new(8);
+        // ReO serves rectangles only; a Row region cannot compile.
+        let r = Region::new("r", 0, 0, RegionShape::Row { len: 16 });
+        assert!(cache
+            .get_or_compile(&r, AccessScheme::ReO, &agu, &maf, &afn, &mut acc_cache)
+            .is_err());
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.lookup(&r).is_none());
+    }
+
+    #[test]
+    fn empty_region_compiles_to_empty_plan() {
+        let (agu, maf, afn, mut cache) = blocks(AccessScheme::ReO, 2, 4, 16, 16);
+        let r = Region::new("e", 3, 3, RegionShape::Block { rows: 0, cols: 4 });
+        let plan =
+            RegionPlan::compile(&r, AccessScheme::ReO, &agu, &maf, &afn, &mut cache).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.accesses, 0);
+        // An empty region is in bounds anywhere (no access is issued).
+        assert!(plan
+            .check_bounds(&Region::new("e", 999, 999, r.shape), 16, 16)
+            .is_ok());
+    }
+}

@@ -117,6 +117,35 @@ impl AccessScheme {
             (AccessScheme::RoCo, AccessPattern::Rectangle)
         )
     }
+
+    /// Validate that `access` is conflict-free under this scheme on a
+    /// `p x q` bank grid: pattern supported (Table I) and, where required,
+    /// aligned. The single source of the check shared by [`crate::mem`],
+    /// [`crate::concurrent`] and [`crate::region_plan`].
+    pub fn check_access(
+        self,
+        access: ParallelAccess,
+        p: usize,
+        q: usize,
+    ) -> crate::error::Result<()> {
+        if !self.supports(access.pattern, p, q) {
+            return Err(crate::error::PolyMemError::UnsupportedPattern {
+                scheme: self,
+                pattern: access.pattern,
+            });
+        }
+        if self.requires_alignment(access.pattern)
+            && (!access.i.is_multiple_of(p) || !access.j.is_multiple_of(q))
+        {
+            return Err(crate::error::PolyMemError::Misaligned {
+                scheme: self,
+                pattern: access.pattern,
+                i: access.i,
+                j: access.j,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for AccessScheme {
@@ -145,6 +174,22 @@ pub enum AccessPattern {
 }
 
 impl AccessPattern {
+    /// Number of patterns (for sizing per-pattern shard arrays).
+    pub const COUNT: usize = 6;
+
+    /// Dense index of the pattern in [`Self::ALL`] order. Always
+    /// `< Self::COUNT`; used to pick per-pattern cache shards.
+    pub fn index(self) -> usize {
+        match self {
+            AccessPattern::Rectangle => 0,
+            AccessPattern::Row => 1,
+            AccessPattern::Column => 2,
+            AccessPattern::MainDiagonal => 3,
+            AccessPattern::SecondaryDiagonal => 4,
+            AccessPattern::TransposedRectangle => 5,
+        }
+    }
+
     /// All six patterns.
     pub const ALL: [AccessPattern; 6] = [
         AccessPattern::Rectangle,
@@ -314,6 +359,27 @@ mod tests {
             AccessPattern::SecondaryDiagonal.to_string(),
             "secondary diagonal"
         );
+    }
+
+    #[test]
+    fn pattern_index_is_dense_and_matches_all_order() {
+        for (k, p) in AccessPattern::ALL.iter().enumerate() {
+            assert_eq!(p.index(), k);
+        }
+        assert_eq!(AccessPattern::COUNT, AccessPattern::ALL.len());
+    }
+
+    #[test]
+    fn scheme_check_access_matches_support_and_alignment() {
+        // RoCo: rows anywhere, rectangles only aligned.
+        let s = AccessScheme::RoCo;
+        assert!(s.check_access(ParallelAccess::row(3, 5), 2, 4).is_ok());
+        assert!(s.check_access(ParallelAccess::rect(2, 4), 2, 4).is_ok());
+        assert!(s.check_access(ParallelAccess::rect(1, 4), 2, 4).is_err());
+        // ReO: no rows at all.
+        assert!(AccessScheme::ReO
+            .check_access(ParallelAccess::row(0, 0), 2, 4)
+            .is_err());
     }
 
     #[test]

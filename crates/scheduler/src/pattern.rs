@@ -32,9 +32,14 @@ impl AccessTrace {
         }
     }
 
-    /// Build a trace from PolyMem regions (Fig. 2 style).
+    /// Build a trace from PolyMem regions (Fig. 2 style). Unrepresentable
+    /// regions (a secondary diagonal crossing column 0) contribute nothing.
     pub fn from_regions(regions: &[Region]) -> Self {
-        Self::from_coords(regions.iter().flat_map(|r| r.coords()))
+        Self::from_coords(
+            regions
+                .iter()
+                .flat_map(|r| r.coords_iter().into_iter().flatten()),
+        )
     }
 
     /// A dense `rows x cols` block at `(i0, j0)`.

@@ -10,6 +10,8 @@
 //! * [`op`] — Copy (measured in the paper), Scale, Sum, Triad (the paper's
 //!   future work, implemented as the extension);
 //! * [`controller`] — the Fig. 9 Controller FSM as a simulator kernel;
+//! * [`region_copy`] — STREAM-Copy as whole-vector region copies (compiled
+//!   region plans vs the per-access baseline);
 //! * [`app`] — the assembled design with Load / Compute / Offload staging
 //!   and the paper's measurement methodology (1000 blocking runs, ~300 ns
 //!   host-call overhead, 14-cycle read latency);
@@ -23,6 +25,7 @@ pub mod controller;
 pub mod layout;
 pub mod modular;
 pub mod op;
+pub mod region_copy;
 pub mod report;
 pub mod staged;
 
@@ -31,5 +34,6 @@ pub use controller::{Controller, ControllerState};
 pub use layout::{StreamLayout, VectorLayout};
 pub use modular::{run_modular, ModularRun};
 pub use op::StreamOp;
+pub use region_copy::{vector_regions, RegionCopy};
 pub use report::{fig10_default_sizes, fig10_series, Fig10Point, StreamRow};
 pub use staged::{pcie_chunk_interval, LoadKernel, OffloadKernel};

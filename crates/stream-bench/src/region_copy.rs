@@ -1,0 +1,209 @@
+//! STREAM-Copy through compiled region plans.
+//!
+//! The paper's measured STREAM stage moves vector A into vector C one
+//! parallel access per cycle. On the CPU model that per-chunk loop pays a
+//! plan-cache lookup, a bounds check and a scheme check *per 8-element
+//! chunk*. This module expresses the same transfer as whole-vector region
+//! copies: each vector is one [`Region`] (or a handful of row strips), so
+//! the entire A→C movement compiles once into a flat gather/scatter map and
+//! replays as a single loop — the region-plan analogue of the hardware's
+//! "the controller just streams the burst".
+//!
+//! [`RegionCopy`] packages both paths over the same [`StreamLayout`] so
+//! benches can report region-planned vs per-access STREAM-Copy bandwidth on
+//! identical data.
+
+use crate::layout::{StreamLayout, VectorLayout};
+use polymem::{PolyMem, Region, RegionShape};
+
+/// The regions covering one vector of a [`StreamLayout`], in element order.
+///
+/// A vector is row-major inside its region, so when its rows tile the bank
+/// grid (`rows_used % p == 0`) the whole vector is a single `Block` region
+/// whose canonical order *is* the vector order. Otherwise each occupied row
+/// becomes one `Row` region (layouts guarantee `cols % lanes == 0`, so every
+/// row strip is plannable).
+pub fn vector_regions(v: &VectorLayout, p: usize, tag: &str) -> Vec<Region> {
+    let rows = v.rows_used();
+    if rows.is_multiple_of(p) {
+        return vec![Region::new(
+            tag,
+            v.base_row,
+            0,
+            RegionShape::Block { rows, cols: v.cols },
+        )];
+    }
+    (0..rows)
+        .map(|r| {
+            Region::new(
+                format!("{tag}-row{r}"),
+                v.base_row + r,
+                0,
+                RegionShape::Row { len: v.cols },
+            )
+        })
+        .collect()
+}
+
+/// STREAM-Copy (C = A) executed inside one PolyMem, with a region-planned
+/// path and a per-access path over the same layout.
+pub struct RegionCopy {
+    mem: PolyMem<f64>,
+    layout: StreamLayout,
+    src: Vec<Region>,
+    dst: Vec<Region>,
+    chunk: Vec<f64>,
+}
+
+impl RegionCopy {
+    /// Build the memory and the A/C region covers for `layout`.
+    pub fn new(layout: StreamLayout) -> polymem::Result<Self> {
+        let mem = PolyMem::new(layout.config)?;
+        let p = layout.config.p;
+        let src = vector_regions(&layout.a, p, "A");
+        let dst = vector_regions(&layout.c, p, "C");
+        debug_assert_eq!(src.len(), dst.len(), "A and C share a geometry");
+        let lanes = layout.config.lanes();
+        Ok(Self {
+            mem,
+            layout,
+            src,
+            dst,
+            chunk: vec![0.0; lanes],
+        })
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &StreamLayout {
+        &self.layout
+    }
+
+    /// The wrapped memory (for cache stats and planning toggles).
+    pub fn mem(&mut self) -> &mut PolyMem<f64> {
+        &mut self.mem
+    }
+
+    /// Fill vector A element-wise.
+    pub fn load_a(&mut self, vals: &[f64]) -> polymem::Result<()> {
+        assert_eq!(vals.len(), self.layout.a.len);
+        for (k, &v) in vals.iter().enumerate() {
+            let (i, j) = self.layout.a.coord(k);
+            self.mem.set(i, j, v)?;
+        }
+        Ok(())
+    }
+
+    /// Read back vector C element-wise.
+    pub fn read_c(&self) -> Vec<f64> {
+        (0..self.layout.c.len)
+            .map(|k| {
+                let (i, j) = self.layout.c.coord(k);
+                self.mem.get(i, j).expect("in-bounds")
+            })
+            .collect()
+    }
+
+    /// C = A through whole-region copies: one compiled plan per region pair,
+    /// replayed as a flat gather/scatter.
+    pub fn copy_via_regions(&mut self) -> polymem::Result<()> {
+        for (s, d) in self.src.iter().zip(&self.dst) {
+            self.mem.copy_region(0, s, d)?;
+        }
+        Ok(())
+    }
+
+    /// C = A one parallel access at a time — the PR-1 baseline the region
+    /// path is measured against (per-chunk plan lookup + checks).
+    pub fn copy_per_access(&mut self) -> polymem::Result<()> {
+        for c in 0..self.layout.a.chunks() {
+            let ra = self.layout.a.access(c);
+            let wc = self.layout.c.access(c);
+            self.mem.read_into(0, ra, &mut self.chunk)?;
+            self.mem.write(wc, &self.chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes moved per copy pass under STREAM counting (read A + write C).
+    pub fn bytes_per_pass(&self) -> usize {
+        2 * self.layout.a.len * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymem::AccessScheme;
+
+    fn layout(len: usize, cols: usize) -> StreamLayout {
+        StreamLayout::new(len, cols, 2, 4, AccessScheme::RoCo, 1).unwrap()
+    }
+
+    fn a_vals(n: usize) -> Vec<f64> {
+        (0..n).map(|k| k as f64 * 0.25 + 1.0).collect()
+    }
+
+    #[test]
+    fn block_cover_when_rows_tile_banks() {
+        // 4 rows of 64, p = 2 -> one Block region.
+        let l = layout(4 * 64, 64);
+        let regions = vector_regions(&l.a, l.config.p, "A");
+        assert_eq!(regions.len(), 1);
+        assert!(matches!(
+            regions[0].shape,
+            RegionShape::Block { rows: 4, cols: 64 }
+        ));
+    }
+
+    #[test]
+    fn row_cover_when_rows_ragged() {
+        // 3 rows of 64, p = 2 -> three Row regions.
+        let l = layout(3 * 64, 64);
+        let regions = vector_regions(&l.a, l.config.p, "A");
+        assert_eq!(regions.len(), 3);
+        assert!(regions
+            .iter()
+            .all(|r| matches!(r.shape, RegionShape::Row { len: 64 })));
+    }
+
+    #[test]
+    fn region_copy_matches_per_access_copy() {
+        for rows in [3usize, 4] {
+            let l = layout(rows * 64, 64);
+            let vals = a_vals(rows * 64);
+
+            let mut via_regions = RegionCopy::new(l).unwrap();
+            via_regions.load_a(&vals).unwrap();
+            via_regions.copy_via_regions().unwrap();
+
+            let mut per_access = RegionCopy::new(l).unwrap();
+            per_access.load_a(&vals).unwrap();
+            per_access.copy_per_access().unwrap();
+
+            assert_eq!(via_regions.read_c(), vals, "rows={rows}");
+            assert_eq!(per_access.read_c(), vals, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn region_copy_compiles_each_cover_once() {
+        let l = layout(4 * 64, 64);
+        let mut rc = RegionCopy::new(l).unwrap();
+        rc.load_a(&a_vals(4 * 64)).unwrap();
+        for _ in 0..5 {
+            rc.copy_via_regions().unwrap();
+        }
+        let stats = rc.mem().region_plan_stats();
+        // A-block and C-block share a residue class modulo the bank grid
+        // only if their base rows agree mod p; either way at most 2 compiles.
+        assert!(stats.misses <= 2, "{stats:?}");
+        assert!(stats.hits >= 8, "{stats:?}");
+    }
+
+    #[test]
+    fn bytes_per_pass_is_stream_counting() {
+        let l = layout(256, 64);
+        let rc = RegionCopy::new(l).unwrap();
+        assert_eq!(rc.bytes_per_pass(), 2 * 256 * 8);
+    }
+}

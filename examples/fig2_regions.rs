@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let maf = ModuleAssignment::new(cfg.scheme, cfg.p, cfg.q);
     for region in fig2_regions() {
-        let coords = region.coords();
+        let coords = region.coords()?;
         // Execute the region read; shapes the RoCo scheme can't serve
         // directly (diagonals) get a conflict analysis instead.
         let accesses = match mem.read_region(0, &region) {

@@ -4,12 +4,18 @@
 //! `black_box`, `criterion_group!`/`criterion_main!`).
 //!
 //! Per benchmark it calibrates an iteration count targeting ~50ms per
-//! sample, collects `sample_size` samples, and reports median ns/iter plus
-//! derived throughput. No statistical regression analysis or HTML reports.
+//! sample, discards warm-up samples, collects `sample_size` timed samples,
+//! rejects outliers by median absolute deviation (|x - median| > 5*MAD) and
+//! reports the surviving median ns/iter plus derived throughput. No
+//! statistical regression analysis or HTML reports.
 //!
 //! Set `CRITERION_JSON=<path>` to append one JSON object per benchmark
 //! (`{"group","bench","ns_per_iter","throughput",...}`) — used to record
 //! baseline files like `BENCH_plan.json`.
+//!
+//! Set `CRITERION_QUICK=1` for a smoke mode (CI): one short calibration
+//! pass, one sample, no warm-up — verifies every bench *runs* without
+//! spending bench-quality time.
 
 use std::fmt::Display;
 use std::io::Write as _;
@@ -169,9 +175,15 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
         // Calibrate: grow iteration count until one sample takes >= 50ms
         // (or the count gets large enough that timer noise is negligible).
-        let target = Duration::from_millis(50);
+        // Quick mode targets 1ms: enough to prove the bench runs.
+        let target = if quick {
+            Duration::from_millis(1)
+        } else {
+            Duration::from_millis(50)
+        };
         let mut iters: u64 = 1;
         loop {
             let mut b = Bencher {
@@ -193,8 +205,22 @@ impl BenchmarkGroup<'_> {
             iters = scaled.max(iters * 2);
         }
 
-        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        // Warm-up: the first timed samples run on cold caches and an
+        // un-trained branch predictor; discard a few before measuring.
+        // (The calibration loop above already touched the data, but its
+        // final pass may have been the first at the full iteration count.)
+        let warmup = if quick { 0 } else { 2 };
+        for _ in 0..warmup {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+        }
+
+        let sample_size = if quick { 1 } else { self.sample_size };
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
             let mut b = Bencher {
                 iters,
                 elapsed: Duration::ZERO,
@@ -203,9 +229,12 @@ impl BenchmarkGroup<'_> {
             samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
         }
         samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = samples_ns[samples_ns.len() / 2];
-        let lo = samples_ns[0];
-        let hi = samples_ns[samples_ns.len() - 1];
+
+        let kept = reject_outliers(&samples_ns);
+        let rejected = samples_ns.len() - kept.len();
+        let median = kept[kept.len() / 2];
+        let lo = kept[0];
+        let hi = kept[kept.len() - 1];
 
         let throughput_desc = match self.throughput {
             Some(Throughput::Bytes(n)) => {
@@ -225,7 +254,7 @@ impl BenchmarkGroup<'_> {
             format!("{}/{}", self.name, id)
         };
         println!(
-            "{}: [{:.1} ns {:.1} ns {:.1} ns]{}  ({} iters x {} samples)",
+            "{}: [{:.1} ns {:.1} ns {:.1} ns]{}  ({} iters x {} samples{})",
             label,
             lo,
             median,
@@ -235,7 +264,12 @@ impl BenchmarkGroup<'_> {
                 .map(|t| format!("  {t}"))
                 .unwrap_or_default(),
             iters,
-            self.sample_size,
+            kept.len(),
+            if rejected > 0 {
+                format!(", {rejected} outlier(s) rejected")
+            } else {
+                String::new()
+            },
         );
 
         if let Ok(path) = std::env::var("CRITERION_JSON") {
@@ -250,9 +284,18 @@ impl BenchmarkGroup<'_> {
                         "{{\"group\":\"{}\",\"bench\":\"{}\",",
                         "\"ns_per_iter\":{:.3},\"ns_min\":{:.3},\"ns_max\":{:.3},",
                         "\"throughput_kind\":\"{}\",\"throughput_per_iter\":{},",
-                        "\"iters\":{},\"samples\":{}}}\n"
+                        "\"iters\":{},\"samples\":{},\"outliers_rejected\":{}}}\n"
                     ),
-                    self.name, id, median, lo, hi, tp_kind, tp_per_iter, iters, self.sample_size,
+                    self.name,
+                    id,
+                    median,
+                    lo,
+                    hi,
+                    tp_kind,
+                    tp_per_iter,
+                    iters,
+                    kept.len(),
+                    rejected,
                 );
                 if let Ok(mut file) = std::fs::OpenOptions::new()
                     .create(true)
@@ -263,6 +306,27 @@ impl BenchmarkGroup<'_> {
                 }
             }
         }
+    }
+}
+
+/// Outlier rejection by median absolute deviation: a scheduler preemption
+/// mid-sample inflates one reading by orders of magnitude; keep samples with
+/// `|x - median| <= 5 * MAD`. MAD == 0 (at least half the samples identical
+/// to the median, e.g. very fast benches quantized by the timer) keeps
+/// everything. Input must be sorted; output stays sorted and non-empty.
+fn reject_outliers(sorted_ns: &[f64]) -> Vec<f64> {
+    let median = sorted_ns[sorted_ns.len() / 2];
+    let mut devs: Vec<f64> = sorted_ns.iter().map(|x| (x - median).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = devs[devs.len() / 2];
+    if mad > 0.0 {
+        sorted_ns
+            .iter()
+            .copied()
+            .filter(|x| (x - median).abs() <= 5.0 * mad)
+            .collect()
+    } else {
+        sorted_ns.to_vec()
     }
 }
 
@@ -317,5 +381,27 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("a", "b").to_string(), "a/b");
         assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn mad_rejects_spikes_keeps_cluster() {
+        // Tight cluster + one preemption spike: the spike goes.
+        let s = [100.0, 101.0, 101.0, 102.0, 103.0, 5000.0];
+        let kept = reject_outliers(&s);
+        assert_eq!(kept, vec![100.0, 101.0, 101.0, 102.0, 103.0]);
+    }
+
+    #[test]
+    fn mad_zero_keeps_everything() {
+        // Timer-quantized samples: majority identical -> MAD = 0 -> no
+        // rejection, even of the distinct values.
+        let s = [50.0, 50.0, 50.0, 50.0, 75.0];
+        assert_eq!(reject_outliers(&s).len(), 5);
+    }
+
+    #[test]
+    fn mad_keeps_moderate_spread() {
+        let s = [90.0, 95.0, 100.0, 105.0, 110.0];
+        assert_eq!(reject_outliers(&s).len(), 5, "within 5*MAD");
     }
 }
