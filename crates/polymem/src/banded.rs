@@ -120,8 +120,18 @@ impl BandedMatrix {
     /// with diagonal parallel accesses. Returns the number of parallel
     /// accesses used (the cycle count of the memory side).
     pub fn spmv(&mut self, x: &[f64], y: &mut [f64]) -> Result<u64> {
-        assert_eq!(x.len(), self.n);
-        assert_eq!(y.len(), self.n);
+        if x.len() != self.n {
+            return Err(PolyMemError::WrongLaneCount {
+                got: x.len(),
+                expected: self.n,
+            });
+        }
+        if y.len() != self.n {
+            return Err(PolyMemError::WrongLaneCount {
+                got: y.len(),
+                expected: self.n,
+            });
+        }
         y.fill(0.0);
         let before = self.mem.stats().reads;
         let bw = self.bandwidth as isize;
@@ -219,6 +229,29 @@ mod tests {
         let mut m = BandedMatrix::new(16, 1, 2, 4).unwrap();
         assert!(m.set_band(2, &[0.0; 14]).is_err(), "outside bandwidth");
         assert!(m.set_band(1, &[0.0; 16]).is_err(), "wrong length");
+    }
+
+    #[test]
+    fn spmv_rejects_wrong_operand_lengths_without_panicking() {
+        let mut m = tridiagonal(16);
+        let x = vec![0.0; 15];
+        let mut y = vec![0.0; 16];
+        assert!(matches!(
+            m.spmv(&x, &mut y),
+            Err(PolyMemError::WrongLaneCount {
+                got: 15,
+                expected: 16
+            })
+        ));
+        let x = vec![0.0; 16];
+        let mut y = vec![0.0; 17];
+        assert!(matches!(
+            m.spmv(&x, &mut y),
+            Err(PolyMemError::WrongLaneCount {
+                got: 17,
+                expected: 16
+            })
+        ));
     }
 
     proptest! {

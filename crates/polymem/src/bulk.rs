@@ -42,9 +42,7 @@ impl<T: Copy + Default> PolyMem<T> {
             config,
             ..
         } = self;
-        region_plans
-            .get_or_compile(region, config.scheme, agu, maf, afn, plans)
-            .map(Arc::clone)
+        region_plans.get_or_compile(region, config.scheme, agu, maf, afn, plans)
     }
 
     /// Read a whole region through parallel accesses, in the region's

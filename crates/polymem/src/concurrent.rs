@@ -142,16 +142,14 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         let shard = &self.plans[region.shape.pattern().index()];
         let mut acc_cache = shard.write();
         let mut regions = self.region_plans.write();
-        regions
-            .get_or_compile(
-                region,
-                self.config.scheme,
-                &self.agu,
-                &self.maf,
-                &self.afn,
-                &mut acc_cache,
-            )
-            .map(Arc::clone)
+        regions.get_or_compile(
+            region,
+            self.config.scheme,
+            &self.agu,
+            &self.maf,
+            &self.afn,
+            &mut acc_cache,
+        )
     }
 
     fn check_access(&self, access: ParallelAccess) -> Result<()> {
@@ -524,6 +522,81 @@ mod tests {
         let got = m.read_region(&r).unwrap();
         let want: Vec<u64> = (0..64 * 64).collect();
         assert_eq!(got, want);
+    }
+
+    fn rero(rows: usize, cols: usize) -> ConcurrentPolyMem<u64> {
+        let m = ConcurrentPolyMem::<u64>::new(
+            PolyMemConfig::new(rows, cols, 2, 4, AccessScheme::ReRo, 4).unwrap(),
+        )
+        .unwrap();
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, (r * cols + c) as u64).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn secondary_diag_region_reaching_column_zero() {
+        // A secondary diagonal of length L at origin (i, j) walks left to
+        // column j - (L - 1); j = L - 1 is the tightest in-bounds origin
+        // and its last element sits on column 0.
+        let m = rero(16, 16);
+        let r = Region::new("sd", 0, 7, RegionShape::SecondaryDiag { len: 8 });
+        let got = m.read_region(&r).unwrap();
+        let want: Vec<u64> = (0..8).map(|k| (k * 16 + (7 - k)) as u64).collect();
+        assert_eq!(got, want);
+        // Full anti-diagonal of the array: (15, 0) is the corner element.
+        let full = Region::new("sd16", 0, 15, RegionShape::SecondaryDiag { len: 16 });
+        let got = m.read_region(&full).unwrap();
+        assert_eq!(got[15], 15 * 16);
+    }
+
+    #[test]
+    fn secondary_diag_region_write_at_boundary_roundtrips() {
+        let m = rero(16, 16);
+        let r = Region::new("sd", 8, 7, RegionShape::SecondaryDiag { len: 8 });
+        let vals: Vec<u64> = (700..708).collect();
+        m.write_region(&r, &vals).unwrap();
+        assert_eq!(m.read_region(&r).unwrap(), vals);
+        for (k, &v) in vals.iter().enumerate() {
+            assert_eq!(m.get(8 + k, 7 - k).unwrap(), v);
+        }
+        // The column-0 neighbour of the last element is untouched.
+        assert_eq!(m.get(14, 0).unwrap(), 14 * 16);
+    }
+
+    #[test]
+    fn secondary_diag_region_past_column_zero_is_out_of_bounds() {
+        // One column short of the boundary origin must fail cleanly (the
+        // leftward walk would need column -1), with no panic and no
+        // poisoned cache state for subsequent valid reads.
+        let m = rero(16, 16);
+        for j in [0usize, 3, 6] {
+            let r = Region::new("oob", 0, j, RegionShape::SecondaryDiag { len: 8 });
+            assert!(
+                matches!(m.read_region(&r), Err(PolyMemError::OutOfBounds { .. })),
+                "origin column {j}"
+            );
+        }
+        let ok = Region::new("ok", 0, 7, RegionShape::SecondaryDiag { len: 8 });
+        assert!(m.read_region(&ok).is_ok());
+    }
+
+    #[test]
+    fn large_secondary_diag_region_shards_across_ports_at_boundary() {
+        // len 256 >= PARALLEL_REGION_MIN, so the crossbeam sharding path
+        // replays the plan right up to the (255, 0) corner.
+        let n = 256usize;
+        let m = rero(n, n);
+        let r = Region::new("sd", 0, n - 1, RegionShape::SecondaryDiag { len: n });
+        let got = m.read_region(&r).unwrap();
+        let want: Vec<u64> = (0..n).map(|k| (k * n + (n - 1 - k)) as u64).collect();
+        assert_eq!(got, want);
+        let vals: Vec<u64> = (0..n as u64).map(|v| v + 9000).collect();
+        m.write_region(&r, &vals).unwrap();
+        assert_eq!(m.read_region(&r).unwrap(), vals);
     }
 
     #[test]

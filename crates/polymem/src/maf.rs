@@ -11,6 +11,7 @@
 //! rectangles whenever `p | q` or `q | p`); `theory` tests machine-check all
 //! conflict-freedom claims exhaustively.
 
+use crate::error::{PolyMemError, Result};
 use crate::scheme::AccessScheme;
 use serde::{Deserialize, Serialize};
 
@@ -55,13 +56,33 @@ impl ModuleAssignment {
     /// of the grid divides the other (callers validate geometry through
     /// [`crate::config::PolyMemConfig`], which reports a proper error).
     pub fn new(scheme: AccessScheme, p: usize, q: usize) -> Self {
-        assert!(p > 0 && q > 0, "bank grid must be non-empty");
+        match Self::try_new(scheme, p, q) {
+            Ok(maf) => maf,
+            Err(PolyMemError::InvalidGeometry { reason })
+                if reason.starts_with("ReTr requires") =>
+            {
+                panic!("{reason}")
+            }
+            Err(_) => panic!("bank grid must be non-empty"),
+        }
+    }
+
+    /// Fallible variant of [`Self::new`], for callers (such as the
+    /// `polymem-verify` static analyzer) that sweep arbitrary geometries and
+    /// must observe invalid ones as values rather than panics.
+    pub fn try_new(scheme: AccessScheme, p: usize, q: usize) -> Result<Self> {
+        if p == 0 || q == 0 {
+            return Err(PolyMemError::InvalidGeometry {
+                reason: format!("bank grid must be non-empty (got {p} x {q})"),
+            });
+        }
         let ratio = match scheme {
             AccessScheme::ReTr => {
-                assert!(
-                    p.is_multiple_of(q) || q.is_multiple_of(p),
-                    "ReTr requires p | q or q | p (got {p} x {q})"
-                );
+                if !(p.is_multiple_of(q) || q.is_multiple_of(p)) {
+                    return Err(PolyMemError::InvalidGeometry {
+                        reason: format!("ReTr requires p | q or q | p (got {p} x {q})"),
+                    });
+                }
                 if q >= p {
                     q / p
                 } else {
@@ -70,12 +91,12 @@ impl ModuleAssignment {
             }
             _ => 1,
         };
-        Self {
+        Ok(Self {
             scheme,
             p,
             q,
             ratio,
-        }
+        })
     }
 
     /// The scheme this MAF implements.
@@ -293,6 +314,14 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_grid_rejected() {
         let _ = ModuleAssignment::new(AccessScheme::ReO, 0, 4);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_geometry_as_value() {
+        assert!(ModuleAssignment::try_new(AccessScheme::ReTr, 3, 4).is_err());
+        assert!(ModuleAssignment::try_new(AccessScheme::ReO, 0, 4).is_err());
+        let maf = ModuleAssignment::try_new(AccessScheme::ReTr, 2, 4).unwrap();
+        assert_eq!(maf.lanes(), 8);
     }
 
     #[test]

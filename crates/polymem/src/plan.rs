@@ -221,6 +221,63 @@ impl AccessPlan {
     pub fn lanes(&self) -> usize {
         self.banks.len()
     }
+
+    /// Structural soundness check: prove this plan is a true permutation of
+    /// the bank set for banks of `depth` elements.
+    ///
+    /// Verifies that `banks` hits every bank exactly once, that `inverse` is
+    /// its exact inverse, and that every `fold[k]` is consistent with
+    /// `banks[k] * depth + deltas[k]` (the replay gather and the per-bank
+    /// scatter views of the same routing can never disagree). Compiled plans
+    /// satisfy this by construction; the `polymem-verify` static analyzer
+    /// re-proves it for every cached class and uses it to detect corrupted
+    /// or hand-forged plans in its `--inject` mutation mode.
+    pub fn validate(&self, depth: usize) -> Result<()> {
+        let lanes = self.lanes();
+        let structural = |reason: String| PolyMemError::InvalidGeometry { reason };
+        if self.inverse.len() != lanes || self.deltas.len() != lanes || self.fold.len() != lanes {
+            return Err(structural(format!(
+                "plan for {:?}: array lengths disagree ({} banks, {} inverse, {} deltas, {} fold)",
+                self.pattern,
+                lanes,
+                self.inverse.len(),
+                self.deltas.len(),
+                self.fold.len()
+            )));
+        }
+        let mut owner = vec![u32::MAX; lanes];
+        for (k, &b) in self.banks.iter().enumerate() {
+            let b = b as usize;
+            if b >= lanes {
+                return Err(structural(format!(
+                    "plan for {:?}: lane {k} routed to bank {b} outside the {lanes}-bank grid",
+                    self.pattern
+                )));
+            }
+            if owner[b] != u32::MAX {
+                return Err(PolyMemError::BankConflict {
+                    bank: b,
+                    lane_a: owner[b] as usize,
+                    lane_b: k,
+                });
+            }
+            owner[b] = k as u32;
+            if self.inverse[b] as usize != k {
+                return Err(structural(format!(
+                    "plan for {:?}: inverse[{b}] = {} but lane {k} is routed to bank {b}",
+                    self.pattern, self.inverse[b]
+                )));
+            }
+            if self.fold[k] != b as isize * depth as isize + self.deltas[k] {
+                return Err(structural(format!(
+                    "plan for {:?}: fold[{k}] = {} disagrees with bank {b} * depth {depth} \
+                     + delta {}",
+                    self.pattern, self.fold[k], self.deltas[k]
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Snapshot of a [`PlanCache`]'s activity.
@@ -434,6 +491,32 @@ mod tests {
         assert!(cache.lookup(PA::col(0, 0)).is_none());
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn validate_accepts_compiled_plans_and_catches_corruption() {
+        let (agu, maf, afn) = blocks(AccessScheme::ReRo, 2, 4, 16, 16);
+        let depth = (16 / 2) * (16 / 4);
+        let plan = AccessPlan::compile(PA::row(3, 5), &agu, &maf, &afn, depth).unwrap();
+        plan.validate(depth).unwrap();
+
+        let mut dup = plan.clone();
+        dup.banks[1] = dup.banks[0];
+        assert!(matches!(
+            dup.validate(depth),
+            Err(PolyMemError::BankConflict { .. })
+        ));
+
+        let mut skew = plan.clone();
+        skew.fold[2] += 1;
+        assert!(matches!(
+            skew.validate(depth),
+            Err(PolyMemError::InvalidGeometry { .. })
+        ));
+
+        let mut badinv = plan.clone();
+        badinv.inverse.swap(0, 1);
+        assert!(badinv.validate(depth).is_err());
     }
 
     #[test]

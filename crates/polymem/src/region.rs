@@ -289,16 +289,25 @@ impl Region {
                     return ragged("secondary diagonal");
                 }
                 self.validate()?;
-                Ok((0..len)
+                // validate() proves j >= len - 1, so every k below is
+                // subtractable; keep the checked form anyway so a future
+                // validate() regression degrades to an error, not underflow.
+                (0..len)
                     .step_by(n)
                     .map(|k| {
-                        ParallelAccess::new(
+                        let j = self.j.checked_sub(k).ok_or(PolyMemError::OutOfBounds {
+                            i: (self.i + k) as i64,
+                            j: self.j as i64 - k as i64,
+                            rows: 0,
+                            cols: 0,
+                        })?;
+                        Ok(ParallelAccess::new(
                             self.i + k,
-                            self.j - k,
+                            j,
                             AccessPattern::SecondaryDiagonal,
-                        )
+                        ))
                     })
-                    .collect())
+                    .collect()
             }
         }
     }

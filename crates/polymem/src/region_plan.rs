@@ -36,7 +36,24 @@ use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-type RegionPlanMap = HashMap<RegionPlanKey, Arc<RegionPlan>, BuildHasherDefault<PlanKeyHasher>>;
+/// One cached plan plus its recency stamp. The stamp is atomic so shared
+/// `&self` lookups can refresh it without a write lock on the map.
+#[derive(Debug)]
+struct CacheSlot {
+    plan: Arc<RegionPlan>,
+    last_used: AtomicU64,
+}
+
+impl Clone for CacheSlot {
+    fn clone(&self) -> Self {
+        Self {
+            plan: Arc::clone(&self.plan),
+            last_used: AtomicU64::new(self.last_used.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+type RegionPlanMap = HashMap<RegionPlanKey, CacheSlot, BuildHasherDefault<PlanKeyHasher>>;
 
 /// Identity of one residue class of regions: same shape (including sizes)
 /// and origins congruent mod `p*q` in both coordinates share identical
@@ -234,6 +251,114 @@ impl RegionPlan {
         Ok(())
     }
 
+    /// Structural soundness check: prove this plan is a true permutation of
+    /// the region for a replay at flat base address `base` (`A(origin)`)
+    /// into banks of `depth` elements.
+    ///
+    /// Verifies, without touching any memory:
+    /// * every canonical element's gather slot `base + fold[c]` is in bounds
+    ///   and lands inside the bank recorded in `banks[c]`, at the intra-bank
+    ///   address `base + deltas[c]` (gather and per-bank views agree);
+    /// * `fold` is injective (the gather is a permutation, so a scatter
+    ///   through it can never lose a write);
+    /// * `afold` is a bijective rearrangement of `fold` whose `lanes` slots
+    ///   are bank-disjoint within every access — each replayed cycle still
+    ///   hits `p*q` distinct banks;
+    /// * `bank_elems` partitions the canonical range rectangularly by bank.
+    ///
+    /// Compiled plans satisfy this by construction; the `polymem-verify`
+    /// static analyzer re-proves it per cached class and trips it on
+    /// deliberately corrupted plans in `--inject` mode.
+    pub fn validate(&self, base: isize, depth: usize) -> Result<()> {
+        let len = self.len();
+        let structural = |reason: String| PolyMemError::InvalidGeometry { reason };
+        let nm = |what: &str| format!("region plan for {:?}: {what}", self.shape);
+        if self.banks.len() != len
+            || self.deltas.len() != len
+            || self.afold.len() != len
+            || self.bank_elems.len() != len
+            || self.accesses * self.lanes != len
+        {
+            return Err(structural(nm(
+                "array lengths disagree with the region size",
+            )));
+        }
+        let total = (self.lanes * depth) as isize;
+        for c in 0..len {
+            let abs = base + self.fold[c];
+            if abs < 0 || abs >= total {
+                return Err(structural(nm(&format!(
+                    "element {c} gathers from flat slot {abs} outside storage of {total}"
+                ))));
+            }
+            let bank = abs / depth as isize;
+            if bank != self.banks[c] as isize {
+                return Err(structural(nm(&format!(
+                    "element {c} gathers from bank {bank} but records bank {}",
+                    self.banks[c]
+                ))));
+            }
+            if abs - bank * depth as isize != base + self.deltas[c] {
+                return Err(structural(nm(&format!(
+                    "element {c}: intra-bank address {} disagrees with delta view {}",
+                    abs - bank * depth as isize,
+                    base + self.deltas[c]
+                ))));
+            }
+        }
+        // fold injective + afold a permutation of fold.
+        let mut sorted_fold = self.fold.clone();
+        sorted_fold.sort_unstable();
+        if sorted_fold.windows(2).any(|w| w[0] == w[1]) {
+            return Err(structural(nm(
+                "two elements gather from the same flat slot",
+            )));
+        }
+        let mut sorted_afold = self.afold.clone();
+        sorted_afold.sort_unstable();
+        if sorted_fold != sorted_afold {
+            return Err(structural(nm(
+                "afold is not a rearrangement of the canonical gather map",
+            )));
+        }
+        // Per-access (per-cycle) bank disjointness through afold.
+        for a in 0..self.accesses {
+            let mut seen = vec![false; self.lanes];
+            for k in 0..self.lanes {
+                let bank = ((base + self.afold[a * self.lanes + k]) / depth as isize) as usize;
+                if seen[bank] {
+                    return Err(PolyMemError::BankConflict {
+                        bank,
+                        lane_a: a * self.lanes,
+                        lane_b: a * self.lanes + k,
+                    });
+                }
+                seen[bank] = true;
+            }
+        }
+        // bank_elems: rectangular grouping covering every element once, each
+        // group owned by its bank.
+        let mut covered = vec![false; len];
+        for b in 0..self.lanes {
+            for &c in &self.bank_elems[b * self.accesses..(b + 1) * self.accesses] {
+                let c = c as usize;
+                if c >= len || covered[c] {
+                    return Err(structural(nm(&format!(
+                        "bank_elems group {b} repeats or overruns element {c}"
+                    ))));
+                }
+                covered[c] = true;
+                if self.banks[c] as usize != b {
+                    return Err(structural(nm(&format!(
+                        "bank_elems group {b} claims element {c} owned by bank {}",
+                        self.banks[c]
+                    ))));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Approximate heap footprint of the precomputed arrays, in bytes.
     pub fn heap_bytes(&self) -> usize {
         self.fold.len() * size_of::<isize>()
@@ -251,35 +376,60 @@ pub struct RegionPlanCacheStats {
     pub hits: u64,
     /// Region operations that triggered a compilation.
     pub misses: u64,
+    /// Plans evicted to stay under the capacity cap.
+    pub evictions: u64,
     /// Plans currently cached.
     pub entries: usize,
+    /// Maximum number of plans the cache will hold.
+    pub capacity: usize,
     /// Total heap bytes held by cached plans' index arrays.
     pub bytes: u64,
 }
 
 /// Lazy cache of [`RegionPlan`]s, keyed per (shape, origin-residue) class.
 ///
-/// Unlike [`PlanCache`] the key space is unbounded (shapes carry sizes), but
-/// applications use a small fixed set of region shapes, so entries are never
-/// evicted; [`RegionPlanCacheStats::bytes`] makes the footprint observable.
-/// Counters are atomic so shared-`&self` users can count lookups.
+/// Unlike [`PlanCache`] the key space is unbounded (shapes carry sizes), so
+/// the cache is capacity-bounded: once `capacity` classes are resident, the
+/// least-recently-used plan is evicted to make room (applications use a
+/// small fixed set of region shapes, so the default cap of
+/// [`Self::DEFAULT_CAPACITY`] is effectively "never evict" — the cap exists
+/// so adversarially varied shapes cannot grow the cache without bound).
+/// Counters and recency stamps are atomic so shared-`&self` users can count
+/// and touch lookups.
 #[derive(Debug)]
 pub struct RegionPlanCache {
     period: usize,
+    capacity: usize,
     map: RegionPlanMap,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     bytes: AtomicU64,
 }
 
 impl RegionPlanCache {
-    /// Empty cache for a memory with `p*q == period` lanes.
+    /// Default capacity cap: far above any realistic working set of region
+    /// shape classes, but finite.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Empty cache for a memory with `p*q == period` lanes, holding at most
+    /// [`Self::DEFAULT_CAPACITY`] plans.
     pub fn new(period: usize) -> Self {
+        Self::with_capacity(period, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Empty cache bounded to `capacity` plans (minimum 1: the current plan
+    /// must be resident to replay).
+    pub fn with_capacity(period: usize, capacity: usize) -> Self {
         Self {
             period,
+            capacity: capacity.max(1),
             map: RegionPlanMap::default(),
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
         }
     }
@@ -290,21 +440,53 @@ impl RegionPlanCache {
         self.period
     }
 
+    /// Maximum number of plans the cache will hold before evicting.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Next recency stamp (monotonic; shared lookups may interleave, which
+    /// only perturbs LRU order between concurrent touches — harmless).
+    #[inline]
+    fn stamp(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Look up the plan for `region`'s residue class without compiling.
-    /// Counts a hit when present (misses are counted by the compile path).
+    /// Counts a hit and refreshes recency when present (misses are counted
+    /// by the compile path).
     pub fn lookup(&self, region: &Region) -> Option<Arc<RegionPlan>> {
-        let found = self
-            .map
-            .get(&RegionPlanKey::of(region, self.period))
-            .cloned();
-        if found.is_some() {
+        let found = self.map.get(&RegionPlanKey::of(region, self.period));
+        if let Some(slot) = found {
+            slot.last_used.store(self.stamp(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        found
+        found.map(|slot| Arc::clone(&slot.plan))
+    }
+
+    /// Evict least-recently-used plans until an insert fits under the cap.
+    fn make_room(&mut self) {
+        while self.map.len() >= self.capacity {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(key, _)| *key)
+            else {
+                return;
+            };
+            if let Some(slot) = self.map.remove(&oldest) {
+                self.bytes
+                    .fetch_sub(slot.plan.heap_bytes() as u64, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// The plan for `region`'s residue class, compiling through `cache` on
-    /// first use. The caller still bounds-checks the concrete origin via
+    /// first use (evicting the least-recently-used plan when full). The
+    /// caller still bounds-checks the concrete origin via
     /// [`RegionPlan::check_bounds`] (compilation checks the representative;
     /// cache hits do not).
     #[allow(clippy::too_many_arguments)]
@@ -316,30 +498,45 @@ impl RegionPlanCache {
         maf: &ModuleAssignment,
         afn: &AddressingFunction,
         cache: &mut PlanCache,
-    ) -> Result<&Arc<RegionPlan>> {
-        use std::collections::hash_map::Entry;
-        match self.map.entry(RegionPlanKey::of(region, self.period)) {
-            Entry::Occupied(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Ok(e.into_mut())
-            }
-            Entry::Vacant(v) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let plan = RegionPlan::compile(region, scheme, agu, maf, afn, cache)?;
-                self.bytes
-                    .fetch_add(plan.heap_bytes() as u64, Ordering::Relaxed);
-                Ok(v.insert(Arc::new(plan)))
-            }
+    ) -> Result<Arc<RegionPlan>> {
+        let key = RegionPlanKey::of(region, self.period);
+        if let Some(slot) = self.map.get(&key) {
+            slot.last_used.store(self.stamp(), Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&slot.plan));
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(RegionPlan::compile(region, scheme, agu, maf, afn, cache)?);
+        self.make_room();
+        self.bytes
+            .fetch_add(plan.heap_bytes() as u64, Ordering::Relaxed);
+        self.map.insert(
+            key,
+            CacheSlot {
+                plan: Arc::clone(&plan),
+                last_used: AtomicU64::new(self.stamp()),
+            },
+        );
+        Ok(plan)
     }
 
     /// Insert a pre-compiled plan (used by shared-cache wrappers that
-    /// compile outside the map borrow).
+    /// compile outside the map borrow), evicting the least-recently-used
+    /// plan when full.
     pub fn insert(&mut self, key: RegionPlanKey, plan: Arc<RegionPlan>) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.make_room();
         self.bytes
             .fetch_add(plan.heap_bytes() as u64, Ordering::Relaxed);
-        self.map.insert(key, plan);
+        let slot = CacheSlot {
+            plan,
+            last_used: AtomicU64::new(self.stamp()),
+        };
+        if let Some(old) = self.map.insert(key, slot) {
+            // Re-insert over an existing class: the old plan leaves.
+            self.bytes
+                .fetch_sub(old.plan.heap_bytes() as u64, Ordering::Relaxed);
+        }
     }
 
     /// Drop every cached plan (counters keep running, bytes resets).
@@ -348,12 +545,14 @@ impl RegionPlanCache {
         self.bytes.store(0, Ordering::Relaxed);
     }
 
-    /// Activity counters, current size, and heap footprint.
+    /// Activity counters, current size/capacity, and heap footprint.
     pub fn stats(&self) -> RegionPlanCacheStats {
         RegionPlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.map.len(),
+            capacity: self.capacity,
             bytes: self.bytes.load(Ordering::Relaxed),
         }
     }
@@ -363,9 +562,12 @@ impl Clone for RegionPlanCache {
     fn clone(&self) -> Self {
         Self {
             period: self.period,
+            capacity: self.capacity,
             map: self.map.clone(),
+            tick: AtomicU64::new(self.tick.load(Ordering::Relaxed)),
             hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
             misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            evictions: AtomicU64::new(self.evictions.load(Ordering::Relaxed)),
             bytes: AtomicU64::new(self.bytes.load(Ordering::Relaxed)),
         }
     }
@@ -513,6 +715,93 @@ mod tests {
             .is_err());
         assert_eq!(cache.stats().entries, 0);
         assert!(cache.lookup(&r).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_compiled_plans_and_catches_corruption() {
+        let (agu, maf, afn, mut cache) = blocks(AccessScheme::ReRo, 2, 4, 32, 32);
+        let depth = (32 / 2) * (32 / 4);
+        let r = Region::new("d", 2, 15, RegionShape::SecondaryDiag { len: 16 });
+        let plan =
+            RegionPlan::compile(&r, AccessScheme::ReRo, &agu, &maf, &afn, &mut cache).unwrap();
+        let base = afn.address(r.i, r.j) as isize;
+        plan.validate(base, depth).unwrap();
+
+        let mut dup = plan.clone();
+        dup.fold[1] = dup.fold[0];
+        assert!(dup.validate(base, depth).is_err());
+
+        let mut skew = plan.clone();
+        skew.banks[3] = (skew.banks[3] + 1) % skew.lanes as u32;
+        assert!(skew.validate(base, depth).is_err());
+
+        let mut bad_afold = plan.clone();
+        bad_afold.afold[0] += 1;
+        assert!(bad_afold.validate(base, depth).is_err());
+
+        let mut bad_groups = plan.clone();
+        bad_groups.bank_elems[1] = bad_groups.bank_elems[0];
+        assert!(bad_groups.validate(base, depth).is_err());
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let (agu, maf, afn, mut acc_cache) = blocks(AccessScheme::ReRo, 2, 4, 64, 64);
+        let mut cache = RegionPlanCache::with_capacity(8, 2);
+        let row = |len: usize| Region::new("r", 0, 0, RegionShape::Row { len });
+        cache
+            .get_or_compile(
+                &row(8),
+                AccessScheme::ReRo,
+                &agu,
+                &maf,
+                &afn,
+                &mut acc_cache,
+            )
+            .unwrap();
+        cache
+            .get_or_compile(
+                &row(16),
+                AccessScheme::ReRo,
+                &agu,
+                &maf,
+                &afn,
+                &mut acc_cache,
+            )
+            .unwrap();
+        // Touch len-8 so len-16 becomes the LRU victim.
+        assert!(cache.lookup(&row(8)).is_some());
+        cache
+            .get_or_compile(
+                &row(24),
+                AccessScheme::ReRo,
+                &agu,
+                &maf,
+                &afn,
+                &mut acc_cache,
+            )
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.capacity, 2);
+        assert_eq!(s.evictions, 1);
+        assert!(cache.lookup(&row(8)).is_some(), "recently used plan kept");
+        assert!(cache.lookup(&row(16)).is_none(), "LRU plan evicted");
+        // Evicted classes recompile transparently.
+        cache
+            .get_or_compile(
+                &row(16),
+                AccessScheme::ReRo,
+                &agu,
+                &maf,
+                &afn,
+                &mut acc_cache,
+            )
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 2);
+        // Bytes accounting survives eviction churn: clear and it zeroes.
+        cache.clear();
+        assert_eq!(cache.stats().bytes, 0);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`bnb`] — exact branch-and-bound (substituting for the paper's ILP
 //!   solver), with a brute-force ground-truth checker for tests;
 //! * [`metrics`] — speedup and efficiency;
-//! * [`dse`] — configuration sweep and selection.
+//! * [`dse`] — configuration sweep and selection;
+//! * [`support`] — the paper's Table I transcribed literally, the
+//!   support-matrix source of truth cross-checked by `polymem-verify`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +30,7 @@ pub mod lp;
 pub mod metrics;
 pub mod pattern;
 pub mod ports;
+pub mod support;
 
 pub use anneal::{solve as solve_anneal, AnnealOptions};
 pub use bitset::BitSet;
@@ -40,3 +43,4 @@ pub use lp::{dual_bound, lower_bound};
 pub use metrics::{evaluate, ScheduleMetrics};
 pub use pattern::AccessTrace;
 pub use ports::{mixed_cycles, multiport_speedup, pack_reads, PortOp, PortSchedule};
+pub use support::{aligned_only, support_matrix, table1};

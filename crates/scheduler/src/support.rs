@@ -1,0 +1,156 @@
+//! The paper's Table I, transcribed literally — the support-matrix
+//! **source of truth** that the `polymem-verify` static analyzer
+//! cross-checks against the runtime implementation
+//! (`polymem::AccessScheme::supported_patterns`).
+//!
+//! This module deliberately re-derives every claim from the published
+//! conditions instead of calling into `polymem`: two independent encodings
+//! of Table I must agree before the verifier will even start its exhaustive
+//! residue-class proof, so a typo in either side is caught by the other.
+//! Keep this transcription close to the paper; if a scheme's condition ever
+//! needs refinement, change it here *and* in `polymem::scheme`, and let
+//! `cargo run -p verifier` arbitrate.
+
+use polymem::{AccessPattern, AccessScheme};
+
+/// Greatest common divisor (independent of `polymem`'s internal helper —
+/// this module must not share code with the implementation it checks).
+fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The patterns Table I claims `scheme` serves conflict-free on a `p x q`
+/// bank grid. Alignment-restricted claims (see [`aligned_only`]) are
+/// included; geometries a scheme cannot be built for at all (`ReTr` with
+/// neither side dividing the other) claim nothing.
+///
+/// The conditions, as published (P = `p`, Q = `q`):
+///
+/// * **ReO** — unaligned `p x q` rectangles.
+/// * **ReRo** — rectangles, rows; main diagonals iff `gcd(Q+1, P) = 1`;
+///   secondary diagonals iff `gcd(Q-1, P) = 1`.
+/// * **ReCo** — rectangles, columns; main diagonals iff `gcd(P+1, Q) = 1`;
+///   secondary diagonals iff `gcd(P-1, Q) = 1`.
+/// * **RoCo** — rows, columns, and *aligned* rectangles.
+/// * **ReTr** — `p x q` and `q x p` rectangles, iff `P | Q` or `Q | P`.
+pub fn table1(scheme: AccessScheme, p: usize, q: usize) -> Vec<AccessPattern> {
+    assert!(p > 0 && q > 0, "bank grid must be non-empty");
+    match scheme {
+        AccessScheme::ReO => vec![AccessPattern::Rectangle],
+        AccessScheme::ReRo => {
+            let mut v = vec![AccessPattern::Rectangle, AccessPattern::Row];
+            if gcd(q + 1, p) == 1 {
+                v.push(AccessPattern::MainDiagonal);
+            }
+            if gcd(q - 1, p) == 1 {
+                v.push(AccessPattern::SecondaryDiagonal);
+            }
+            v
+        }
+        AccessScheme::ReCo => {
+            let mut v = vec![AccessPattern::Rectangle, AccessPattern::Column];
+            if gcd(p + 1, q) == 1 {
+                v.push(AccessPattern::MainDiagonal);
+            }
+            if gcd(p - 1, q) == 1 {
+                v.push(AccessPattern::SecondaryDiagonal);
+            }
+            v
+        }
+        AccessScheme::RoCo => vec![
+            AccessPattern::Rectangle,
+            AccessPattern::Row,
+            AccessPattern::Column,
+        ],
+        AccessScheme::ReTr => {
+            if p.is_multiple_of(q) || q.is_multiple_of(p) {
+                vec![AccessPattern::Rectangle, AccessPattern::TransposedRectangle]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Whether Table I restricts `scheme`'s claim on `pattern` to origins
+/// aligned to the bank grid (`i0 ≡ 0 mod p`, `j0 ≡ 0 mod q`). The only
+/// such entry is RoCo's rectangle.
+pub fn aligned_only(scheme: AccessScheme, pattern: AccessPattern) -> bool {
+    scheme == AccessScheme::RoCo && pattern == AccessPattern::Rectangle
+}
+
+/// The full Table I for one geometry: every scheme paired with its claims.
+pub fn support_matrix(p: usize, q: usize) -> Vec<(AccessScheme, Vec<AccessPattern>)> {
+    AccessScheme::ALL
+        .into_iter()
+        .map(|s| (s, table1(s, p, q)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_claims() {
+        // The paper's running 2x4 example.
+        let t = table1(AccessScheme::ReRo, 2, 4);
+        assert!(t.contains(&AccessPattern::Row));
+        // gcd(5, 2) = 1 and gcd(3, 2) = 1: both diagonals.
+        assert!(t.contains(&AccessPattern::MainDiagonal));
+        assert!(t.contains(&AccessPattern::SecondaryDiagonal));
+        assert!(!t.contains(&AccessPattern::Column));
+    }
+
+    #[test]
+    fn diagonal_conditions_bind() {
+        // gcd(q+1, p): 4+1=5 vs p=5 -> main diagonal excluded.
+        let t = table1(AccessScheme::ReRo, 5, 4);
+        assert!(!t.contains(&AccessPattern::MainDiagonal));
+        // gcd(q-1, p): 5-1=4 vs p=2 -> secondary excluded.
+        let t = table1(AccessScheme::ReRo, 2, 5);
+        assert!(!t.contains(&AccessPattern::SecondaryDiagonal));
+    }
+
+    #[test]
+    fn retr_requires_divisibility() {
+        assert!(table1(AccessScheme::ReTr, 3, 5).is_empty());
+        assert_eq!(table1(AccessScheme::ReTr, 2, 8).len(), 2);
+    }
+
+    #[test]
+    fn matches_runtime_support_matrix() {
+        // The cross-check the verifier performs, in miniature: both
+        // encodings of Table I agree on common geometries.
+        for &(p, q) in &[(2usize, 2usize), (2, 4), (4, 2), (4, 4), (3, 3), (2, 8)] {
+            for (scheme, mut claimed) in support_matrix(p, q) {
+                let mut runtime = scheme.supported_patterns(p, q);
+                claimed.sort_by_key(|pat| pat.index());
+                runtime.sort_by_key(|pat| pat.index());
+                assert_eq!(claimed, runtime, "{scheme} on {p}x{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_only_is_roco_rectangles() {
+        assert!(aligned_only(AccessScheme::RoCo, AccessPattern::Rectangle));
+        assert!(!aligned_only(AccessScheme::RoCo, AccessPattern::Row));
+        assert!(!aligned_only(AccessScheme::ReO, AccessPattern::Rectangle));
+        for scheme in AccessScheme::ALL {
+            for pat in scheme.supported_patterns(2, 4) {
+                assert_eq!(
+                    aligned_only(scheme, pat),
+                    scheme.requires_alignment(pat),
+                    "{scheme} {pat}"
+                );
+            }
+        }
+    }
+}

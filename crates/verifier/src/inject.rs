@@ -1,0 +1,202 @@
+//! `--inject`: mutation testing of the analyzer itself.
+//!
+//! A static analyzer that never fires is indistinguishable from one that
+//! proves things. This module seeds one representative violation per
+//! hazard class — a false support claim, a corrupted access plan, a
+//! corrupted region plan, a reversed lock nesting, a writing read-port
+//! thread, and a panicking hot path — and checks that the corresponding
+//! analysis reports the expected finding code. The real sources on disk
+//! are never modified; lock/lint mutations run on in-memory copies.
+
+use crate::findings::{Finding, Severity};
+use crate::locks;
+use crate::{lint, schemes};
+use polymem::{
+    AccessPattern, AccessScheme, AddressingFunction, Agu, ModuleAssignment, ParallelAccess,
+    PlanCache, Region, RegionPlan, RegionShape,
+};
+use std::path::Path;
+
+/// Result of one seeded mutation.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// Stable mutation name.
+    pub name: &'static str,
+    /// Finding code the analyzer is expected to raise.
+    pub expected_code: &'static str,
+    /// Whether the analyzer raised it.
+    pub caught: bool,
+    /// What the analyzer actually said (first relevant finding).
+    pub detail: String,
+}
+
+fn record(name: &'static str, expected_code: &'static str, raised: &[Finding]) -> Mutation {
+    let hit = raised.iter().find(|f| f.code == expected_code);
+    Mutation {
+        name,
+        expected_code,
+        caught: hit.is_some(),
+        detail: hit
+            .map(|f| f.render())
+            .unwrap_or_else(|| format!("no `{expected_code}` finding raised")),
+    }
+}
+
+/// Mutation 1: claim ReO serves rows conflict-free on 2x4 (it does not —
+/// a row hits bank column-pairs only). The scheme proof must refute it.
+fn false_support_claim() -> Mutation {
+    let mut findings = Vec::new();
+    let maf = ModuleAssignment::new(AccessScheme::ReO, 2, 4);
+    schemes::check_pair(&maf, AccessPattern::Row, true, &mut findings);
+    record("false-support-claim", "bank-conflict", &findings)
+}
+
+/// Mutation 2: corrupt a compiled access plan (duplicate a bank) and feed
+/// it to the structural validator.
+fn corrupt_access_plan() -> Mutation {
+    let (p, q) = (2usize, 4usize);
+    let n = p * q;
+    let agu = Agu::new(p, q, 4 * n, 4 * n);
+    let maf = ModuleAssignment::new(AccessScheme::ReRo, p, q);
+    let afn = AddressingFunction::new(p, q, 4 * n, 4 * n);
+    let depth = (4 * n / p) * (4 * n / q);
+    let mut cache = PlanCache::new(n, depth);
+    let access = ParallelAccess::new(1, 2, AccessPattern::Row);
+    let plan = cache
+        .get_or_compile(access, &agu, &maf, &afn)
+        .expect("supported access compiles")
+        .clone();
+    let mut bad = (*plan).clone();
+    bad.banks[1] = bad.banks[0];
+    let mut findings = Vec::new();
+    if let Err(e) = bad.validate(depth) {
+        findings.push(Finding::new(
+            "plans",
+            Severity::Error,
+            "plan-corrupt",
+            "injected access plan",
+            format!("{e}"),
+        ));
+    }
+    record("corrupt-access-plan", "plan-corrupt", &findings)
+}
+
+/// Mutation 3: corrupt a compiled region plan (skew one fold slot) and
+/// feed it to the structural validator.
+fn corrupt_region_plan() -> Mutation {
+    let (p, q) = (2usize, 4usize);
+    let n = p * q;
+    let agu = Agu::new(p, q, 4 * n, 4 * n);
+    let maf = ModuleAssignment::new(AccessScheme::ReRo, p, q);
+    let afn = AddressingFunction::new(p, q, 4 * n, 4 * n);
+    let depth = (4 * n / p) * (4 * n / q);
+    let mut acc = PlanCache::new(n, depth);
+    let region = Region::new("inject", 1, 2, RegionShape::Row { len: 2 * n });
+    let plan = RegionPlan::compile(&region, AccessScheme::ReRo, &agu, &maf, &afn, &mut acc)
+        .expect("supported region compiles");
+    let base = afn.address(region.i, region.j) as isize;
+    let mut bad = plan.clone();
+    bad.fold[0] += 1;
+    let mut findings = Vec::new();
+    if let Err(e) = bad.validate(base, depth) {
+        findings.push(Finding::new(
+            "plans",
+            Severity::Error,
+            "plan-corrupt",
+            "injected region plan",
+            format!("{e}"),
+        ));
+    }
+    record("corrupt-region-plan", "plan-corrupt", &findings)
+}
+
+/// Mutation 4: append a function that nests region-plans -> pattern-shard
+/// (the reverse of the documented order); the lock graph must go cyclic.
+fn reversed_lock_order(concurrent_src: &str) -> Mutation {
+    let injected = format!(
+        "{concurrent_src}\nimpl<T> ConcurrentPolyMem<T> {{\n    fn injected_bad_order(&self) \
+         {{\n        let mut regions = self.region_plans.write();\n        let mut shard = \
+         self.plans[0].write();\n        let _ = (&mut regions, &mut shard);\n    }}\n}}\n"
+    );
+    let mut findings = Vec::new();
+    let graph = locks::analyze_source(&injected, "concurrent.rs[injected]", &mut findings);
+    locks::check_graph(&graph, &mut findings);
+    record("reversed-lock-order", "lock-cycle", &findings)
+}
+
+/// Mutation 5: append a read-port spawn whose closure writes a bank; the
+/// port-aliasing pass must flag it.
+fn writing_read_port(concurrent_src: &str) -> Mutation {
+    let injected = format!(
+        "{concurrent_src}\nimpl<T: Copy> ConcurrentPolyMem<T> {{\n    fn injected_bad_port\
+         (&self, v: T) {{\n        crossbeam::scope(|s| {{\n            s.spawn(move |_| {{ \
+         self.banks[0].write()[0] = v; }});\n        }})\n        .unwrap();\n    }}\n}}\n"
+    );
+    let mut findings = Vec::new();
+    let _ = locks::analyze_source(&injected, "concurrent.rs[injected]", &mut findings);
+    record("writing-read-port", "port-aliasing", &findings)
+}
+
+/// Mutation 6: a hot replay function with a bare `unwrap()`; the source
+/// lint must reject it without an allowlist entry.
+fn panicking_hot_path() -> Mutation {
+    let src = "impl<T> PolyMem<T> {\n    fn read_planned(&mut self) {\n        \
+               let plan = self.cache.get().unwrap();\n        let _ = plan;\n    }\n}\n";
+    let mut findings = Vec::new();
+    let mut allow = Vec::new();
+    lint::lint_source(
+        src,
+        "crates/polymem/src/mem.rs",
+        &["read_planned"],
+        &mut allow,
+        &mut findings,
+    );
+    record("panicking-hot-path", "panic-in-hot-path", &findings)
+}
+
+/// Run every seeded mutation. Reads `concurrent.rs` under `root` for the
+/// lock mutations (mutated in memory only).
+pub fn run(root: &Path, findings: &mut Vec<Finding>) -> Vec<Mutation> {
+    let concurrent_src =
+        std::fs::read_to_string(root.join("crates/polymem/src/concurrent.rs")).unwrap_or_default();
+    let mutations = vec![
+        false_support_claim(),
+        corrupt_access_plan(),
+        corrupt_region_plan(),
+        reversed_lock_order(&concurrent_src),
+        writing_read_port(&concurrent_src),
+        panicking_hot_path(),
+    ];
+    for m in &mutations {
+        if !m.caught {
+            findings.push(Finding::new(
+                "inject",
+                Severity::Error,
+                "mutation-survived",
+                m.name,
+                format!(
+                    "seeded violation was not detected (expected `{}`): {}",
+                    m.expected_code, m.detail
+                ),
+            ));
+        }
+    }
+    mutations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seeded_mutation_is_caught() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut findings = Vec::new();
+        let mutations = run(&root, &mut findings);
+        assert_eq!(mutations.len(), 6);
+        for m in &mutations {
+            assert!(m.caught, "{} survived: {}", m.name, m.detail);
+        }
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+}

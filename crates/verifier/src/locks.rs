@@ -1,0 +1,736 @@
+//! Concurrency hazard analysis: a static lock graph for `ConcurrentPolyMem`.
+//!
+//! `ConcurrentPolyMem` owns three families of locks — six per-pattern plan
+//! shards, the region-plan cache lock, and one `RwLock` per bank — and its
+//! documented protocol is a single nesting: a pattern shard is taken
+//! *before* the region-plan lock (and only there); bank locks never nest.
+//! This module re-derives that protocol from the source text of
+//! `crates/polymem/src/concurrent.rs` on every run:
+//!
+//! * every `.read()` / `.write()` acquisition is located and classified by
+//!   its receiver (`plans[..]`/`shard` → pattern shard, `region_plans`/
+//!   `regions` → region cache, `banks[..]`/`bank` → bank);
+//! * acquisitions bound with `let` are *held* to the end of their block;
+//!   bare ones are transient (guard dropped at the statement's semicolon);
+//! * a held acquisition followed by another acquisition inside its scope
+//!   yields a lock-order edge, and the resulting graph must be acyclic
+//!   with no same-class nesting (two shards, or two banks, taken together
+//!   would deadlock under inverted scheduling);
+//! * `spawn(..)` closure bodies are traced through the same-file call
+//!   graph: a *read-port* thread that can reach a bank **write** lock is
+//!   same-cycle read/write port aliasing and is flagged, as is any lock
+//!   held across a `spawn` site.
+//!
+//! The analysis is deliberately source-level (no rustc, no network): the
+//! scanner is restricted to the idioms this file actually uses, and it
+//! hard-fails if it suddenly finds *nothing* (so a refactor cannot
+//! silently blind it).
+
+use crate::findings::{Finding, Severity};
+use std::path::Path;
+
+/// The lock families of `ConcurrentPolyMem`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockClass {
+    /// One of the six per-pattern `RwLock<PlanCache>` shards.
+    PatternShard,
+    /// The `RwLock<RegionPlanCache>`.
+    RegionPlans,
+    /// A per-bank `RwLock<Vec<T>>`.
+    Bank,
+    /// Receiver the scanner could not classify.
+    Unknown,
+}
+
+impl LockClass {
+    /// Name used in findings and the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockClass::PatternShard => "pattern-shard",
+            LockClass::RegionPlans => "region-plans",
+            LockClass::Bank => "bank",
+            LockClass::Unknown => "unknown",
+        }
+    }
+}
+
+/// Read or write acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// `.read()`.
+    Read,
+    /// `.write()`.
+    Write,
+}
+
+/// One lock acquisition found in the source.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Lock family.
+    pub class: LockClass,
+    /// Read or write.
+    pub mode: LockMode,
+    /// Function the acquisition is in.
+    pub function: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Whether the guard is `let`-bound (held to end of block).
+    pub held: bool,
+    /// Byte position in the scanned text.
+    pos: usize,
+    /// For held guards: position where the enclosing block closes.
+    scope_end: usize,
+}
+
+/// One lock-order edge: `from` is held while `to` is acquired.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The held lock.
+    pub from: LockClass,
+    /// The lock acquired under it.
+    pub to: LockClass,
+    /// `function: line A -> line B`.
+    pub location: String,
+}
+
+/// The extracted lock structure.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Every acquisition found.
+    pub acquisitions: Vec<Acquisition>,
+    /// Every held-then-acquired edge.
+    pub edges: Vec<LockEdge>,
+    /// Functions scanned.
+    pub functions: usize,
+    /// Spawn sites found.
+    pub spawns: usize,
+}
+
+/// Replace string/char literals and comments with spaces, preserving
+/// length and line structure, so brace matching cannot be confused by
+/// braces in `format!` strings or docs.
+pub(crate) fn mask_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                    }
+                    if i < bytes.len() && bytes[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime (`'a`, `'_`) has no
+                // closing quote within 3 bytes of alphanumerics; a char
+                // literal closes quickly. Scan ahead conservatively.
+                let mut k = i + 1;
+                if k < bytes.len() && bytes[k] == b'\\' {
+                    k += 2;
+                } else {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b'\'' {
+                    i = k + 1; // char literal, masked out
+                } else {
+                    out[i] = b'\''; // lifetime, keep
+                    i += 1;
+                }
+            }
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            _ => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("mask preserves ascii structure")
+}
+
+/// Blank out `#[cfg(test)] mod .. { .. }` blocks in the masked text.
+pub(crate) fn strip_test_mods(masked: &mut String, original: &str) {
+    let mut search = 0;
+    while let Some(found) = original[search..].find("#[cfg(test)]") {
+        let at = search + found;
+        let Some(open_rel) = masked[at..].find('{') else {
+            break;
+        };
+        let open = at + open_rel;
+        let close = match_brace(masked.as_bytes(), open);
+        let bytes = unsafe { masked.as_bytes_mut() };
+        let last = bytes.len() - 1;
+        for b in bytes[at..=close.min(last)].iter_mut() {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+        search = close.min(original.len() - 1) + 1;
+    }
+}
+
+/// Position of the `}` matching the `{` at `open` (or end of text).
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len() - 1
+}
+
+/// One scanned function: name and body span in the masked text.
+#[derive(Debug, Clone)]
+pub(crate) struct FnSpan {
+    pub(crate) name: String,
+    pub(crate) body_start: usize,
+    pub(crate) body_end: usize,
+}
+
+pub(crate) fn extract_fns(masked: &str) -> Vec<FnSpan> {
+    let bytes = masked.as_bytes();
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while let Some(found) = masked[i..].find("fn ") {
+        let at = i + found;
+        // Word boundary on the left.
+        if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_') {
+            i = at + 3;
+            continue;
+        }
+        let name_start = at + 3;
+        let name_end = masked[name_start..]
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map(|d| name_start + d)
+            .unwrap_or(masked.len());
+        let name = masked[name_start..name_end].to_string();
+        if name.is_empty() {
+            i = at + 3;
+            continue;
+        }
+        let Some(open_rel) = masked[name_end..].find('{') else {
+            break;
+        };
+        // Guard against signatures that end without a body (trait decls);
+        // a ';' before the '{' means no body.
+        if masked[name_end..name_end + open_rel].contains(';') {
+            i = name_end;
+            continue;
+        }
+        let open = name_end + open_rel;
+        let close = match_brace(bytes, open);
+        fns.push(FnSpan {
+            name,
+            body_start: open,
+            body_end: close,
+        });
+        i = close;
+    }
+    fns
+}
+
+pub(crate) fn line_of(src: &str, pos: usize) -> usize {
+    src[..pos.min(src.len())]
+        .bytes()
+        .filter(|&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Walk backwards from `dot` (the `.` of `.read()`/`.write()`) to recover
+/// the receiver expression, balancing `[..]` groups and crossing the
+/// whitespace of multi-line method chains. Returns the receiver with
+/// whitespace squeezed out, plus its start position in the text.
+fn receiver_before(masked: &str, dot: usize) -> (String, usize) {
+    let bytes = masked.as_bytes();
+    let mut k = dot;
+    let mut brackets = 0usize;
+    while k > 0 {
+        let c = bytes[k - 1];
+        if c == b']' {
+            brackets += 1;
+        } else if c == b'[' {
+            if brackets == 0 {
+                break;
+            }
+            brackets -= 1;
+        } else if brackets == 0 && c.is_ascii_whitespace() {
+            // Cross whitespace only if the chain continues on its far side.
+            let mut back = k - 1;
+            while back > 0 && bytes[back - 1].is_ascii_whitespace() {
+                back -= 1;
+            }
+            let far = if back > 0 { bytes[back - 1] } else { b' ' };
+            if far.is_ascii_alphanumeric() || far == b'_' || far == b']' || far == b'.' {
+                k = back;
+                continue;
+            }
+            break;
+        } else if brackets == 0
+            && !(c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b':')
+        {
+            break;
+        }
+        k -= 1;
+    }
+    let receiver: String = masked[k..dot]
+        .chars()
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    (receiver, k)
+}
+
+fn classify(receiver: &str) -> LockClass {
+    if receiver.contains("region_plans") || receiver == "regions" {
+        LockClass::RegionPlans
+    } else if receiver.contains("plans[") || receiver.contains("plans.") || receiver == "shard" {
+        LockClass::PatternShard
+    } else if receiver.contains("banks[") || receiver == "bank" || receiver.ends_with(".banks") {
+        LockClass::Bank
+    } else {
+        LockClass::Unknown
+    }
+}
+
+/// Whether the statement containing `recv_start` is a `let` binding
+/// (i.e. the guard is held beyond the statement).
+fn is_let_bound(masked: &str, recv_start: usize) -> bool {
+    let bytes = masked.as_bytes();
+    let mut k = recv_start;
+    while k > 0 {
+        let c = bytes[k - 1];
+        if c == b';' || c == b'{' || c == b'}' {
+            break;
+        }
+        k -= 1;
+    }
+    masked[k..recv_start].trim_start().starts_with("let ")
+}
+
+/// End of the block enclosing `pos` (position of its closing `}`).
+fn enclosing_block_end(masked: &str, pos: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0isize;
+    for (k, &b) in bytes.iter().enumerate().skip(pos) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len() - 1
+}
+
+/// Self method calls (`self.name(..)` / `<ident>.name(..)` where the
+/// callee is a known fn) inside `body`, for the spawn-reachability walk.
+fn called_fns(masked: &str, start: usize, end: usize, known: &[String]) -> Vec<String> {
+    let mut calls = Vec::new();
+    let text = &masked[start..end];
+    for name in known {
+        let pat = format!(".{name}(");
+        let mut s = 0;
+        while let Some(found) = text[s..].find(&pat) {
+            let at = s + found;
+            s = at + pat.len();
+            // `.read()` / `.write()` with no arguments is a lock
+            // acquisition, not a call to the `read`/`write` methods.
+            if text[s..].trim_start().starts_with(')') && (name == "read" || name == "write") {
+                continue;
+            }
+            calls.push(name.clone());
+        }
+    }
+    calls
+}
+
+/// Scan one source file and build its lock graph (plus spawn-aliasing and
+/// scanner-health findings). `label` names the file in findings.
+pub fn analyze_source(src: &str, label: &str, findings: &mut Vec<Finding>) -> LockGraph {
+    let mut masked = mask_source(src);
+    strip_test_mods(&mut masked, src);
+    let fns = extract_fns(&masked);
+    let mut graph = LockGraph {
+        functions: fns.len(),
+        ..Default::default()
+    };
+    let known: Vec<String> = fns.iter().map(|f| f.name.clone()).collect();
+
+    // 1. Every acquisition, classified, with held scopes.
+    for f in &fns {
+        for (pat, mode) in [(".read()", LockMode::Read), (".write()", LockMode::Write)] {
+            let mut s = f.body_start;
+            while let Some(found) = masked[s..f.body_end].find(pat) {
+                let dot = s + found;
+                let (receiver, recv_start) = receiver_before(&masked, dot);
+                let class = classify(&receiver);
+                if class == LockClass::Unknown {
+                    findings.push(Finding::new(
+                        "locks",
+                        Severity::Warning,
+                        "unclassified-lock",
+                        format!("{label}:{} in {}", line_of(src, dot), f.name),
+                        format!("cannot classify lock receiver `{receiver}`"),
+                    ));
+                }
+                let held = is_let_bound(&masked, recv_start);
+                graph.acquisitions.push(Acquisition {
+                    class,
+                    mode,
+                    function: f.name.clone(),
+                    line: line_of(src, dot),
+                    held,
+                    pos: dot,
+                    scope_end: if held {
+                        enclosing_block_end(&masked, dot)
+                    } else {
+                        dot
+                    },
+                });
+                s = dot + pat.len();
+            }
+        }
+    }
+    graph.acquisitions.sort_by_key(|a| a.pos);
+
+    // 2. Held-then-acquired edges.
+    let acqs = graph.acquisitions.clone();
+    for h in acqs.iter().filter(|a| a.held) {
+        for a in acqs.iter().filter(|a| a.pos > h.pos && a.pos < h.scope_end) {
+            graph.edges.push(LockEdge {
+                from: h.class,
+                to: a.class,
+                location: format!("{label}: {} line {} -> line {}", h.function, h.line, a.line),
+            });
+        }
+    }
+
+    // 3. Spawn sites: trace the closure through the same-file call graph.
+    let mut s = 0;
+    while let Some(found) = masked[s..].find("spawn(") {
+        let open_paren = s + found + "spawn".len();
+        // Find the matching ')' of the spawn call.
+        let bytes = masked.as_bytes();
+        let mut depth = 0usize;
+        let mut close = open_paren;
+        for (k, &b) in bytes.iter().enumerate().skip(open_paren) {
+            match b {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        graph.spawns += 1;
+        let spawn_line = line_of(src, s + found);
+        let in_fn = fns
+            .iter()
+            .find(|f| f.body_start <= open_paren && close <= f.body_end)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "?".into());
+
+        // Locks held across the spawn site.
+        for h in acqs.iter().filter(|a| a.held) {
+            if h.pos < s + found && s + found < h.scope_end {
+                findings.push(Finding::new(
+                    "locks",
+                    Severity::Error,
+                    "lock-held-across-spawn",
+                    format!("{label}:{spawn_line} in {in_fn}"),
+                    format!(
+                        "{} lock acquired at line {} is still held while spawning a \
+                         port thread",
+                        h.class.name(),
+                        h.line
+                    ),
+                ));
+            }
+        }
+
+        // Reachable bank writes = same-cycle read/write port aliasing.
+        let mut frontier = called_fns(&masked, open_paren, close + 1, &known);
+        let direct_bank_write = acqs.iter().any(|a| {
+            a.pos > open_paren
+                && a.pos < close
+                && a.class == LockClass::Bank
+                && a.mode == LockMode::Write
+        });
+        let mut visited: Vec<String> = Vec::new();
+        let mut reachable_write = direct_bank_write;
+        let mut via = String::new();
+        while let Some(name) = frontier.pop() {
+            if visited.contains(&name) {
+                continue;
+            }
+            visited.push(name.clone());
+            if let Some(f) = fns.iter().find(|f| f.name == name) {
+                if acqs.iter().any(|a| {
+                    a.function == name && a.class == LockClass::Bank && a.mode == LockMode::Write
+                }) {
+                    reachable_write = true;
+                    via = name.clone();
+                }
+                frontier.extend(called_fns(&masked, f.body_start, f.body_end, &known));
+            }
+        }
+        if reachable_write {
+            findings.push(Finding::new(
+                "locks",
+                Severity::Error,
+                "port-aliasing",
+                format!("{label}:{spawn_line} in {in_fn}"),
+                format!(
+                    "a read-port thread can reach a bank write lock{} — same-cycle \
+                     read/write port aliasing",
+                    if via.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (via `{via}`)")
+                    }
+                ),
+            ));
+        }
+        s = close.max(s + found + 1);
+    }
+
+    graph
+}
+
+/// Prove the extracted lock graph safe: acyclic between classes, no
+/// same-class nesting, and (health check) non-empty with the documented
+/// pattern-shard → region-plans edge present.
+pub fn check_graph(graph: &LockGraph, findings: &mut Vec<Finding>) {
+    if graph.functions == 0 || graph.acquisitions.is_empty() {
+        findings.push(Finding::new(
+            "locks",
+            Severity::Error,
+            "scanner-blind",
+            "concurrent.rs",
+            "the lock scanner found no functions or no acquisitions — the \
+             analysis is vacuous and the scanner needs updating",
+        ));
+        return;
+    }
+    for e in &graph.edges {
+        if e.from == e.to {
+            findings.push(Finding::new(
+                "locks",
+                Severity::Error,
+                "same-class-nesting",
+                e.location.clone(),
+                format!(
+                    "two {} locks are held at once; without a global order inside \
+                     the class this can deadlock",
+                    e.from.name()
+                ),
+            ));
+        }
+    }
+    // Cycle detection over the class digraph (tiny: <= 4 nodes).
+    let classes = [
+        LockClass::PatternShard,
+        LockClass::RegionPlans,
+        LockClass::Bank,
+        LockClass::Unknown,
+    ];
+    let idx = |c: LockClass| classes.iter().position(|&x| x == c).unwrap();
+    let mut adj = [[false; 4]; 4];
+    for e in &graph.edges {
+        if e.from != e.to {
+            adj[idx(e.from)][idx(e.to)] = true;
+        }
+    }
+    // Floyd-Warshall style closure; a node reaching itself is a cycle.
+    let mut reach = adj;
+    for k in 0..4 {
+        for a in 0..4 {
+            for b in 0..4 {
+                reach[a][b] |= reach[a][k] && reach[k][b];
+            }
+        }
+    }
+    for (k, c) in classes.iter().enumerate() {
+        if reach[k][k] {
+            findings.push(Finding::new(
+                "locks",
+                Severity::Error,
+                "lock-cycle",
+                "concurrent.rs",
+                format!(
+                    "the lock-order graph has a cycle through {} — opposite \
+                     nesting orders can deadlock",
+                    c.name()
+                ),
+            ));
+        }
+    }
+    // Documented protocol: the only nesting is pattern-shard -> region-plans.
+    let documented = graph
+        .edges
+        .iter()
+        .any(|e| e.from == LockClass::PatternShard && e.to == LockClass::RegionPlans);
+    if !documented {
+        findings.push(Finding::new(
+            "locks",
+            Severity::Warning,
+            "protocol-drift",
+            "concurrent.rs",
+            "the documented pattern-shard -> region-plans nesting was not found; \
+             if region compilation changed, update this analyzer and the module docs",
+        ));
+    }
+}
+
+/// Scan `crates/polymem/src/concurrent.rs` under `root` and check it.
+pub fn run(root: &Path, findings: &mut Vec<Finding>) -> LockGraph {
+    let path = root.join("crates/polymem/src/concurrent.rs");
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            findings.push(Finding::new(
+                "locks",
+                Severity::Error,
+                "scanner-blind",
+                path.display().to_string(),
+                format!("cannot read source: {e}"),
+            ));
+            return LockGraph::default();
+        }
+    };
+    let graph = analyze_source(&src, "concurrent.rs", findings);
+    check_graph(&graph, findings);
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REAL: &str = include_str!("../../polymem/src/concurrent.rs");
+
+    #[test]
+    fn real_source_is_clean_and_nonvacuous() {
+        let mut findings = Vec::new();
+        let graph = analyze_source(REAL, "concurrent.rs", &mut findings);
+        check_graph(&graph, &mut findings);
+        let bad: Vec<_> = findings
+            .iter()
+            .filter(|f| f.severity >= Severity::Warning)
+            .collect();
+        assert!(bad.is_empty(), "unexpected findings: {bad:#?}");
+        assert!(graph.functions >= 10, "found {} fns", graph.functions);
+        assert!(graph.acquisitions.len() >= 10);
+        assert!(graph.spawns >= 2, "found {} spawns", graph.spawns);
+        // The one documented nesting, and nothing else.
+        assert_eq!(graph.edges.len(), 1, "edges: {:#?}", graph.edges);
+        assert_eq!(graph.edges[0].from, LockClass::PatternShard);
+        assert_eq!(graph.edges[0].to, LockClass::RegionPlans);
+    }
+
+    #[test]
+    fn reversed_nesting_creates_a_cycle() {
+        let injected = format!(
+            "{REAL}\nimpl<T> ConcurrentPolyMem<T> {{\n    fn bad(&self) {{\n        \
+             let mut regions = self.region_plans.write();\n        \
+             let mut shard = self.plans[0].write();\n        \
+             let _ = (&mut regions, &mut shard);\n    }}\n}}\n"
+        );
+        let mut findings = Vec::new();
+        let graph = analyze_source(&injected, "concurrent.rs", &mut findings);
+        check_graph(&graph, &mut findings);
+        assert!(
+            findings.iter().any(|f| f.code == "lock-cycle"),
+            "no cycle reported: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn same_class_nesting_is_flagged() {
+        let injected = format!(
+            "{REAL}\nimpl<T> ConcurrentPolyMem<T> {{\n    fn bad2(&self) {{\n        \
+             let a = self.banks[0].write();\n        \
+             let b = self.banks[1].write();\n        \
+             let _ = (a, b);\n    }}\n}}\n"
+        );
+        let mut findings = Vec::new();
+        let graph = analyze_source(&injected, "concurrent.rs", &mut findings);
+        check_graph(&graph, &mut findings);
+        assert!(findings.iter().any(|f| f.code == "same-class-nesting"));
+    }
+
+    #[test]
+    fn spawned_bank_write_is_port_aliasing() {
+        let injected = format!(
+            "{REAL}\nimpl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {{\n    \
+             fn bad3(&self, v: T) {{\n        crossbeam::scope(|s| {{\n            \
+             s.spawn(move |_| {{ self.banks[0].write()[0] = v; }});\n        \
+             }}).unwrap();\n    }}\n}}\n"
+        );
+        let mut findings = Vec::new();
+        let _ = analyze_source(&injected, "concurrent.rs", &mut findings);
+        assert!(
+            findings.iter().any(|f| f.code == "port-aliasing"),
+            "no aliasing reported: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn transient_write_region_guard_makes_no_edges() {
+        // write_region's per-iteration guard must not create Bank -> X
+        // edges (scope is one loop body with no nested acquisition).
+        let mut findings = Vec::new();
+        let graph = analyze_source(REAL, "concurrent.rs", &mut findings);
+        assert!(graph.edges.iter().all(|e| e.from != LockClass::Bank));
+    }
+
+    #[test]
+    fn mask_hides_strings_and_comments() {
+        let masked = mask_source("let s = \"{ not a brace }\"; // } also not\nlet x = 1;");
+        assert!(!masked.contains("not a brace"));
+        assert!(!masked.contains("also not"));
+        assert!(masked.contains("let x = 1;"));
+    }
+}

@@ -1,0 +1,297 @@
+//! `polymem-verify` CLI: run the static analyses, print findings, write
+//! `VERIFY_report.json`, gate CI via the exit code.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use verifier::findings::{findings_json, Finding, Json, Severity};
+use verifier::{inject, lint, locks, plans, schemes};
+
+struct Options {
+    root: PathBuf,
+    report: Option<PathBuf>,
+    deny_warnings: bool,
+    inject: bool,
+}
+
+fn usage(code: u8) -> ExitCode {
+    eprintln!(
+        "polymem-verify: static conflict-freedom, plan-soundness and lock-order analyzer\n\
+         \n\
+         USAGE: polymem-verify [--deny-warnings] [--inject] [--root <dir>] [--report <file>]\n\
+         \n\
+           --deny-warnings   exit non-zero on warnings as well as errors\n\
+           --inject          run the mutation suite instead of the analyses;\n\
+                             exits non-zero unless every seeded violation is caught\n\
+         --root <dir>       repository root (default: auto-detected)\n\
+         --report <file>    report path (default: <root>/VERIFY_report.json)"
+    );
+    ExitCode::from(code)
+}
+
+fn detect_root() -> PathBuf {
+    let marker = "crates/polymem/src/concurrent.rs";
+    if Path::new(marker).exists() {
+        return PathBuf::from(".");
+    }
+    let from_manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if from_manifest.join(marker).exists() {
+        return from_manifest;
+    }
+    PathBuf::from(".")
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        root: detect_root(),
+        report: None,
+        deny_warnings: false,
+        inject: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--inject" => opts.inject = true,
+            "--root" => match args.next() {
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => return Err(usage(2)),
+            },
+            "--report" => match args.next() {
+                Some(file) => opts.report = Some(PathBuf::from(file)),
+                None => return Err(usage(2)),
+            },
+            "--help" | "-h" => return Err(usage(0)),
+            other => {
+                eprintln!("unknown argument `{other}`\n");
+                return Err(usage(2));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn pairs_json(pairs: &[schemes::PairResult]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("scheme".into(), Json::s(r.scheme.to_string())),
+                    ("pattern".into(), Json::s(r.pattern.to_string())),
+                    ("p".into(), Json::UInt(r.p as u64)),
+                    ("q".into(), Json::UInt(r.q as u64)),
+                    ("supported".into(), Json::Bool(r.supported)),
+                    ("aligned_only".into(), Json::Bool(r.aligned_only)),
+                    ("classes".into(), Json::UInt(r.classes as u64)),
+                    ("admissible".into(), Json::UInt(r.admissible as u64)),
+                    (
+                        "conflict_classes".into(),
+                        Json::UInt(r.conflict_classes as u64),
+                    ),
+                    ("worst_cycles".into(), Json::UInt(r.worst_cycles as u64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn plans_json(out: &plans::PlansOutput) -> Json {
+    let mut fields = vec![
+        ("access_plans".into(), Json::UInt(out.access_plans)),
+        ("region_plans".into(), Json::UInt(out.region_plans)),
+        ("keys".into(), Json::UInt(out.keys)),
+        ("hash_collisions".into(), Json::UInt(out.hash_collisions)),
+    ];
+    if let Some(lru) = &out.lru_stats {
+        fields.push((
+            "lru_exercise".into(),
+            Json::Obj(vec![
+                ("capacity".into(), Json::UInt(lru.capacity as u64)),
+                ("entries".into(), Json::UInt(lru.entries as u64)),
+                ("hits".into(), Json::UInt(lru.hits)),
+                ("misses".into(), Json::UInt(lru.misses)),
+                ("evictions".into(), Json::UInt(lru.evictions)),
+                ("bytes".into(), Json::UInt(lru.bytes)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn locks_json(graph: &locks::LockGraph) -> Json {
+    Json::Obj(vec![
+        ("functions".into(), Json::UInt(graph.functions as u64)),
+        (
+            "acquisitions".into(),
+            Json::UInt(graph.acquisitions.len() as u64),
+        ),
+        ("spawns".into(), Json::UInt(graph.spawns as u64)),
+        (
+            "edges".into(),
+            Json::Arr(
+                graph
+                    .edges
+                    .iter()
+                    .map(|e| {
+                        Json::Obj(vec![
+                            ("from".into(), Json::s(e.from.name())),
+                            ("to".into(), Json::s(e.to.name())),
+                            ("location".into(), Json::s(&e.location)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn lint_json(out: &lint::LintOutput) -> Json {
+    Json::Obj(vec![
+        (
+            "functions_checked".into(),
+            Json::UInt(out.functions_checked as u64),
+        ),
+        ("tokens_found".into(), Json::UInt(out.tokens_found as u64)),
+        ("allowed".into(), Json::UInt(out.allowed as u64)),
+    ])
+}
+
+fn mutations_json(mutations: &[inject::Mutation]) -> Json {
+    Json::Arr(
+        mutations
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("name".into(), Json::s(m.name)),
+                    ("expected_code".into(), Json::s(m.expected_code)),
+                    ("caught".into(), Json::Bool(m.caught)),
+                    ("detail".into(), Json::s(&m.detail)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut sections: Vec<(String, Json)> = vec![
+        ("tool".into(), Json::s("polymem-verify")),
+        (
+            "mode".into(),
+            Json::s(if opts.inject { "inject" } else { "analyze" }),
+        ),
+    ];
+
+    if opts.inject {
+        println!("polymem-verify --inject: seeding violations the analyzer must catch");
+        let mutations = inject::run(&opts.root, &mut findings);
+        for m in &mutations {
+            println!(
+                "  [{}] {} (expects {}): {}",
+                if m.caught { "caught" } else { "MISSED" },
+                m.name,
+                m.expected_code,
+                m.detail
+            );
+        }
+        sections.push(("mutations".into(), mutations_json(&mutations)));
+    } else {
+        println!("polymem-verify: exhaustive static verification by residue-class periodicity");
+
+        let pairs = schemes::run(&mut findings);
+        let proven = pairs
+            .iter()
+            .filter(|r| r.supported && r.conflict_classes == 0)
+            .count();
+        let claimed = pairs.iter().filter(|r| r.supported).count();
+        let classes: u64 = pairs.iter().map(|r| r.classes as u64).sum();
+        println!(
+            "  schemes: {proven}/{claimed} claimed (scheme, pattern, geometry) pairs proven \
+             conflict-free over {classes} residue classes"
+        );
+        sections.push(("schemes".into(), pairs_json(&pairs)));
+
+        let plan_out = plans::run(&mut findings);
+        println!(
+            "  plans:   {} access plans and {} region plans compiled, validated and \
+             cross-checked against the MAF/addressing model",
+            plan_out.access_plans, plan_out.region_plans
+        );
+        sections.push(("plans".into(), plans_json(&plan_out)));
+
+        let graph = locks::run(&opts.root, &mut findings);
+        println!(
+            "  locks:   {} acquisitions in {} functions, {} nesting edge(s), graph acyclic, \
+             {} spawn site(s) checked for port aliasing",
+            graph.acquisitions.len(),
+            graph.functions,
+            graph.edges.len(),
+            graph.spawns
+        );
+        sections.push(("locks".into(), locks_json(&graph)));
+
+        let lint_out = lint::run(&opts.root, &mut findings);
+        println!(
+            "  lint:    {} hot functions scanned, {} panicking token(s) found, {} allowed",
+            lint_out.functions_checked, lint_out.tokens_found, lint_out.allowed
+        );
+        sections.push(("lint".into(), lint_json(&lint_out)));
+    }
+
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.analysis.cmp(b.analysis)));
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warning)
+        .count();
+    let infos = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Info)
+        .count();
+    if !findings.is_empty() {
+        println!();
+        for f in &findings {
+            println!("{}", f.render());
+        }
+    }
+
+    let failed = errors > 0 || (opts.deny_warnings && warnings > 0);
+    sections.push((
+        "summary".into(),
+        Json::Obj(vec![
+            ("errors".into(), Json::UInt(errors as u64)),
+            ("warnings".into(), Json::UInt(warnings as u64)),
+            ("infos".into(), Json::UInt(infos as u64)),
+            ("deny_warnings".into(), Json::Bool(opts.deny_warnings)),
+            (
+                "verdict".into(),
+                Json::s(if failed { "fail" } else { "pass" }),
+            ),
+        ]),
+    ));
+    sections.push(("findings".into(), findings_json(&findings)));
+
+    let report_path = opts
+        .report
+        .clone()
+        .unwrap_or_else(|| opts.root.join("VERIFY_report.json"));
+    let report = Json::Obj(sections).to_pretty();
+    if let Err(e) = std::fs::write(&report_path, report) {
+        eprintln!("cannot write report to {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "\n{}: {errors} error(s), {warnings} warning(s), {infos} info(s); report at {}",
+        if failed { "FAIL" } else { "PASS" },
+        report_path.display()
+    );
+    ExitCode::from(u8::from(failed))
+}
