@@ -1,0 +1,154 @@
+//! **bench-gate** — the CI bench-regression gate.
+//!
+//! Re-runs the region + stream benches in `CRITERION_QUICK=1` smoke mode,
+//! then compares the fresh numbers against the committed `BENCH_*.json`
+//! baselines (see [`polymem_bench::gate`]). Exits non-zero when a baseline
+//! benchmark ID is missing from the fresh run or its throughput dropped by
+//! more than the tolerance (default 30%; override with the
+//! `BENCH_GATE_TOLERANCE` environment variable or `--tolerance 0.5`).
+//!
+//! ```text
+//! bench-gate [--tolerance FRACTION]            # re-run + compare (CI mode)
+//! bench-gate --baseline FILE --from FILE ...   # compare existing JSONL files
+//! ```
+//!
+//! The `--from` mode compares two existing JSONL files without running
+//! anything — useful for demonstrating the gate (seed a 2x slowdown into a
+//! copy of a baseline and watch it fail) and for wiring the gate into
+//! environments where the benches ran in an earlier step.
+
+use polymem_bench::gate::{compare, parse_baseline, resolve_tolerance, Violation};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The benches the gate re-runs, with their committed baseline files.
+const GATED_BENCHES: &[(&str, &str)] = &[
+    ("region", "BENCH_region.json"),
+    ("stream_region", "BENCH_stream_region.json"),
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench-gate: {msg}");
+    std::process::exit(2);
+}
+
+fn read_entries(path: &Path) -> Vec<polymem_bench::gate::BenchEntry> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let entries = parse_baseline(&text);
+    if entries.is_empty() {
+        fail(&format!("{}: no benchmark records found", path.display()));
+    }
+    entries
+}
+
+/// Locate the workspace root (the directory holding the `BENCH_*.json`
+/// baselines) from the manifest dir baked in at compile time, overridable
+/// for odd layouts.
+fn workspace_root() -> PathBuf {
+    if let Ok(root) = std::env::var("BENCH_GATE_ROOT") {
+        return PathBuf::from(root);
+    }
+    // crates/bench -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Re-run one bench target in quick mode, appending JSONL to `out`.
+fn rerun_bench(root: &Path, bench: &str, out: &Path) {
+    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .current_dir(root)
+        .args(["bench", "-p", "polymem-bench", "--bench", bench])
+        .env("CRITERION_QUICK", "1")
+        .env("CRITERION_JSON", out)
+        .status()
+        .unwrap_or_else(|e| fail(&format!("failed to spawn cargo bench --bench {bench}: {e}")));
+    if !status.success() {
+        fail(&format!("cargo bench --bench {bench} failed: {status}"));
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut tolerance_cli: Option<f64> = None;
+    let mut baseline_file: Option<PathBuf> = None;
+    let mut from_file: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--tolerance needs a value"));
+                tolerance_cli = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("--tolerance {v:?} is not a number"))),
+                );
+            }
+            "--baseline" => {
+                baseline_file = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| fail("--baseline needs a path")),
+                ));
+            }
+            "--from" => {
+                from_file = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| fail("--from needs a path")),
+                ));
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let tolerance = resolve_tolerance(tolerance_cli);
+    println!(
+        "bench-gate: tolerance = {:.0}% throughput drop",
+        tolerance * 100.0
+    );
+
+    let mut violations: Vec<Violation> = Vec::new();
+    match (baseline_file, from_file) {
+        (Some(base), Some(from)) => {
+            let b = read_entries(&base);
+            let f = read_entries(&from);
+            println!(
+                "comparing {} ({} entries) against baseline {} ({} entries)",
+                from.display(),
+                f.len(),
+                base.display(),
+                b.len()
+            );
+            violations.extend(compare(&b, &f, tolerance));
+        }
+        (None, None) => {
+            let root = workspace_root();
+            for (bench, baseline) in GATED_BENCHES {
+                let baseline_path = root.join(baseline);
+                let b = read_entries(&baseline_path);
+                let fresh_path = std::env::temp_dir().join(format!("bench-gate-{bench}.json"));
+                let _ = std::fs::remove_file(&fresh_path);
+                println!("re-running --bench {bench} (quick mode) ...");
+                rerun_bench(&root, bench, &fresh_path);
+                let f = read_entries(&fresh_path);
+                println!(
+                    "  {baseline}: {} baseline entries, {} fresh",
+                    b.len(),
+                    f.len()
+                );
+                violations.extend(compare(&b, &f, tolerance));
+            }
+        }
+        _ => fail("--baseline and --from must be used together"),
+    }
+
+    if violations.is_empty() {
+        println!("bench-gate: PASS");
+        return;
+    }
+    eprintln!("bench-gate: FAIL ({} violation(s))", violations.len());
+    for v in &violations {
+        eprintln!("  {v}");
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,288 @@
+//! The CI bench-regression gate.
+//!
+//! The repo commits machine-readable Criterion baselines (`BENCH_*.json`,
+//! one JSON object per line as written by the vendored harness when
+//! `CRITERION_JSON` is set). The `bench-gate` binary re-runs the matching
+//! benches in `CRITERION_QUICK=1` smoke mode and calls [`compare`] to
+//! enforce two invariants:
+//!
+//! * every baseline benchmark ID still exists (a renamed or deleted bench
+//!   silently orphans its baseline — that is a failure, not a skip);
+//! * no benchmark's throughput dropped by more than the tolerance
+//!   (default 30%, overridable via the `BENCH_GATE_TOLERANCE` environment
+//!   variable or `--tolerance`).
+//!
+//! Faster-than-baseline results never fail the gate; refreshing the
+//! committed baselines after a genuine improvement is a separate, explicit
+//! act (re-run the bench with `CRITERION_JSON` pointing at the baseline
+//! file).
+
+use std::collections::BTreeMap;
+
+/// Default allowed throughput drop before the gate fails: 30%.
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Environment variable overriding the tolerance (a fraction, e.g. `0.5`).
+pub const TOLERANCE_ENV: &str = "BENCH_GATE_TOLERANCE";
+
+/// One benchmark measurement: `group/bench` plus its median ns/iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Fully-qualified benchmark ID (`group/bench`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// A gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A baseline benchmark ID is absent from the fresh run.
+    Missing {
+        /// The orphaned baseline ID.
+        id: String,
+    },
+    /// Throughput dropped past the tolerance.
+    Regression {
+        /// The regressed benchmark ID.
+        id: String,
+        /// Baseline ns/iter.
+        baseline_ns: f64,
+        /// Fresh-run ns/iter.
+        current_ns: f64,
+        /// Fractional throughput drop (`1 - baseline/current`), in 0..1.
+        drop: f64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Missing { id } => {
+                write!(f, "MISSING   {id}: baseline entry has no fresh result")
+            }
+            Violation::Regression {
+                id,
+                baseline_ns,
+                current_ns,
+                drop,
+            } => write!(
+                f,
+                "REGRESSED {id}: {baseline_ns:.0} ns -> {current_ns:.0} ns \
+                 ({:.0}% throughput drop)",
+                drop * 100.0
+            ),
+        }
+    }
+}
+
+/// Extract one f64 field from a flat single-line JSON object.
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extract one string field from a flat single-line JSON object.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Parse a `BENCH_*.json` baseline file (JSONL, one benchmark per line, as
+/// written by the vendored Criterion's `CRITERION_JSON` hook). Lines that
+/// are not benchmark records are ignored; a later record for the same ID
+/// wins (the hook appends, so re-runs accumulate).
+pub fn parse_baseline(text: &str) -> Vec<BenchEntry> {
+    let mut by_id: BTreeMap<String, f64> = BTreeMap::new();
+    for line in text.lines() {
+        let (Some(group), Some(bench), Some(ns)) = (
+            json_str(line, "group"),
+            json_str(line, "bench"),
+            json_f64(line, "ns_per_iter"),
+        ) else {
+            continue;
+        };
+        by_id.insert(format!("{group}/{bench}"), ns);
+    }
+    by_id
+        .into_iter()
+        .map(|(id, ns_per_iter)| BenchEntry { id, ns_per_iter })
+        .collect()
+}
+
+/// Compare a fresh run against a committed baseline.
+///
+/// `tolerance` is the allowed fractional throughput drop: with 0.30, a
+/// benchmark may take up to `1 / (1 - 0.30) ≈ 1.43x` its baseline time
+/// before the gate fails. Extra benchmarks in `current` (newly added, no
+/// baseline yet) are not violations.
+pub fn compare(baseline: &[BenchEntry], current: &[BenchEntry], tolerance: f64) -> Vec<Violation> {
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "tolerance must be a fraction in [0, 1), got {tolerance}"
+    );
+    let fresh: BTreeMap<&str, f64> = current
+        .iter()
+        .map(|e| (e.id.as_str(), e.ns_per_iter))
+        .collect();
+    let mut violations = Vec::new();
+    for base in baseline {
+        match fresh.get(base.id.as_str()) {
+            None => violations.push(Violation::Missing {
+                id: base.id.clone(),
+            }),
+            Some(&current_ns) => {
+                // Throughput ∝ 1/ns: drop = 1 - (base_ns / current_ns).
+                let drop = 1.0 - base.ns_per_iter / current_ns;
+                if drop > tolerance {
+                    violations.push(Violation::Regression {
+                        id: base.id.clone(),
+                        baseline_ns: base.ns_per_iter,
+                        current_ns,
+                        drop,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Resolve the tolerance: explicit CLI value, else [`TOLERANCE_ENV`], else
+/// [`DEFAULT_TOLERANCE`]. Panics on an unparsable override — a silently
+/// ignored knob is worse than a loud one.
+pub fn resolve_tolerance(cli: Option<f64>) -> f64 {
+    if let Some(t) = cli {
+        return t;
+    }
+    match std::env::var(TOLERANCE_ENV) {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{TOLERANCE_ENV}={s:?} is not a number")),
+        Err(_) => DEFAULT_TOLERANCE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"group\":\"stream_region\",\"bench\":\"burst/8x512\",\"ns_per_iter\":16095.317,",
+        "\"ns_min\":15411.110,\"ns_max\":16890.270,\"throughput_kind\":\"bytes\",",
+        "\"throughput_per_iter\":65536,\"iters\":4188,\"samples\":11,\"outliers_rejected\":1}\n",
+        "{\"group\":\"stream_region\",\"bench\":\"per_chunk/8x512\",\"ns_per_iter\":97052.978,",
+        "\"ns_min\":92581.456,\"ns_max\":99578.206,\"throughput_kind\":\"bytes\",",
+        "\"throughput_per_iter\":65536,\"iters\":956,\"samples\":12,\"outliers_rejected\":0}\n",
+        "not a json line\n",
+    );
+
+    #[test]
+    fn parses_jsonl_baselines() {
+        let entries = parse_baseline(SAMPLE);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, "stream_region/burst/8x512");
+        assert!((entries[0].ns_per_iter - 16095.317).abs() < 1e-6);
+    }
+
+    #[test]
+    fn later_records_win() {
+        let text = concat!(
+            "{\"group\":\"g\",\"bench\":\"b\",\"ns_per_iter\":100.0}\n",
+            "{\"group\":\"g\",\"bench\":\"b\",\"ns_per_iter\":50.0}\n",
+        );
+        let entries = parse_baseline(text);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].ns_per_iter, 50.0);
+    }
+
+    fn entry(id: &str, ns: f64) -> BenchEntry {
+        BenchEntry {
+            id: id.to_string(),
+            ns_per_iter: ns,
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = [entry("g/a", 100.0)];
+        // 1.25x slower = 20% throughput drop: inside the 30% tolerance.
+        let cur = [entry("g/a", 125.0)];
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn seeded_2x_slowdown_fails_the_gate() {
+        // The ISSUE's acceptance demonstration: double a baseline entry's
+        // time (i.e. the fresh run is 2x slower than committed) and the
+        // gate must fail with a 50% throughput drop.
+        let base = parse_baseline(SAMPLE);
+        let mut cur = base.clone();
+        cur[0].ns_per_iter *= 2.0;
+        let violations = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        match &violations[0] {
+            Violation::Regression { id, drop, .. } => {
+                assert_eq!(id, "stream_region/burst/8x512");
+                assert!((drop - 0.5).abs() < 1e-9, "2x time = 50% throughput");
+            }
+            other => panic!("expected regression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_benchmark_id_fails_the_gate() {
+        let base = [entry("g/a", 100.0), entry("g/gone", 10.0)];
+        let cur = [entry("g/a", 100.0)];
+        let violations = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(
+            violations,
+            vec![Violation::Missing {
+                id: "g/gone".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn faster_and_extra_benches_pass() {
+        let base = [entry("g/a", 100.0)];
+        let cur = [entry("g/a", 10.0), entry("g/new", 5.0)];
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn tolerance_env_overrides_default() {
+        // A 40% drop passes only with a loosened tolerance.
+        let base = [entry("g/a", 100.0)];
+        let cur = [entry("g/a", 100.0 / 0.6)];
+        assert_eq!(compare(&base, &cur, 0.30).len(), 1);
+        assert!(compare(&base, &cur, 0.50).is_empty());
+    }
+
+    #[test]
+    fn violation_display_is_actionable() {
+        let v = Violation::Regression {
+            id: "g/a".into(),
+            baseline_ns: 100.0,
+            current_ns: 200.0,
+            drop: 0.5,
+        };
+        let s = v.to_string();
+        assert!(s.contains("g/a") && s.contains("50%"), "{s}");
+        let m = Violation::Missing { id: "g/b".into() };
+        assert!(m.to_string().contains("g/b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn nonsense_tolerance_rejected() {
+        let _ = compare(&[], &[], 1.5);
+    }
+}

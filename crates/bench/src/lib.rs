@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod gate;
 pub mod toolchain;
 
 use fpga_model::{DsePoint, TABLE4_COLUMNS};

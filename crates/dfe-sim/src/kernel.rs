@@ -18,6 +18,12 @@ pub trait Kernel {
     fn is_idle(&self) -> bool {
         false
     }
+
+    /// One-line detail of why the kernel is not idle, for stall diagnosis
+    /// ([`crate::manager::Manager::diagnose_stall`]). Default: no detail.
+    fn busy_reason(&self) -> Option<String> {
+        None
+    }
 }
 
 /// A simple function-backed kernel, convenient for tests and small designs.

@@ -72,12 +72,17 @@ impl Manager {
     /// "Progress" is approximated by idleness transitions; for a design that
     /// is genuinely deadlocked this names the stuck stages — the hand-rolled
     /// version of the debugging the paper did on its hanging simulations.
+    /// A kernel that provides a [`Kernel::busy_reason`] is reported as
+    /// `name: reason`.
     pub fn diagnose_stall(&mut self, max_cycles: u64) -> Vec<String> {
         self.run_until_idle(max_cycles);
         self.kernels
             .iter()
             .filter(|k| !k.is_idle())
-            .map(|k| k.name().to_string())
+            .map(|k| match k.busy_reason() {
+                Some(reason) => format!("{}: {reason}", k.name()),
+                None => k.name().to_string(),
+            })
             .collect()
     }
 

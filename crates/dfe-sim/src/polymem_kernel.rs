@@ -9,6 +9,7 @@
 
 use crate::kernel::{DelayLine, Kernel};
 use crate::stream::StreamRef;
+use crate::trace::Tracer;
 use polymem::{ParallelAccess, PolyMem, PolyMemConfig, PolyMemError, Region};
 
 /// The read latency of the paper's synthesized design, in cycles.
@@ -24,6 +25,12 @@ pub type WriteRequest = (ParallelAccess, Vec<u64>);
 pub type RegionRequest = Region;
 /// A region read response: the region's elements in canonical order.
 pub type RegionResponse = Vec<u64>;
+/// A region write burst: target region + its elements in canonical order.
+pub type RegionWriteRequest = (Region, Vec<u64>);
+/// A fused copy burst: (source region, destination region).
+pub type RegionCopyRequest = (Region, Region);
+/// Completion token of a copy burst: elements moved.
+pub type RegionCopyResponse = u64;
 
 /// PolyMem wrapped as a ticked kernel with request/response streams.
 pub struct PolyMemKernel {
@@ -46,6 +53,32 @@ pub struct PolyMemKernel {
     /// pipeline latency applies once to the whole burst.
     region_inflight: Option<(u64, Vec<u64>)>,
     region_reads_served: u64,
+    /// Optional region-write port: whole-region write bursts commit on
+    /// acceptance and occupy the write datapath for `ceil(len / lanes)`
+    /// cycles. See [`attach_region_write_port`].
+    ///
+    /// [`attach_region_write_port`]: PolyMemKernel::attach_region_write_port
+    region_write_req: Option<StreamRef<RegionWriteRequest>>,
+    /// Optional fused-copy port: a (src, dst) burst occupies port 0's read
+    /// datapath *and* the write datapath for `ceil(len / lanes)` cycles,
+    /// then delivers a completion token after the read latency. See
+    /// [`attach_region_copy_port`].
+    ///
+    /// [`attach_region_copy_port`]: PolyMemKernel::attach_region_copy_port
+    region_copy_req: Option<StreamRef<RegionCopyRequest>>,
+    region_copy_resp: Option<StreamRef<RegionCopyResponse>>,
+    /// An in-flight copy burst: (completion-token delivery cycle, elements).
+    copy_inflight: Option<(u64, u64)>,
+    /// First cycle at which the write datapath is free again (burst writes
+    /// and copies occupy it; per-access writes stall until then).
+    write_busy_until: u64,
+    /// First cycle at which port 0's read datapath is free of a copy burst.
+    copy_busy_until: u64,
+    region_writes_served: u64,
+    region_copies_served: u64,
+    /// Optional event recorder: one `burst:<kind> len=<n>` event per
+    /// accepted burst (see [`crate::trace::burst_summary`]).
+    tracer: Option<Tracer>,
     /// Reusable lane buffer: the compiled-plan gather lands here each cycle,
     /// so the steady-state read path performs no routing work per tick.
     scratch: Vec<u64>,
@@ -90,6 +123,15 @@ impl PolyMemKernel {
             region_resp: None,
             region_inflight: None,
             region_reads_served: 0,
+            region_write_req: None,
+            region_copy_req: None,
+            region_copy_resp: None,
+            copy_inflight: None,
+            write_busy_until: 0,
+            copy_busy_until: 0,
+            region_writes_served: 0,
+            region_copies_served: 0,
+            tracer: None,
             scratch: vec![0; config.lanes()],
             errors: Vec::new(),
             reads_served: 0,
@@ -137,9 +179,55 @@ impl PolyMemKernel {
         self.region_resp = Some(region_resp);
     }
 
+    /// Attach a region-write port: whole-region write bursts pop from
+    /// `req` and commit on acceptance, occupying the write datapath for
+    /// `ceil(len / lanes)` cycles (one parallel write access per cycle).
+    /// Per-access writes stall while a burst is draining.
+    pub fn attach_region_write_port(&mut self, req: StreamRef<RegionWriteRequest>) {
+        self.region_write_req = Some(req);
+    }
+
+    /// Attach a fused-copy port: `(src, dst)` bursts pop from `req`, the
+    /// copy executes through the compiled region plans on acceptance, and a
+    /// completion token (elements moved) emerges on `resp` after
+    /// `ceil(len / lanes)` access cycles plus the read latency. The copy
+    /// occupies port 0's read datapath and the write datapath for the
+    /// burst's access cycles, so per-access traffic on either serializes
+    /// against it.
+    pub fn attach_region_copy_port(
+        &mut self,
+        req: StreamRef<RegionCopyRequest>,
+        resp: StreamRef<RegionCopyResponse>,
+    ) {
+        self.region_copy_req = Some(req);
+        self.region_copy_resp = Some(resp);
+    }
+
+    /// Record burst activity into `tracer` (`burst:<kind> len=<n>` events
+    /// under this kernel's name).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace_burst(&self, cycle: u64, kind: &str, len: usize) {
+        if let Some(t) = &self.tracer {
+            t.record(cycle, self.name.clone(), format!("burst:{kind} len={len}"));
+        }
+    }
+
     /// Region reads served so far.
     pub fn region_reads_served(&self) -> u64 {
         self.region_reads_served
+    }
+
+    /// Region write bursts served so far.
+    pub fn region_writes_served(&self) -> u64 {
+        self.region_writes_served
+    }
+
+    /// Fused copy bursts served so far.
+    pub fn region_copies_served(&self) -> u64 {
+        self.region_copies_served
     }
 
     /// Errors accumulated from invalid requests.
@@ -163,8 +251,17 @@ impl PolyMemKernel {
             && self.read_req.iter().all(|s| s.borrow().is_empty())
             && self.write_req.borrow().is_empty()
             && self.region_inflight.is_none()
+            && self.copy_inflight.is_none()
             && self
                 .region_req
+                .as_ref()
+                .is_none_or(|s| s.borrow().is_empty())
+            && self
+                .region_write_req
+                .as_ref()
+                .is_none_or(|s| s.borrow().is_empty())
+            && self
+                .region_copy_req
                 .as_ref()
                 .is_none_or(|s| s.borrow().is_empty())
     }
@@ -202,9 +299,9 @@ impl Kernel for PolyMemKernel {
                 self.region_resp.as_ref().unwrap().borrow_mut().push(data);
             }
         }
-        let region_busy = matches!(&self.region_inflight,
+        let mut region_busy = matches!(&self.region_inflight,
             Some((ready, _)) if cycle < ready.saturating_sub(self.read_latency));
-        if self.region_inflight.is_none() {
+        if self.region_inflight.is_none() && cycle >= self.copy_busy_until {
             if let Some(req) = &self.region_req {
                 if let Some(region) = req.borrow_mut().pop() {
                     match self.mem.read_region(0, &region) {
@@ -215,6 +312,73 @@ impl Kernel for PolyMemKernel {
                                 Some((cycle + access_cycles + self.read_latency, data));
                             self.region_reads_served += 1;
                             self.reads_served += region.len().div_ceil(lanes) as u64;
+                            self.trace_burst(cycle, "read", region.len());
+                        }
+                        Err(e) => self.errors.push(e),
+                    }
+                }
+            }
+        }
+        // 2b. Copy engine: deliver a finished burst's completion token, then
+        //     accept the next fused copy. A copy of `len` elements occupies
+        //     port 0's read datapath AND the write datapath for
+        //     `ceil(len / lanes)` cycles (one parallel access streamed from
+        //     the read side into the write side per cycle); the completion
+        //     token emerges after the read latency on top.
+        if let Some((ready, moved)) = self.copy_inflight {
+            let can_push = self
+                .region_copy_resp
+                .as_ref()
+                .is_some_and(|s| s.borrow().can_push());
+            if cycle >= ready && can_push {
+                self.copy_inflight = None;
+                self.region_copy_resp
+                    .as_ref()
+                    .unwrap()
+                    .borrow_mut()
+                    .push(moved);
+            }
+        }
+        if self.copy_inflight.is_none()
+            && !region_busy
+            && cycle >= self.copy_busy_until
+            && cycle >= self.write_busy_until
+        {
+            if let Some(req) = &self.region_copy_req {
+                if let Some((src, dst)) = req.borrow_mut().pop() {
+                    match self.mem.copy_region(0, &src, &dst) {
+                        Ok(()) => {
+                            let lanes = self.mem.config().lanes();
+                            let access_cycles = src.len().div_ceil(lanes).max(1) as u64;
+                            self.copy_busy_until = cycle + access_cycles;
+                            self.write_busy_until = cycle + access_cycles;
+                            self.copy_inflight =
+                                Some((cycle + access_cycles + self.read_latency, src.len() as u64));
+                            self.region_copies_served += 1;
+                            self.reads_served += access_cycles;
+                            self.writes_served += access_cycles;
+                            self.trace_burst(cycle, "copy", src.len());
+                        }
+                        Err(e) => self.errors.push(e),
+                    }
+                }
+            }
+        }
+        region_busy = region_busy || cycle < self.copy_busy_until;
+        // 2c. Region-write engine: accept a whole-region write burst once
+        //     the write datapath is free; it commits on acceptance and
+        //     occupies the datapath for `ceil(len / lanes)` cycles.
+        if cycle >= self.write_busy_until {
+            if let Some(req) = &self.region_write_req {
+                if let Some((region, values)) = req.borrow_mut().pop() {
+                    match self.mem.write_region(&region, &values) {
+                        Ok(()) => {
+                            let lanes = self.mem.config().lanes();
+                            let access_cycles = region.len().div_ceil(lanes).max(1) as u64;
+                            self.write_busy_until = cycle + access_cycles;
+                            self.region_writes_served += 1;
+                            self.writes_served += access_cycles;
+                            self.trace_burst(cycle, "write", region.len());
                         }
                         Err(e) => self.errors.push(e),
                     }
@@ -225,7 +389,7 @@ impl Kernel for PolyMemKernel {
         //    served before this cycle's write commits). Only issue when the
         //    response path has room for what is already in flight. Port 0
         //    shares its datapath with the region engine and stalls while a
-        //    region burst is streaming.
+        //    region burst (read or copy) is streaming.
         for port in 0..self.read_req.len() {
             if port == 0 && region_busy {
                 continue;
@@ -248,18 +412,59 @@ impl Kernel for PolyMemKernel {
                 }
             }
         }
-        // 4. Commit one write.
-        let w = self.write_req.borrow_mut().pop();
-        if let Some((access, data)) = w {
-            match self.mem.write(access, &data) {
-                Ok(()) => self.writes_served += 1,
-                Err(e) => self.errors.push(e),
+        // 4. Commit one write — unless the write datapath is still draining
+        //    a region-write or copy burst.
+        if cycle >= self.write_busy_until {
+            let w = self.write_req.borrow_mut().pop();
+            if let Some((access, data)) = w {
+                match self.mem.write(access, &data) {
+                    Ok(()) => self.writes_served += 1,
+                    Err(e) => self.errors.push(e),
+                }
             }
         }
     }
 
     fn is_idle(&self) -> bool {
         self.pipelines_empty()
+    }
+
+    fn busy_reason(&self) -> Option<String> {
+        if self.is_idle() {
+            return None;
+        }
+        let mut parts = Vec::new();
+        let inflight: usize = self.pipelines.iter().map(DelayLine::in_flight).sum();
+        if inflight > 0 {
+            parts.push(format!("{inflight} read(s) in flight"));
+        }
+        let queued: usize = self.read_req.iter().map(|s| s.borrow().len()).sum();
+        if queued > 0 {
+            parts.push(format!("{queued} read request(s) queued"));
+        }
+        let writes = self.write_req.borrow().len();
+        if writes > 0 {
+            parts.push(format!("{writes} write(s) queued"));
+        }
+        if self.region_inflight.is_some() {
+            parts.push("region burst streaming".into());
+        }
+        if self.copy_inflight.is_some() {
+            parts.push("copy burst streaming".into());
+        }
+        let queued_bursts = self.region_req.as_ref().map_or(0, |s| s.borrow().len())
+            + self
+                .region_write_req
+                .as_ref()
+                .map_or(0, |s| s.borrow().len())
+            + self
+                .region_copy_req
+                .as_ref()
+                .map_or(0, |s| s.borrow().len());
+        if queued_bursts > 0 {
+            parts.push(format!("{queued_bursts} burst request(s) queued"));
+        }
+        Some(parts.join(", "))
     }
 }
 
@@ -467,6 +672,118 @@ mod tests {
         let rp = k.region_plan_stats();
         assert_eq!(rp.misses, 1, "{rp:?}");
         assert!(rp.hits >= 1, "{rp:?}");
+    }
+
+    #[test]
+    fn region_write_port_commits_burst_and_occupies_write_path() {
+        use polymem::RegionShape;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let wq = stream("wq", 8);
+        let bq = stream("bq", 8);
+        let mut k = PolyMemKernel::new(
+            "pm",
+            cfg,
+            2,
+            vec![stream("rq", 8)],
+            vec![stream("rs", 8)],
+            Rc::clone(&wq),
+        )
+        .unwrap();
+        k.attach_region_write_port(Rc::clone(&bq));
+        // A 4x8 block burst (4 access cycles) plus a per-access write that
+        // must wait for the burst to drain.
+        let region = Region::new("b", 2, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let vals: Vec<u64> = (0..32).collect();
+        bq.borrow_mut().push((region.clone(), vals.clone()));
+        wq.borrow_mut()
+            .push((ParallelAccess::row(0, 0), vec![9; 8]));
+        k.tick(0); // burst accepted and committed; write path busy 4 cycles
+        assert_eq!(k.region_writes_served(), 1);
+        assert_eq!(k.writes_served(), 4, "burst charged as 4 write accesses");
+        for (t, (i, j)) in region.coords_iter().unwrap().enumerate() {
+            assert_eq!(k.mem().get(i, j).unwrap(), vals[t]);
+        }
+        // Cycles 1..3: the per-access write stalls behind the burst.
+        for c in 1..4 {
+            k.tick(c);
+            assert_eq!(k.mem().get(0, 0).unwrap(), 0, "stalled at cycle {c}");
+        }
+        k.tick(4); // write path free again
+        assert_eq!(k.mem().get(0, 0).unwrap(), 9);
+        assert_eq!(k.writes_served(), 5);
+    }
+
+    #[test]
+    fn region_copy_port_streams_and_completes_after_latency() {
+        use polymem::RegionShape;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let cq = stream("cq", 8);
+        let cs = stream("cs", 8);
+        let mut k = PolyMemKernel::new(
+            "pm",
+            cfg,
+            2,
+            vec![stream("rq", 8)],
+            vec![stream("rs", 8)],
+            stream("wq", 8),
+        )
+        .unwrap();
+        k.attach_region_copy_port(Rc::clone(&cq), Rc::clone(&cs));
+        let tracer = crate::trace::Tracer::new(64);
+        k.set_tracer(tracer.clone());
+        for r in 0..16usize {
+            for c in 0..16usize {
+                k.mem().set(r, c, (r * 16 + c) as u64).unwrap();
+            }
+        }
+        // 4x8 block copy = 4 access cycles; token at 0 + 4 + 2 = 6.
+        let src = Region::new("s", 2, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let dst = Region::new("d", 10, 8, RegionShape::Block { rows: 4, cols: 8 });
+        cq.borrow_mut().push((src.clone(), dst.clone()));
+        for cycle in 0..6 {
+            k.tick(cycle);
+            assert!(cs.borrow().is_empty(), "no token before cycle 6");
+        }
+        k.tick(6);
+        assert_eq!(cs.borrow_mut().pop(), Some(32), "token = elements moved");
+        assert_eq!(k.region_copies_served(), 1);
+        assert_eq!(k.reads_served(), 4);
+        assert_eq!(k.writes_served(), 4);
+        for (t, (i, j)) in dst.coords_iter().unwrap().enumerate() {
+            let (si, sj) = src.coords_iter().unwrap().nth(t).unwrap();
+            assert_eq!(k.mem().get(i, j).unwrap(), (si * 16 + sj) as u64);
+        }
+        let s = crate::trace::burst_summary(&tracer, "pm");
+        assert_eq!(s.copies, 1);
+        assert_eq!(s.elements, 32);
+    }
+
+    #[test]
+    fn copy_errors_surface_not_panic() {
+        use polymem::RegionShape;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let cq = stream("cq", 8);
+        let cs = stream("cs", 8);
+        let mut k = PolyMemKernel::new(
+            "pm",
+            cfg,
+            0,
+            vec![stream("rq", 8)],
+            vec![stream("rs", 8)],
+            stream("wq", 8),
+        )
+        .unwrap();
+        k.attach_region_copy_port(Rc::clone(&cq), Rc::clone(&cs));
+        // Shape mismatch: row16 -> col8.
+        cq.borrow_mut().push((
+            Region::new("s", 0, 0, RegionShape::Row { len: 16 }),
+            Region::new("d", 0, 0, RegionShape::Col { len: 8 }),
+        ));
+        k.tick(0);
+        assert_eq!(k.errors().len(), 1);
+        assert_eq!(k.region_copies_served(), 0);
+        assert!(cs.borrow().is_empty());
+        assert!(k.pipelines_empty(), "failed burst leaves nothing in flight");
     }
 
     #[test]

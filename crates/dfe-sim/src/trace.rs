@@ -102,6 +102,46 @@ impl Tracer {
     }
 }
 
+/// Aggregate of the burst traffic a kernel recorded through its tracer
+/// hook (`burst:<kind> len=<n>` events, see
+/// [`crate::polymem_kernel::PolyMemKernel::set_tracer`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstSummary {
+    /// Region read bursts accepted.
+    pub reads: u64,
+    /// Region write bursts accepted.
+    pub writes: u64,
+    /// Fused copy bursts accepted.
+    pub copies: u64,
+    /// Total elements moved across all bursts.
+    pub elements: u64,
+}
+
+/// Summarize one source's `burst:*` events from a tracer. Events that are
+/// not burst records (or whose length field is malformed) are ignored.
+pub fn burst_summary(tracer: &Tracer, source: &str) -> BurstSummary {
+    let mut out = BurstSummary::default();
+    for e in tracer.events_of(source) {
+        let Some(rest) = e.event.strip_prefix("burst:") else {
+            continue;
+        };
+        let Some((kind, len)) = rest.split_once(" len=") else {
+            continue;
+        };
+        let Ok(len) = len.trim().parse::<u64>() else {
+            continue;
+        };
+        match kind {
+            "read" => out.reads += 1,
+            "write" => out.writes += 1,
+            "copy" => out.copies += 1,
+            _ => continue,
+        }
+        out.elements += len;
+    }
+    out
+}
+
 /// A point-in-time snapshot of one stream's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamStats {
@@ -211,6 +251,27 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1.pushed, 1);
         assert_eq!(rows[1].1.pushed, 0);
+    }
+
+    #[test]
+    fn burst_summary_counts_kinds_and_elements() {
+        let t = Tracer::new(16);
+        t.record(0, "pm", "burst:read len=32");
+        t.record(4, "pm", "burst:copy len=32");
+        t.record(8, "pm", "burst:write len=16");
+        t.record(9, "pm", "not a burst");
+        t.record(9, "pm", "burst:copy len=oops");
+        t.record(10, "other", "burst:read len=99");
+        let s = burst_summary(&t, "pm");
+        assert_eq!(
+            s,
+            BurstSummary {
+                reads: 1,
+                writes: 1,
+                copies: 1,
+                elements: 80,
+            }
+        );
     }
 
     #[test]

@@ -19,6 +19,14 @@
 //! reads shard the canonical element range across the configured read ports
 //! (one contiguous output chunk per port thread), writes take each bank
 //! lock once and drain that bank's elements in a batch.
+//! [`ConcurrentPolyMem::copy_region`] fuses the two into one burst: a
+//! port-sharded gather of the whole source region followed by one merged
+//! write per destination bank — the spawned bank writers are the *one*
+//! sanctioned place a spawned thread takes a bank write lock (via
+//! [`scatter_range`](ConcurrentPolyMem), each writer owns exactly one
+//! bank, so writers never contend and never alias a read port's bank
+//! view mid-access). Overlapping regions fall back to the sequential
+//! access-interleaved order so results match [`crate::PolyMem::copy_region`].
 //!
 //! Granularity note: each element access locks its bank individually, so a
 //! concurrent reader may observe a simultaneous write partially applied
@@ -273,6 +281,114 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         Ok(())
     }
 
+    /// Copy `src` into `dst` as a single burst (allocating variant of
+    /// [`Self::copy_region_with`]).
+    pub fn copy_region(&self, src: &Region, dst: &Region) -> Result<()> {
+        let mut scratch = Vec::new();
+        self.copy_region_with(src, dst, &mut scratch)
+    }
+
+    /// Copy `src` into `dst` as one fused operation: a port-sharded gather
+    /// of the whole source region, then one merged write per destination
+    /// bank. `scratch` is reused across calls so steady-state bursts are
+    /// allocation-free. Overlapping regions take the access-interleaved
+    /// slow path, which matches the sequential [`crate::PolyMem::copy_region`]
+    /// element for element.
+    pub fn copy_region_with(&self, src: &Region, dst: &Region, scratch: &mut Vec<T>) -> Result<()> {
+        let sp = self.region_plan_for(src)?;
+        let dp = self.region_plan_for(dst)?;
+        if sp.accesses != dp.accesses {
+            return Err(PolyMemError::InvalidGeometry {
+                reason: format!(
+                    "copy_region: {} decomposes into {} accesses but {} into {}",
+                    src.name, sp.accesses, dst.name, dp.accesses
+                ),
+            });
+        }
+        sp.check_bounds(src, self.config.rows, self.config.cols)?;
+        dp.check_bounds(dst, self.config.rows, self.config.cols)?;
+        let sbase = self.afn.address(src.i, src.j) as isize;
+        let dbase = self.afn.address(dst.i, dst.j) as isize;
+        if regions_overlap(src, dst) {
+            return self.copy_interleaved(&sp, sbase, &dp, dbase, scratch);
+        }
+        let len = sp.len();
+        scratch.clear();
+        scratch.resize(len, T::default());
+        let ports = self.config.read_ports.max(1);
+        if ports == 1 || len < PARALLEL_REGION_MIN {
+            self.gather_range(&sp, sbase, 0, scratch);
+            for b in 0..dp.lanes {
+                self.scatter_range(&dp, dbase, b, scratch);
+            }
+            return Ok(());
+        }
+        let chunk = len.div_ceil(ports);
+        let plan_ref = &sp;
+        crossbeam::scope(|s| {
+            for (ci, out_chunk) in scratch.chunks_mut(chunk).enumerate() {
+                s.spawn(move |_| {
+                    self.gather_range(plan_ref, sbase, ci * chunk, out_chunk);
+                });
+            }
+        })
+        .expect("region port thread panicked");
+        let dplan = &dp;
+        let values = &scratch[..];
+        crossbeam::scope(|s| {
+            for b in 0..dplan.lanes {
+                s.spawn(move |_| {
+                    self.scatter_range(dplan, dbase, b, values);
+                });
+            }
+        })
+        .expect("bank writer thread panicked");
+        Ok(())
+    }
+
+    /// Write bank `b`'s share of a region in one batch: a single bank
+    /// write-lock acquisition draining `bank_elems[b]`'s canonical indices
+    /// out of `values`. Each spawned burst writer owns exactly one bank, so
+    /// writers are mutually disjoint by construction.
+    fn scatter_range(&self, plan: &RegionPlan, base: isize, b: usize, values: &[T]) {
+        let elems = &plan.bank_elems[b * plan.accesses..(b + 1) * plan.accesses];
+        let mut guard = self.banks[b].write();
+        for &c in elems {
+            let c = c as usize;
+            guard[(base + plan.deltas[c]) as usize] = values[c];
+        }
+    }
+
+    /// Access-interleaved copy for overlapping regions: gather lanes of
+    /// source access `t`, scatter them to destination access `t`, in access
+    /// order — positionally identical to the sequential per-access loop.
+    fn copy_interleaved(
+        &self,
+        sp: &RegionPlan,
+        sbase: isize,
+        dp: &RegionPlan,
+        dbase: isize,
+        scratch: &mut Vec<T>,
+    ) -> Result<()> {
+        let lanes = sp.lanes;
+        let depth = self.config.bank_depth() as isize;
+        scratch.clear();
+        scratch.resize(lanes, T::default());
+        for t in 0..sp.accesses {
+            let sa = &sp.afold[t * lanes..(t + 1) * lanes];
+            for (o, &f) in scratch.iter_mut().zip(sa) {
+                let flat = sbase + f;
+                *o = self.banks[(flat / depth) as usize].read()[(flat % depth) as usize];
+            }
+            let da = &dp.afold[t * lanes..(t + 1) * lanes];
+            for (&f, &v) in da.iter().zip(scratch.iter()) {
+                let flat = dbase + f;
+                self.banks[(flat / depth) as usize].write()[(flat % depth) as usize] = v;
+            }
+        }
+        Ok(())
+    }
+
     /// Issue one access per read port concurrently (one thread per port, as
     /// the hardware issues one access per port per cycle) and collect the
     /// results in port order.
@@ -324,6 +440,18 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         let bank = self.maf.assign_linear(i, j);
         Ok(self.banks[bank].read()[self.afn.address(i, j)])
     }
+}
+
+/// Conservative bounding-box overlap test (via [`Region::extents`]): a
+/// false positive only costs the interleaved slow path, never correctness.
+fn regions_overlap(a: &Region, b: &Region) -> bool {
+    let (ad, ar, al) = a.extents();
+    let (bd, br, bl) = b.extents();
+    let (ai, aj) = (a.i as isize, a.j as isize);
+    let (bi, bj) = (b.i as isize, b.j as isize);
+    let rows_meet = ai <= bi + bd as isize && bi <= ai + ad as isize;
+    let cols_meet = aj - al as isize <= bj + br as isize && bj - bl as isize <= aj + ar as isize;
+    rows_meet && cols_meet
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! repeated (1000 runs in the paper) for resolution; the simulator verifies
 //! run-to-run determinism instead of re-simulating all 1000.
 
+use crate::burst::BurstController;
 use crate::controller::{Controller, ControllerState, StateRef};
 use crate::layout::StreamLayout;
 use crate::op::StreamOp;
@@ -51,12 +52,49 @@ impl StageTiming {
     }
 }
 
+/// The compute-stage driver: the per-chunk Fig. 9 Controller FSM, or the
+/// region-burst controller that streams whole vectors per request.
+enum Driver {
+    PerChunk(Controller),
+    Burst(BurstController),
+}
+
+impl Driver {
+    fn tick(&mut self, cycle: u64) {
+        match self {
+            Driver::PerChunk(c) => c.tick(cycle),
+            Driver::Burst(b) => b.tick(cycle),
+        }
+    }
+
+    fn pass_done(&self) -> bool {
+        match self {
+            Driver::PerChunk(c) => c.pass_done(),
+            Driver::Burst(b) => b.pass_done(),
+        }
+    }
+
+    fn begin_pass(&mut self) {
+        if let Driver::Burst(b) = self {
+            b.begin_pass();
+        }
+    }
+
+    /// Work units per pass (chunks or bursts), for the wedge diagnostic.
+    fn units(&self) -> usize {
+        match self {
+            Driver::PerChunk(c) => c.chunks(),
+            Driver::Burst(b) => b.bursts(),
+        }
+    }
+}
+
 /// The assembled design: PolyMem kernel + Controller + host endpoint.
 pub struct StreamApp {
     op: StreamOp,
     layout: StreamLayout,
     clock: SimClock,
-    controller: Controller,
+    driver: Driver,
     polymem: PolyMemKernel,
     state: StateRef,
     host: Host,
@@ -76,6 +114,35 @@ impl StreamApp {
         freq_mhz: f64,
         read_latency: u64,
     ) -> polymem::Result<Self> {
+        Self::build(op, layout, freq_mhz, read_latency, false)
+    }
+
+    /// Build the **region-burst** design for `op` on `layout`: the compute
+    /// stage issues whole-region bursts on the PolyMem kernel's region
+    /// ports instead of per-chunk requests (see [`crate::burst`]). Cycle
+    /// accounting is identical; the host-side modelling cost per pass is
+    /// not.
+    pub fn new_burst(op: StreamOp, layout: StreamLayout, freq_mhz: f64) -> polymem::Result<Self> {
+        Self::with_latency_burst(op, layout, freq_mhz, PAPER_READ_LATENCY)
+    }
+
+    /// Build the region-burst design with an explicit read latency.
+    pub fn with_latency_burst(
+        op: StreamOp,
+        layout: StreamLayout,
+        freq_mhz: f64,
+        read_latency: u64,
+    ) -> polymem::Result<Self> {
+        Self::build(op, layout, freq_mhz, read_latency, true)
+    }
+
+    fn build(
+        op: StreamOp,
+        layout: StreamLayout,
+        freq_mhz: f64,
+        read_latency: u64,
+        burst: bool,
+    ) -> polymem::Result<Self> {
         let ports = layout.config.read_ports;
         let rq: Vec<_> = (0..ports)
             .map(|p| stream(format!("read-req-{p}"), 8))
@@ -84,7 +151,7 @@ impl StreamApp {
             .map(|p| stream(format!("read-resp-{p}"), read_latency as usize + 8))
             .collect();
         let wq = stream("write-req", 8);
-        let polymem = PolyMemKernel::new(
+        let mut polymem = PolyMemKernel::new(
             "polymem",
             layout.config,
             read_latency,
@@ -93,12 +160,33 @@ impl StreamApp {
             Rc::clone(&wq),
         )?;
         let state: StateRef = Rc::new(RefCell::new(ControllerState::default()));
-        let controller = Controller::new(op, layout, Rc::clone(&state), rq, rs, wq);
+        let driver = if burst {
+            let region_req = stream("region-req", 4);
+            let region_resp = stream("region-resp", 2);
+            let copy_req = stream("copy-req", 4);
+            let copy_resp = stream("copy-resp", 2);
+            let burst_wq = stream("region-write-req", 2);
+            polymem.attach_region_port(Rc::clone(&region_req), Rc::clone(&region_resp));
+            polymem.attach_region_copy_port(Rc::clone(&copy_req), Rc::clone(&copy_resp));
+            polymem.attach_region_write_port(Rc::clone(&burst_wq));
+            Driver::Burst(BurstController::new(
+                op,
+                layout,
+                Rc::clone(&state),
+                copy_req,
+                copy_resp,
+                region_req,
+                region_resp,
+                burst_wq,
+            ))
+        } else {
+            Driver::PerChunk(Controller::new(op, layout, Rc::clone(&state), rq, rs, wq))
+        };
         Ok(Self {
             op,
             layout,
             clock: SimClock::new(freq_mhz),
-            controller,
+            driver,
             polymem,
             state,
             host: Host::new(PcieLink::vectis()),
@@ -145,19 +233,20 @@ impl StreamApp {
                 ..Default::default()
             };
         }
+        self.driver.begin_pass();
         let start = self.clock.cycle();
-        let max = 4 * self.controller.chunks() as u64 + 1000;
-        while !(self.controller.pass_done() && self.polymem.pipelines_empty()) {
+        let max = 4 * self.layout.a.chunks() as u64 + 1000;
+        while !(self.driver.pass_done() && self.polymem.pipelines_empty()) {
             let c = self.clock.cycle();
-            self.controller.tick(c);
+            self.driver.tick(c);
             self.polymem.tick(c);
             self.clock.tick();
             if self.clock.cycle() - start > max {
                 panic!(
-                    "STREAM pass wedged after {} cycles ({} of {} chunks written)",
+                    "STREAM pass wedged after {} cycles ({} of {} units written)",
                     max,
                     self.state.borrow().written,
-                    self.controller.chunks()
+                    self.driver.units()
                 );
             }
         }
@@ -326,6 +415,72 @@ mod tests {
         let fast = mk(1);
         let slow = mk(28);
         assert_eq!(slow - fast, 27, "latency is a pure pipeline-fill cost");
+    }
+
+    fn run_burst(op: StreamOp, len: usize) -> (Vec<f64>, StageTiming) {
+        let layout = StreamLayout::new(len, 64, 2, 4, AccessScheme::RoCo, 2).unwrap();
+        let mut app = StreamApp::new_burst(op, layout, PAPER_STREAM_FREQ_MHZ).unwrap();
+        let (a, b, c) = vectors(len);
+        app.load(&a, &b, &c).unwrap();
+        let timing = app.measure(3);
+        assert!(app.errors().is_empty(), "memory errors: {:?}", app.errors());
+        let (out, _) = app.offload();
+        let want = scalar_reference(op, &a, &b, &c);
+        assert_eq!(out, want, "burst {} result mismatch", op.name());
+        (out, timing)
+    }
+
+    #[test]
+    fn burst_all_ops_match_scalar_reference() {
+        run_burst(StreamOp::Copy, 512);
+        run_burst(StreamOp::Scale(3.25), 256);
+        run_burst(StreamOp::Sum, 256);
+        run_burst(StreamOp::Triad(2.5), 512);
+    }
+
+    #[test]
+    fn burst_copy_cycle_count_matches_per_chunk_model() {
+        // The burst datapath charges the same ceil(len/lanes) access cycles
+        // plus one pipeline fill, so simulated bandwidth is preserved: a
+        // 512-element Copy is 64 access cycles + 14-cycle latency + a few
+        // handshake cycles in either mode.
+        let (_, burst) = run_burst(StreamOp::Copy, 512);
+        let (_, chunked) = run(StreamOp::Copy, 512);
+        assert!(burst.cycles_per_run < 64 + 25, "{}", burst.cycles_per_run);
+        let delta = burst.cycles_per_run.abs_diff(chunked.cycles_per_run);
+        assert!(
+            delta <= 10,
+            "burst {} vs per-chunk {} cycles",
+            burst.cycles_per_run,
+            chunked.cycles_per_run
+        );
+    }
+
+    #[test]
+    fn burst_bandwidth_approaches_peak_for_large_vectors() {
+        let layout = StreamLayout::paper_geometry(StreamLayout::PAPER_MAX_LEN).unwrap();
+        let mut app = StreamApp::new_burst(StreamOp::Copy, layout, PAPER_STREAM_FREQ_MHZ).unwrap();
+        let n = StreamLayout::PAPER_MAX_LEN;
+        let (a, b, c) = vectors(n);
+        app.load(&a, &b, &c).unwrap();
+        let t = app.measure(1000);
+        assert!(
+            t.fraction_of_peak() > 0.99,
+            "achieved {} of peak {}",
+            t.bandwidth_mbps,
+            t.peak_mbps
+        );
+    }
+
+    #[test]
+    fn burst_run_to_run_determinism_enforced() {
+        let layout = StreamLayout::new(512, 64, 2, 4, AccessScheme::RoCo, 2).unwrap();
+        let mut app = StreamApp::new_burst(StreamOp::Triad(1.5), layout, 120.0).unwrap();
+        let (a, b, c) = vectors(512);
+        app.load(&a, &b, &c).unwrap();
+        let c1 = app.run_pass();
+        let c2 = app.run_pass();
+        assert_eq!(c1, c2);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * [`op`] — Copy (measured in the paper), Scale, Sum, Triad (the paper's
 //!   future work, implemented as the extension);
 //! * [`controller`] — the Fig. 9 Controller FSM as a simulator kernel;
+//! * [`burst`] — the region-burst controller: whole-region bursts on the
+//!   PolyMem kernel's region/copy/write ports instead of per-chunk
+//!   requests, with identical cycle accounting;
 //! * [`region_copy`] — STREAM-Copy as whole-vector region copies (compiled
 //!   region plans vs the per-access baseline);
 //! * [`app`] — the assembled design with Load / Compute / Offload staging
@@ -21,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod app;
+pub mod burst;
 pub mod controller;
 pub mod layout;
 pub mod modular;
@@ -30,10 +34,13 @@ pub mod report;
 pub mod staged;
 
 pub use app::{scalar_reference, StageTiming, StreamApp, PAPER_STREAM_FREQ_MHZ};
+pub use burst::BurstController;
 pub use controller::{Controller, ControllerState};
 pub use layout::{StreamLayout, VectorLayout};
-pub use modular::{run_modular, ModularRun};
+pub use modular::{run_modular, run_modular_burst, ModularRun};
 pub use op::StreamOp;
 pub use region_copy::{vector_regions, RegionCopy};
-pub use report::{fig10_default_sizes, fig10_series, Fig10Point, StreamRow};
-pub use staged::{pcie_chunk_interval, LoadKernel, OffloadKernel};
+pub use report::{fig10_default_sizes, fig10_series, fig10_series_burst, Fig10Point, StreamRow};
+pub use staged::{
+    pcie_chunk_interval, BurstLoadKernel, BurstOffloadKernel, LoadKernel, OffloadKernel,
+};

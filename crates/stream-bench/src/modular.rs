@@ -13,11 +13,14 @@
 
 use crate::layout::StreamLayout;
 use crate::op::StreamOp;
+use crate::region_copy::vector_regions;
 use dfe_sim::kernel::Kernel;
 use dfe_sim::polymem_kernel::{
-    PolyMemKernel, ReadRequest, ReadResponse, WriteRequest, PAPER_READ_LATENCY,
+    PolyMemKernel, ReadRequest, ReadResponse, RegionRequest, RegionResponse, RegionWriteRequest,
+    WriteRequest, PAPER_READ_LATENCY,
 };
 use dfe_sim::stream::{stream, StreamRef};
+use polymem::Region;
 use std::rc::Rc;
 
 /// Issues source-vector read requests, one chunk per cycle.
@@ -233,6 +236,229 @@ pub fn run_modular(
     ))
 }
 
+/// Issues operand **region read bursts** in order (B[r], then C[r] for the
+/// 2-read ops) on the single region port.
+struct BurstIssueKernel {
+    reads_per_burst: usize,
+    src: Vec<Region>,
+    src2: Vec<Region>,
+    next: usize,
+    region_req: StreamRef<RegionRequest>,
+}
+
+impl Kernel for BurstIssueKernel {
+    fn name(&self) -> &str {
+        "modular-burst-issue"
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        let total = self.src.len() * self.reads_per_burst;
+        if self.next >= total || !self.region_req.borrow().can_push() {
+            return;
+        }
+        let r = self.next / self.reads_per_burst;
+        let region = if self.next.is_multiple_of(self.reads_per_burst) {
+            &self.src[r]
+        } else {
+            &self.src2[r]
+        };
+        self.region_req.borrow_mut().push(region.clone());
+        self.next += 1;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.next >= self.src.len() * self.reads_per_burst
+    }
+}
+
+/// Applies the op to whole operand bursts; a pure dataflow stage.
+struct BurstComputeKernel {
+    op: StreamOp,
+    region_resp: StreamRef<RegionResponse>,
+    stash: Option<Vec<u64>>,
+    out: StreamRef<Vec<u64>>,
+}
+
+impl Kernel for BurstComputeKernel {
+    fn name(&self) -> &str {
+        "modular-burst-compute"
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        if !self.out.borrow().can_push() {
+            return;
+        }
+        let Some(data) = self.region_resp.borrow_mut().pop() else {
+            return;
+        };
+        if self.op.reads() > 1 && self.stash.is_none() {
+            self.stash = Some(data);
+            return;
+        }
+        let burst: Vec<u64> = match self.stash.take() {
+            Some(x) => x
+                .iter()
+                .zip(&data)
+                .map(|(&xb, &yb)| {
+                    self.op
+                        .apply(f64::from_bits(xb), f64::from_bits(yb))
+                        .to_bits()
+                })
+                .collect(),
+            None => data
+                .iter()
+                .map(|&xb| self.op.apply(f64::from_bits(xb), 0.0).to_bits())
+                .collect(),
+        };
+        self.out.borrow_mut().push(burst);
+    }
+}
+
+/// Pairs computed bursts with destination regions and writes them.
+struct BurstWriteKernel {
+    dst: Vec<Region>,
+    next: usize,
+    input: StreamRef<Vec<u64>>,
+    write_req: StreamRef<RegionWriteRequest>,
+}
+
+impl BurstWriteKernel {
+    fn done(&self) -> bool {
+        self.next >= self.dst.len()
+    }
+}
+
+impl Kernel for BurstWriteKernel {
+    fn name(&self) -> &str {
+        "modular-burst-write"
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        if !self.write_req.borrow().can_push() {
+            return;
+        }
+        if let Some(burst) = self.input.borrow_mut().pop() {
+            self.write_req
+                .borrow_mut()
+                .push((self.dst[self.next].clone(), burst));
+            self.next += 1;
+        }
+    }
+}
+
+/// Build and run the modular design in **region-burst** mode: the same
+/// issue / compute / write split, but each inter-kernel token is a whole
+/// region burst rather than an 8-element chunk. Returns the destination
+/// vector and the cycle count.
+pub fn run_modular_burst(
+    op: StreamOp,
+    layout: StreamLayout,
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+) -> polymem::Result<(Vec<f64>, ModularRun)> {
+    let ports = layout.config.read_ports;
+    let rq: Vec<_> = (0..ports).map(|p| stream(format!("mb-rq{p}"), 8)).collect();
+    let rs: Vec<_> = (0..ports)
+        .map(|p| stream(format!("mb-rs{p}"), PAPER_READ_LATENCY as usize + 8))
+        .collect();
+    let wq = stream("mb-wq", 8);
+    let region_req = stream("mb-region-req", 4);
+    let region_resp = stream("mb-region-resp", 2);
+    let burst_wq = stream("mb-region-wq", 2);
+    let mid = stream("mb-mid", 2);
+    let mut pm = PolyMemKernel::new(
+        "polymem",
+        layout.config,
+        PAPER_READ_LATENCY,
+        rq,
+        rs,
+        Rc::clone(&wq),
+    )?;
+    pm.attach_region_port(Rc::clone(&region_req), Rc::clone(&region_resp));
+    pm.attach_region_write_port(Rc::clone(&burst_wq));
+    let n = layout.a.len;
+    for (vals, lay) in [(a, layout.a), (b, layout.b), (c, layout.c)] {
+        assert_eq!(vals.len(), n, "vector length mismatch");
+        for (k, &v) in vals.iter().enumerate() {
+            let (i, j) = lay.coord(k);
+            pm.mem().set(i, j, v.to_bits())?;
+        }
+    }
+    let p = layout.config.p;
+    let (src, src2, dst) = match op {
+        StreamOp::Copy => (
+            vector_regions(&layout.a, p, "A"),
+            Vec::new(),
+            vector_regions(&layout.c, p, "C"),
+        ),
+        StreamOp::Scale(_) => (
+            vector_regions(&layout.b, p, "B"),
+            Vec::new(),
+            vector_regions(&layout.a, p, "A"),
+        ),
+        StreamOp::Sum | StreamOp::Triad(_) => (
+            vector_regions(&layout.b, p, "B"),
+            vector_regions(&layout.c, p, "C"),
+            vector_regions(&layout.a, p, "A"),
+        ),
+    };
+    let mut issue = BurstIssueKernel {
+        reads_per_burst: op.reads(),
+        src,
+        src2,
+        next: 0,
+        region_req,
+    };
+    let mut compute = BurstComputeKernel {
+        op,
+        region_resp,
+        stash: None,
+        out: Rc::clone(&mid),
+    };
+    let mut write = BurstWriteKernel {
+        dst,
+        next: 0,
+        input: mid,
+        write_req: burst_wq,
+    };
+    let chunks = layout.a.chunks();
+    let max = 8 * chunks as u64 + 2000;
+    let mut cycle = 0u64;
+    // Same registered inter-kernel ordering as the per-chunk modular chain.
+    while !(write.done() && pm.pipelines_empty()) {
+        issue.tick(cycle);
+        pm.tick(cycle);
+        write.tick(cycle);
+        compute.tick(cycle);
+        cycle += 1;
+        assert!(
+            cycle < max,
+            "modular burst pass wedged: {} of {} bursts written",
+            write.next,
+            write.dst.len()
+        );
+    }
+    assert!(pm.errors().is_empty(), "memory errors: {:?}", pm.errors());
+
+    let out_lay = match op {
+        StreamOp::Copy => layout.c,
+        _ => layout.a,
+    };
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let (i, j) = out_lay.coord(k);
+        out.push(f64::from_bits(pm.mem().get(i, j)?));
+    }
+    Ok((
+        out,
+        ModularRun {
+            cycles: cycle,
+            chunks,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +497,41 @@ mod tests {
             let (out, _) = run_modular(op, layout, &a, &b, &c).unwrap();
             assert_eq!(out, scalar_reference(op, &a, &b, &c), "{}", op.name());
         }
+    }
+
+    #[test]
+    fn modular_burst_all_ops_verified() {
+        let n = 4 * 64;
+        for op in [
+            StreamOp::Copy,
+            StreamOp::Scale(1.5),
+            StreamOp::Sum,
+            StreamOp::Triad(-0.5),
+        ] {
+            let layout = StreamLayout::new(n, 64, 2, 4, AccessScheme::RoCo, 2).unwrap();
+            let (a, b, c) = vectors(n);
+            let (out, _) = run_modular_burst(op, layout, &a, &b, &c).unwrap();
+            assert_eq!(out, scalar_reference(op, &a, &b, &c), "burst {}", op.name());
+        }
+    }
+
+    #[test]
+    fn modular_burst_keeps_the_cycle_model() {
+        // The burst variant pays the same ceil(len/lanes) access cycles per
+        // burst plus a constant number of inter-kernel hops: within a small
+        // constant of the per-chunk modular chain.
+        let n = 16 * 64;
+        let layout = StreamLayout::new(n, 64, 2, 4, AccessScheme::RoCo, 2).unwrap();
+        let (a, b, c) = vectors(n);
+        let (_, chunked) = run_modular(StreamOp::Copy, layout, &a, &b, &c).unwrap();
+        let (_, burst) = run_modular_burst(StreamOp::Copy, layout, &a, &b, &c).unwrap();
+        let delta = burst.cycles.abs_diff(chunked.cycles);
+        assert!(
+            delta <= 25,
+            "burst {} vs per-chunk {} modular cycles",
+            burst.cycles,
+            chunked.cycles
+        );
     }
 
     #[test]

@@ -64,12 +64,28 @@ pub struct Fig10Point {
 /// Reproduce Fig. 10: sweep the copied-vector size over the paper geometry
 /// and measure Copy bandwidth with `runs` blocking runs per point.
 pub fn fig10_series(sizes_elems: &[usize], runs: usize) -> Vec<Fig10Point> {
+    fig10_series_mode(sizes_elems, runs, false)
+}
+
+/// The Fig. 10 sweep driven by the region-burst controller instead of the
+/// per-chunk FSM. The cycle model is shared, so the simulated bandwidth
+/// matches [`fig10_series`]; this variant exists so the bench suite can
+/// compare the host-side cost of the two controllers on identical sweeps.
+pub fn fig10_series_burst(sizes_elems: &[usize], runs: usize) -> Vec<Fig10Point> {
+    fig10_series_mode(sizes_elems, runs, true)
+}
+
+fn fig10_series_mode(sizes_elems: &[usize], runs: usize, burst: bool) -> Vec<Fig10Point> {
     sizes_elems
         .iter()
         .map(|&n| {
             let layout = StreamLayout::paper_geometry(n).expect("size within paper geometry");
-            let mut app =
-                StreamApp::new(StreamOp::Copy, layout, PAPER_STREAM_FREQ_MHZ).expect("valid app");
+            let mut app = if burst {
+                StreamApp::new_burst(StreamOp::Copy, layout, PAPER_STREAM_FREQ_MHZ)
+            } else {
+                StreamApp::new(StreamOp::Copy, layout, PAPER_STREAM_FREQ_MHZ)
+            }
+            .expect("valid app");
             let a: Vec<f64> = (0..n).map(|k| k as f64).collect();
             let zeros = vec![0.0; n];
             app.load(&a, &zeros, &zeros).expect("load");
@@ -124,6 +140,22 @@ mod tests {
         );
         assert!(pts[2].fraction_of_peak > 0.99, "paper headline");
         assert!((pts[2].copied_kb - 680.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn burst_series_matches_per_chunk_bandwidth() {
+        let sizes = [8 * 512, 64 * 512];
+        let chunked = fig10_series(&sizes, 10);
+        let burst = fig10_series_burst(&sizes, 10);
+        for (c, b) in chunked.iter().zip(&burst) {
+            let rel = (c.bandwidth_mbps - b.bandwidth_mbps).abs() / c.bandwidth_mbps;
+            assert!(
+                rel < 0.02,
+                "shared cycle model: {} vs {} MB/s",
+                c.bandwidth_mbps,
+                b.bandwidth_mbps
+            );
+        }
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //! port, so the complete benchmark runs on the simulated data path.
 
 use crate::layout::VectorLayout;
+use crate::region_copy::vector_regions;
 use dfe_sim::kernel::Kernel;
 use dfe_sim::pcie::PcieLink;
-use dfe_sim::polymem_kernel::{ReadRequest, ReadResponse, WriteRequest};
+use dfe_sim::polymem_kernel::{
+    ReadRequest, ReadResponse, RegionRequest, RegionResponse, RegionWriteRequest, WriteRequest,
+};
 use dfe_sim::stream::StreamRef;
+use polymem::Region;
 
 /// Cycles between host chunks at the PCIe bulk rate: one `lanes * 8`-byte
 /// chunk every `ceil(chunk_bytes / (link_Bns * period_ns))` cycles.
@@ -161,6 +165,172 @@ impl Kernel for OffloadKernel {
     }
 }
 
+/// Streams one vector from the host into PolyMem as **region-write
+/// bursts**, still paced at the PCIe rate: a burst is released only once
+/// all of its chunks have arrived over the link (store-and-forward at
+/// region granularity), so the load stage stays PCIe-bound while issuing
+/// a handful of bursts instead of one request per chunk.
+pub struct BurstLoadKernel {
+    name: String,
+    regions: Vec<Region>,
+    /// Per-region data slices, in vector order.
+    data: Vec<Vec<u64>>,
+    next: usize,
+    /// Cycle at which each region's last PCIe chunk has arrived.
+    arrival: Vec<u64>,
+    write_req: StreamRef<RegionWriteRequest>,
+}
+
+impl BurstLoadKernel {
+    /// Build a burst loader for `data` into `layout` on a `p`-row bank
+    /// grid, with one PCIe chunk (`lanes` elements) arriving every
+    /// `interval` cycles.
+    pub fn new(
+        name: impl Into<String>,
+        layout: VectorLayout,
+        p: usize,
+        data: Vec<u64>,
+        interval: u64,
+        write_req: StreamRef<RegionWriteRequest>,
+    ) -> Self {
+        assert_eq!(data.len(), layout.len, "vector length mismatch");
+        let name = name.into();
+        let regions = vector_regions(&layout, p, &name);
+        let interval = interval.max(1);
+        let mut slices = Vec::with_capacity(regions.len());
+        let mut arrival = Vec::with_capacity(regions.len());
+        let mut offset = 0usize;
+        let mut chunks_seen = 0u64;
+        for r in &regions {
+            let len = r.len();
+            slices.push(data[offset..offset + len].to_vec());
+            offset += len;
+            chunks_seen += (len / layout.lanes) as u64;
+            arrival.push(chunks_seen * interval);
+        }
+        Self {
+            name,
+            regions,
+            data: slices,
+            next: 0,
+            arrival,
+            write_req,
+        }
+    }
+
+    /// Bursts still to send.
+    pub fn remaining(&self) -> usize {
+        self.regions.len() - self.next
+    }
+}
+
+impl Kernel for BurstLoadKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        if self.next >= self.regions.len() {
+            return;
+        }
+        if cycle < self.arrival[self.next] {
+            return; // the burst's tail chunk is still on the wire
+        }
+        if !self.write_req.borrow().can_push() {
+            return;
+        }
+        let region = self.regions[self.next].clone();
+        let values = std::mem::take(&mut self.data[self.next]);
+        self.write_req.borrow_mut().push((region, values));
+        self.next += 1;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn busy_reason(&self) -> Option<String> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(format!("{} load bursts unsent", self.remaining()))
+        }
+    }
+}
+
+/// Streams one vector out of PolyMem as **region read bursts** through the
+/// kernel's region port, collecting the canonical-order elements.
+pub struct BurstOffloadKernel {
+    name: String,
+    regions: Vec<Region>,
+    expected: usize,
+    issued: usize,
+    collected: Vec<u64>,
+    region_req: StreamRef<RegionRequest>,
+    region_resp: StreamRef<RegionResponse>,
+}
+
+impl BurstOffloadKernel {
+    /// Build a burst offloader for `layout` on a `p`-row bank grid, using
+    /// the kernel's region port streams.
+    pub fn new(
+        name: impl Into<String>,
+        layout: VectorLayout,
+        p: usize,
+        region_req: StreamRef<RegionRequest>,
+        region_resp: StreamRef<RegionResponse>,
+    ) -> Self {
+        let name = name.into();
+        let regions = vector_regions(&layout, p, &name);
+        Self {
+            name,
+            regions,
+            expected: layout.len,
+            issued: 0,
+            collected: Vec::with_capacity(layout.len),
+            region_req,
+            region_resp,
+        }
+    }
+
+    /// Elements received so far.
+    pub fn collected(&self) -> &[u64] {
+        &self.collected
+    }
+
+    /// Take the full vector once complete.
+    pub fn take(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.collected)
+    }
+
+    /// Whether the whole vector has been received.
+    pub fn done(&self) -> bool {
+        self.collected.len() >= self.expected
+    }
+}
+
+impl Kernel for BurstOffloadKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        if self.issued < self.regions.len() && self.region_req.borrow().can_push() {
+            self.region_req
+                .borrow_mut()
+                .push(self.regions[self.issued].clone());
+            self.issued += 1;
+        }
+        if let Some(burst) = self.region_resp.borrow_mut().pop() {
+            self.collected.extend_from_slice(&burst);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.done()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +425,65 @@ mod tests {
             assert!(cycle < 200_000);
         }
         assert_eq!(off.take(), data);
+    }
+
+    #[test]
+    fn burst_load_is_pcie_paced_and_lands() {
+        let n = 4 * 64;
+        let (layout, _rq, _rs, _wq, mut pm) = build(n);
+        let bwq = stream("bwq", 4);
+        pm.attach_region_write_port(Rc::clone(&bwq));
+        let data: Vec<u64> = (0..n as u64).map(|x| x * 3 + 2).collect();
+        let mut loader = BurstLoadKernel::new("A", layout.a, layout.config.p, data.clone(), 4, bwq);
+        assert_eq!(loader.remaining(), 1, "4 rows over p=2 is one Block burst");
+        assert!(loader.busy_reason().is_some());
+        let mut cycle = 0u64;
+        while !(loader.is_idle() && pm.pipelines_empty()) {
+            loader.tick(cycle);
+            pm.tick(cycle);
+            cycle += 1;
+            assert!(cycle < 20_000);
+        }
+        // Store-and-forward: the single burst waits for all 32 chunks at
+        // one per 4 cycles.
+        assert!(cycle >= 32 * 4, "load must stay PCIe-bound, took {cycle}");
+        for (k, &want) in data.iter().enumerate() {
+            let (i, j) = layout.a.coord(k);
+            assert_eq!(pm.mem().get(i, j).unwrap(), want);
+        }
+        assert_eq!(pm.region_writes_served(), 1);
+    }
+
+    #[test]
+    fn burst_load_then_burst_offload_roundtrip_ragged() {
+        // 3 rows with p = 2 -> a Row cover: three bursts, each paced.
+        let n = 3 * 64;
+        let (layout, _rq, _rs, _wq, mut pm) = build(n);
+        let bwq = stream("bwq", 4);
+        let rreq = stream("rreq", 4);
+        let rresp = stream("rresp", 2);
+        pm.attach_region_write_port(Rc::clone(&bwq));
+        pm.attach_region_port(Rc::clone(&rreq), Rc::clone(&rresp));
+        let data: Vec<u64> = (0..n as u64).map(|x| x * 13 + 1).collect();
+        let mut loader = BurstLoadKernel::new("B", layout.b, layout.config.p, data.clone(), 4, bwq);
+        assert_eq!(loader.remaining(), 3);
+        let mut cycle = 0u64;
+        while !(loader.is_idle() && pm.pipelines_empty()) {
+            loader.tick(cycle);
+            pm.tick(cycle);
+            cycle += 1;
+            assert!(cycle < 20_000);
+        }
+        let mut off = BurstOffloadKernel::new("B", layout.b, layout.config.p, rreq, rresp);
+        let mut cycle = 100_000u64;
+        while !off.done() {
+            off.tick(cycle);
+            pm.tick(cycle);
+            cycle += 1;
+            assert!(cycle < 200_000);
+        }
+        assert_eq!(off.take(), data);
+        assert_eq!(pm.region_reads_served(), 3);
     }
 
     #[test]

@@ -36,6 +36,10 @@ const HOT: &[(&str, &[&str])] = &[
             "write_region",
             "gather_range",
             "read_ports",
+            "copy_region",
+            "copy_region_with",
+            "copy_interleaved",
+            "scatter_range",
         ],
     ),
     (

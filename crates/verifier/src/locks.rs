@@ -19,7 +19,13 @@
 //! * `spawn(..)` closure bodies are traced through the same-file call
 //!   graph: a *read-port* thread that can reach a bank **write** lock is
 //!   same-cycle read/write port aliasing and is flagged, as is any lock
-//!   held across a `spawn` site.
+//!   held across a `spawn` site. The one sanctioned exception is the
+//!   documented burst-writer list ([`WRITER_SPAWNS`]): `copy_region_with`
+//!   spawns one writer per destination bank, each routed exclusively
+//!   through `scatter_range`, whose per-bank ownership makes the writers
+//!   mutually disjoint. Such spawns are recorded (not flagged), and the
+//!   health check warns if the documented helper exists but no spawn
+//!   routes through it.
 //!
 //! The analysis is deliberately source-level (no rustc, no network): the
 //! scanner is restricted to the idioms this file actually uses, and it
@@ -93,6 +99,14 @@ pub struct LockEdge {
     pub location: String,
 }
 
+/// Documented burst-writer spawns: `(enclosing function, helper)` pairs
+/// where a spawned closure is *allowed* to reach a bank write lock. The
+/// only entry today is `copy_region`'s per-bank scatter: each spawned
+/// writer owns exactly one bank through `scatter_range`, so writers are
+/// disjoint by construction and cannot alias a read port's bank view.
+/// Any other spawned path to a bank write lock is still port aliasing.
+pub const WRITER_SPAWNS: &[(&str, &str)] = &[("copy_region_with", "scatter_range")];
+
 /// The extracted lock structure.
 #[derive(Debug, Clone, Default)]
 pub struct LockGraph {
@@ -104,6 +118,11 @@ pub struct LockGraph {
     pub functions: usize,
     /// Spawn sites found.
     pub spawns: usize,
+    /// Spawn sites whose closures reach a bank write lock exclusively
+    /// through a documented [`WRITER_SPAWNS`] helper (locations).
+    pub writer_spawns: Vec<String>,
+    /// Whether any documented burst-writer helper exists in the file.
+    pub has_documented_writer: bool,
 }
 
 /// Replace string/char literals and comments with spaces, preserving
@@ -393,6 +412,9 @@ pub fn analyze_source(src: &str, label: &str, findings: &mut Vec<Finding>) -> Lo
         ..Default::default()
     };
     let known: Vec<String> = fns.iter().map(|f| f.name.clone()).collect();
+    graph.has_documented_writer = known
+        .iter()
+        .any(|n| WRITER_SPAWNS.iter().any(|&(_, h)| h == n));
 
     // 1. Every acquisition, classified, with held scopes.
     for f in &fns {
@@ -490,7 +512,9 @@ pub fn analyze_source(src: &str, label: &str, findings: &mut Vec<Finding>) -> Lo
             }
         }
 
-        // Reachable bank writes = same-cycle read/write port aliasing.
+        // Reachable bank writes = same-cycle read/write port aliasing,
+        // unless every write goes through a documented burst-writer
+        // helper (WRITER_SPAWNS) from its documented enclosing function.
         let mut frontier = called_fns(&masked, open_paren, close + 1, &known);
         let direct_bank_write = acqs.iter().any(|a| {
             a.pos > open_paren
@@ -499,8 +523,7 @@ pub fn analyze_source(src: &str, label: &str, findings: &mut Vec<Finding>) -> Lo
                 && a.mode == LockMode::Write
         });
         let mut visited: Vec<String> = Vec::new();
-        let mut reachable_write = direct_bank_write;
-        let mut via = String::new();
+        let mut write_vias: Vec<String> = Vec::new();
         while let Some(name) = frontier.pop() {
             if visited.contains(&name) {
                 continue;
@@ -510,13 +533,32 @@ pub fn analyze_source(src: &str, label: &str, findings: &mut Vec<Finding>) -> Lo
                 if acqs.iter().any(|a| {
                     a.function == name && a.class == LockClass::Bank && a.mode == LockMode::Write
                 }) {
-                    reachable_write = true;
-                    via = name.clone();
+                    write_vias.push(name.clone());
                 }
                 frontier.extend(called_fns(&masked, f.body_start, f.body_end, &known));
             }
         }
-        if reachable_write {
+        let documented = !direct_bank_write
+            && !write_vias.is_empty()
+            && write_vias
+                .iter()
+                .all(|v| WRITER_SPAWNS.iter().any(|&(f, h)| f == in_fn && h == v));
+        if documented {
+            let loc = format!(
+                "{label}:{spawn_line} in {in_fn} via {}",
+                write_vias.join(",")
+            );
+            findings.push(Finding::new(
+                "locks",
+                Severity::Info,
+                "documented-writer-spawn",
+                loc.clone(),
+                "spawned bank writers route exclusively through a documented \
+                 per-bank burst-writer helper; writers are disjoint by construction",
+            ));
+            graph.writer_spawns.push(loc);
+        } else if direct_bank_write || !write_vias.is_empty() {
+            let via = write_vias.first().cloned().unwrap_or_default();
             findings.push(Finding::new(
                 "locks",
                 Severity::Error,
@@ -622,6 +664,19 @@ pub fn check_graph(graph: &LockGraph, findings: &mut Vec<Finding>) {
              if region compilation changed, update this analyzer and the module docs",
         ));
     }
+    // Documented burst writers: if the helper exists, at least one spawn
+    // must actually route through it — otherwise either the docs or the
+    // WRITER_SPAWNS table has drifted from the source.
+    if graph.has_documented_writer && graph.writer_spawns.is_empty() {
+        findings.push(Finding::new(
+            "locks",
+            Severity::Warning,
+            "protocol-drift",
+            "concurrent.rs",
+            "a documented burst-writer helper (WRITER_SPAWNS) exists but no \
+             spawn site routes through it; update the table or the module docs",
+        ));
+    }
 }
 
 /// Scan `crates/polymem/src/concurrent.rs` under `root` and check it.
@@ -668,6 +723,89 @@ mod tests {
         assert_eq!(graph.edges.len(), 1, "edges: {:#?}", graph.edges);
         assert_eq!(graph.edges[0].from, LockClass::PatternShard);
         assert_eq!(graph.edges[0].to, LockClass::RegionPlans);
+        // Exactly one sanctioned writer spawn: copy_region's per-bank
+        // scatter through scatter_range.
+        assert!(graph.has_documented_writer);
+        assert_eq!(
+            graph.writer_spawns.len(),
+            1,
+            "writer spawns: {:#?}",
+            graph.writer_spawns
+        );
+        assert!(graph.writer_spawns[0].contains("copy_region_with via scatter_range"));
+    }
+
+    #[test]
+    fn undocumented_writer_helper_spawn_is_flagged() {
+        // Reaching a bank write through a helper that is NOT in
+        // WRITER_SPAWNS (here: write_region) stays port aliasing.
+        let injected = format!(
+            "{REAL}\nimpl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {{\n    \
+             fn bad4(&self, r: &Region, v: &[T]) {{\n        crossbeam::scope(|s| {{\n            \
+             s.spawn(move |_| {{ let _ = self.write_region(r, v); }});\n        \
+             }}).unwrap();\n    }}\n}}\n"
+        );
+        let mut findings = Vec::new();
+        let _ = analyze_source(&injected, "concurrent.rs", &mut findings);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.code == "port-aliasing" && f.location.contains("bad4")),
+            "no aliasing reported: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn documented_helper_from_wrong_fn_is_flagged() {
+        // The WRITER_SPAWNS sanction is per enclosing function: spawning
+        // scatter_range from anywhere but copy_region_with is flagged.
+        let injected = format!(
+            "{REAL}\nimpl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {{\n    \
+             fn bad5(&self, p: &RegionPlan, v: &[T]) {{\n        crossbeam::scope(|s| {{\n            \
+             s.spawn(move |_| {{ self.scatter_range(p, 0, 0, v); }});\n        \
+             }}).unwrap();\n    }}\n}}\n"
+        );
+        let mut findings = Vec::new();
+        let _ = analyze_source(&injected, "concurrent.rs", &mut findings);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.code == "port-aliasing" && f.location.contains("bad5")),
+            "no aliasing reported: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn missing_writer_spawn_with_helper_present_is_protocol_drift() {
+        // A graph claiming the helper exists but with no routed spawn must
+        // warn — the documentation table cannot silently rot.
+        let mut graph = LockGraph {
+            functions: 12,
+            has_documented_writer: true,
+            ..LockGraph::default()
+        };
+        graph.acquisitions.push(Acquisition {
+            class: LockClass::PatternShard,
+            mode: LockMode::Read,
+            function: "plan_for".into(),
+            line: 1,
+            held: false,
+            pos: 0,
+            scope_end: 0,
+        });
+        graph.edges.push(LockEdge {
+            from: LockClass::PatternShard,
+            to: LockClass::RegionPlans,
+            location: "x".into(),
+        });
+        let mut findings = Vec::new();
+        check_graph(&graph, &mut findings);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.code == "protocol-drift" && f.message.contains("WRITER_SPAWNS")),
+            "{findings:#?}"
+        );
     }
 
     #[test]

@@ -127,6 +127,16 @@ fn locks_json(graph: &locks::LockGraph) -> Json {
         ),
         ("spawns".into(), Json::UInt(graph.spawns as u64)),
         (
+            "writer_spawns".into(),
+            Json::Arr(
+                graph
+                    .writer_spawns
+                    .iter()
+                    .map(|w| Json::s(w.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
             "edges".into(),
             Json::Arr(
                 graph
