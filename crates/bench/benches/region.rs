@@ -16,9 +16,20 @@
 //! --bench region` to append machine-readable baselines.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use polymem::{AccessScheme, PolyMem, PolyMemConfig, Region, RegionShape};
+use polymem::{AccessScheme, PolyMem, PolyMemConfig, Region, RegionShape, TelemetryRegistry};
+use std::sync::OnceLock;
 use stream_bench::layout::StreamLayout;
 use stream_bench::region_copy::RegionCopy;
+
+/// Shared registry for the instrumented (`region_plan`) memories. Attach is
+/// an upsert, so the exported counters reflect the **last** instrumented
+/// memory — enough for the bench gate to report *why* a region bench
+/// regressed (cache hit rates, conflict-freedom, elements moved). The
+/// snapshot is written to `$TELEMETRY_JSON` after the last group.
+fn registry() -> &'static TelemetryRegistry {
+    static REG: OnceLock<TelemetryRegistry> = OnceLock::new();
+    REG.get_or_init(TelemetryRegistry::new)
+}
 
 fn mem(scheme: AccessScheme) -> PolyMem<u64> {
     let cfg = PolyMemConfig::new(64, 64, 2, 4, scheme, 2).unwrap();
@@ -53,6 +64,9 @@ fn bench_region_read(c: &mut Criterion) {
         for mode in MODES {
             let mut m = mem(AccessScheme::ReRo);
             apply_mode(&mut m, mode);
+            if mode == "region_plan" {
+                m.attach_telemetry(registry());
+            }
             let mut out = vec![0u64; region.len()];
             g.bench_function(BenchmarkId::new(mode, name), |b| {
                 b.iter(|| {
@@ -74,6 +88,9 @@ fn bench_region_copy(c: &mut Criterion) {
     for mode in ["region_plan", "access_plan"] {
         let mut m = mem(AccessScheme::ReRo);
         apply_mode(&mut m, mode);
+        if mode == "region_plan" {
+            m.attach_telemetry(registry());
+        }
         g.bench_function(BenchmarkId::new(mode, "block16x32"), |b| {
             b.iter(|| {
                 m.copy_region(0, black_box(&src), black_box(&dst)).unwrap();
@@ -105,6 +122,11 @@ fn bench_stream_copy(c: &mut Criterion) {
         });
     }
     g.finish();
+    // Last group: export what the instrumented memories saw, so a failing
+    // bench gate can say *why* (see `bench-gate`).
+    if let Ok(path) = std::env::var("TELEMETRY_JSON") {
+        let _ = std::fs::write(&path, registry().snapshot().to_json());
+    }
 }
 
 criterion_group!(

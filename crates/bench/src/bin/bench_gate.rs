@@ -17,7 +17,7 @@
 //! copy of a baseline and watch it fail) and for wiring the gate into
 //! environments where the benches ran in an earlier step.
 
-use polymem_bench::gate::{compare, parse_baseline, resolve_tolerance, Violation};
+use polymem_bench::gate::{best_of, compare, parse_baseline, resolve_tolerance, Violation};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -26,6 +26,13 @@ const GATED_BENCHES: &[(&str, &str)] = &[
     ("region", "BENCH_region.json"),
     ("stream_region", "BENCH_stream_region.json"),
 ];
+
+/// Extra quick-mode reruns allowed per bench target before a violation is
+/// believed. Quick mode takes one sample per bench on a shared CI core, so
+/// a single run can read 2x slow purely from scheduler interference; each
+/// retry folds in via [`best_of`] (min time per ID) and only drops that
+/// survive every attempt fail the gate.
+const MAX_BENCH_RETRIES: usize = 2;
 
 fn fail(msg: &str) -> ! {
     eprintln!("bench-gate: {msg}");
@@ -57,18 +64,60 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Re-run one bench target in quick mode, appending JSONL to `out`.
-fn rerun_bench(root: &Path, bench: &str, out: &Path) {
+/// Re-run one bench target in quick mode, appending JSONL to `out`. The
+/// instrumented benches also dump a telemetry snapshot to `telemetry` (see
+/// `benches/region.rs`), which [`telemetry_context`] renders when the gate
+/// fails.
+fn rerun_bench(root: &Path, bench: &str, out: &Path, telemetry: &Path) {
     let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
         .current_dir(root)
         .args(["bench", "-p", "polymem-bench", "--bench", bench])
         .env("CRITERION_QUICK", "1")
         .env("CRITERION_JSON", out)
+        .env("TELEMETRY_JSON", telemetry)
         .status()
         .unwrap_or_else(|e| fail(&format!("failed to spawn cargo bench --bench {bench}: {e}")));
     if !status.success() {
         fail(&format!("cargo bench --bench {bench} failed: {status}"));
     }
+}
+
+/// Render the telemetry snapshot an instrumented bench dumped, so a FAIL
+/// says *why*: cache hit rates collapsing or conflict-freedom breaking are
+/// the usual culprits behind a region-path throughput drop.
+fn telemetry_context(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let snap = polymem::TelemetrySnapshot::from_json(&text).ok()?;
+    let sum = |name: &str, cache: Option<&str>| -> u64 {
+        snap.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter(|m| cache.is_none_or(|c| m.labels.iter().any(|(k, v)| k == "cache" && v == c)))
+            .filter_map(|m| match m.value {
+                polymem::telemetry::SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    };
+    let mut out = String::new();
+    for cache in ["access", "region"] {
+        let hits = sum("polymem_plan_cache_hits_total", Some(cache));
+        let misses = sum("polymem_plan_cache_misses_total", Some(cache));
+        let total = hits + misses;
+        if total > 0 {
+            out.push_str(&format!(
+                "  {cache}-plan cache: {hits} hits / {misses} misses ({:.1}% hit rate)\n",
+                hits as f64 / total as f64 * 100.0
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  {} elements read, {} written, {} bank conflicts avoided\n",
+        sum("polymem_elements_read_total", None),
+        sum("polymem_elements_written_total", None),
+        sum("polymem_conflicts_avoided_total", None),
+    ));
+    Some(out)
 }
 
 fn main() {
@@ -108,6 +157,7 @@ fn main() {
     );
 
     let mut violations: Vec<Violation> = Vec::new();
+    let mut telemetry_files: Vec<PathBuf> = Vec::new();
     match (baseline_file, from_file) {
         (Some(base), Some(from)) => {
             let b = read_entries(&base);
@@ -127,16 +177,35 @@ fn main() {
                 let baseline_path = root.join(baseline);
                 let b = read_entries(&baseline_path);
                 let fresh_path = std::env::temp_dir().join(format!("bench-gate-{bench}.json"));
+                let telemetry_path =
+                    std::env::temp_dir().join(format!("bench-gate-{bench}-telemetry.json"));
                 let _ = std::fs::remove_file(&fresh_path);
+                let _ = std::fs::remove_file(&telemetry_path);
                 println!("re-running --bench {bench} (quick mode) ...");
-                rerun_bench(&root, bench, &fresh_path);
-                let f = read_entries(&fresh_path);
+                rerun_bench(&root, bench, &fresh_path, &telemetry_path);
+                let mut f = read_entries(&fresh_path);
                 println!(
                     "  {baseline}: {} baseline entries, {} fresh",
                     b.len(),
                     f.len()
                 );
-                violations.extend(compare(&b, &f, tolerance));
+                let mut v = compare(&b, &f, tolerance);
+                for retry in 1..=MAX_BENCH_RETRIES {
+                    if v.is_empty() {
+                        break;
+                    }
+                    println!(
+                        "  {} violation(s); re-running --bench {bench} to filter \
+                         single-sample noise (retry {retry}/{MAX_BENCH_RETRIES}) ...",
+                        v.len()
+                    );
+                    let _ = std::fs::remove_file(&fresh_path);
+                    rerun_bench(&root, bench, &fresh_path, &telemetry_path);
+                    f = best_of(&f, &read_entries(&fresh_path));
+                    v = compare(&b, &f, tolerance);
+                }
+                telemetry_files.push(telemetry_path);
+                violations.extend(v);
             }
         }
         _ => fail("--baseline and --from must be used together"),
@@ -149,6 +218,12 @@ fn main() {
     eprintln!("bench-gate: FAIL ({} violation(s))", violations.len());
     for v in &violations {
         eprintln!("  {v}");
+    }
+    for path in &telemetry_files {
+        if let Some(ctx) = telemetry_context(path) {
+            eprintln!("telemetry from {}:", path.display());
+            eprint!("{ctx}");
+        }
     }
     std::process::exit(1);
 }

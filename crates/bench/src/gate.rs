@@ -116,6 +116,26 @@ pub fn parse_baseline(text: &str) -> Vec<BenchEntry> {
         .collect()
 }
 
+/// Merge two fresh-run result sets, keeping the **faster** entry per
+/// benchmark ID (union of IDs). Quick-mode gate runs are single-sample and
+/// CI boxes are shared: scheduler interference only ever *adds* time, so
+/// the minimum over repeated runs is the noise-robust estimate of what the
+/// code can actually do. `bench-gate` reruns a failing bench target and
+/// folds the results through this before deciding a drop is real.
+pub fn best_of(a: &[BenchEntry], b: &[BenchEntry]) -> Vec<BenchEntry> {
+    let mut by_id: BTreeMap<String, f64> = BTreeMap::new();
+    for e in a.iter().chain(b) {
+        by_id
+            .entry(e.id.clone())
+            .and_modify(|ns| *ns = ns.min(e.ns_per_iter))
+            .or_insert(e.ns_per_iter);
+    }
+    by_id
+        .into_iter()
+        .map(|(id, ns_per_iter)| BenchEntry { id, ns_per_iter })
+        .collect()
+}
+
 /// Compare a fresh run against a committed baseline.
 ///
 /// `tolerance` is the allowed fractional throughput drop: with 0.30, a
@@ -248,6 +268,26 @@ mod tests {
                 id: "g/gone".to_string()
             }]
         );
+    }
+
+    #[test]
+    fn best_of_keeps_the_faster_entry_per_id() {
+        let a = [entry("g/a", 100.0), entry("g/only_a", 7.0)];
+        let b = [entry("g/a", 80.0), entry("g/only_b", 9.0)];
+        let merged = best_of(&a, &b);
+        assert_eq!(
+            merged,
+            vec![
+                entry("g/a", 80.0),
+                entry("g/only_a", 7.0),
+                entry("g/only_b", 9.0)
+            ]
+        );
+        // A noisy first run that trips the gate passes once a clean rerun
+        // is folded in — the bench-gate retry loop in miniature.
+        let base = [entry("g/a", 70.0)];
+        assert_eq!(compare(&base, &a, DEFAULT_TOLERANCE).len(), 1);
+        assert!(compare(&base, &merged, DEFAULT_TOLERANCE).is_empty());
     }
 
     #[test]

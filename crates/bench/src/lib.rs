@@ -10,6 +10,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod gate;
+pub mod telemetry_gate;
 pub mod toolchain;
 
 use fpga_model::{DsePoint, TABLE4_COLUMNS};

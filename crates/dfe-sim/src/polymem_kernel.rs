@@ -10,10 +10,37 @@
 use crate::kernel::{DelayLine, Kernel};
 use crate::stream::StreamRef;
 use crate::trace::Tracer;
+use polymem::telemetry::{Counter, TelemetryRegistry};
 use polymem::{ParallelAccess, PolyMem, PolyMemConfig, PolyMemError, Region};
+use std::cell::Cell;
+use std::rc::Rc;
 
 /// The read latency of the paper's synthesized design, in cycles.
 pub const PAPER_READ_LATENCY: u64 = 14;
+
+/// Cycle/stall attribution counters: every [`PolyMemKernel::tick`] lands in
+/// **exactly one** of these buckets, so their sum always equals the number
+/// of ticks — the invariant `polymem-top` checks (±0) when it renders a
+/// stall breakdown. Classification priority, highest first:
+///
+/// 1. `active` — the datapath made progress (a request was consumed or a
+///    result delivered);
+/// 2. `contention` — requests are queued but the datapath could not serve
+///    them (a burst occupies port 0 or the write path, or a response FIFO
+///    is backed up);
+/// 3. `pipeline` — nothing queued, but reads or bursts are still in flight
+///    inside the fixed-latency pipeline;
+/// 4. `pcie` — the kernel is empty and an upstream host-link pacer (see
+///    [`PolyMemKernel::set_pcie_flag`]) reports it is withholding data;
+/// 5. `idle` — nothing to do at all.
+#[derive(Debug)]
+struct CycleAttribution {
+    active: Counter,
+    contention: Counter,
+    pipeline: Counter,
+    pcie: Counter,
+    idle: Counter,
+}
 
 /// A read request on a port.
 pub type ReadRequest = ParallelAccess;
@@ -87,6 +114,11 @@ pub struct PolyMemKernel {
     errors: Vec<PolyMemError>,
     reads_served: u64,
     writes_served: u64,
+    /// Cycle attribution counters, when telemetry is attached.
+    attribution: Option<CycleAttribution>,
+    /// Set by an upstream host-link kernel while it is pacing (withholding
+    /// data for PCIe arrival timing); distinguishes `pcie` from `idle`.
+    pcie_waiting: Option<Rc<Cell<bool>>>,
 }
 
 impl PolyMemKernel {
@@ -136,7 +168,74 @@ impl PolyMemKernel {
             errors: Vec::new(),
             reads_served: 0,
             writes_served: 0,
+            attribution: None,
+            pcie_waiting: None,
         })
+    }
+
+    /// Register this kernel's cycle-attribution counters
+    /// (`dfe_kernel_cycles_total{kernel=<name>, state=...}`, see
+    /// [`CycleAttribution`]'s classification rules) with `registry`, and
+    /// wire the wrapped memory's datapath counters into the same registry.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry) {
+        let state = |s: &str| vec![("kernel", self.name.clone()), ("state", s.to_string())];
+        self.attribution = Some(CycleAttribution {
+            active: registry.counter("dfe_kernel_cycles_total", state("active")),
+            contention: registry.counter("dfe_kernel_cycles_total", state("contention")),
+            pipeline: registry.counter("dfe_kernel_cycles_total", state("pipeline")),
+            pcie: registry.counter("dfe_kernel_cycles_total", state("pcie")),
+            idle: registry.counter("dfe_kernel_cycles_total", state("idle")),
+        });
+        self.mem.attach_telemetry(registry);
+    }
+
+    /// Share a pacing flag with an upstream host-link kernel: while the flag
+    /// is true and this kernel is otherwise empty, stall cycles are
+    /// attributed to `pcie` instead of `idle`.
+    pub fn set_pcie_flag(&mut self, flag: Rc<Cell<bool>>) {
+        self.pcie_waiting = Some(flag);
+    }
+
+    fn has_queued_requests(&self) -> bool {
+        self.read_req.iter().any(|s| !s.borrow().is_empty())
+            || !self.write_req.borrow().is_empty()
+            || self
+                .region_req
+                .as_ref()
+                .is_some_and(|s| !s.borrow().is_empty())
+            || self
+                .region_write_req
+                .as_ref()
+                .is_some_and(|s| !s.borrow().is_empty())
+            || self
+                .region_copy_req
+                .as_ref()
+                .is_some_and(|s| !s.borrow().is_empty())
+    }
+
+    fn has_inflight(&self) -> bool {
+        self.pipelines.iter().any(|p| !p.is_empty())
+            || self.region_inflight.is_some()
+            || self.copy_inflight.is_some()
+    }
+
+    /// Land this tick in exactly one attribution bucket (see
+    /// [`CycleAttribution`] for the priority order).
+    fn attribute_cycle(&self, progress: bool) {
+        let Some(att) = &self.attribution else {
+            return;
+        };
+        if progress {
+            att.active.inc();
+        } else if self.has_queued_requests() {
+            att.contention.inc();
+        } else if self.has_inflight() {
+            att.pipeline.inc();
+        } else if self.pcie_waiting.as_ref().is_some_and(|f| f.get()) {
+            att.pcie.inc();
+        } else {
+            att.idle.inc();
+        }
     }
 
     /// The configured read latency in cycles.
@@ -211,7 +310,9 @@ impl PolyMemKernel {
 
     fn trace_burst(&self, cycle: u64, kind: &str, len: usize) {
         if let Some(t) = &self.tracer {
-            t.record(cycle, self.name.clone(), format!("burst:{kind} len={len}"));
+            // Lazy record: a disabled tracer costs one flag check — no
+            // clone of the kernel name, no format!.
+            t.record_with(cycle, &self.name, || format!("burst:{kind} len={len}"));
         }
     }
 
@@ -273,6 +374,9 @@ impl Kernel for PolyMemKernel {
     }
 
     fn tick(&mut self, cycle: u64) {
+        // Whether the datapath makes progress this tick (for attribution:
+        // any consumed request or delivered result counts).
+        let mut progress = false;
         // 1. Deliver read results whose latency has elapsed (head-of-line;
         //    stalls if the response FIFO is full, as the stream interconnect
         //    would).
@@ -280,6 +384,7 @@ impl Kernel for PolyMemKernel {
             if resp.borrow().can_push() {
                 if let Some(data) = pipe.pop_ready(cycle) {
                     resp.borrow_mut().push(data);
+                    progress = true;
                 }
             }
         }
@@ -297,6 +402,7 @@ impl Kernel for PolyMemKernel {
             if cycle >= ready && can_push {
                 let (_, data) = self.region_inflight.take().unwrap();
                 self.region_resp.as_ref().unwrap().borrow_mut().push(data);
+                progress = true;
             }
         }
         let mut region_busy = matches!(&self.region_inflight,
@@ -304,6 +410,7 @@ impl Kernel for PolyMemKernel {
         if self.region_inflight.is_none() && cycle >= self.copy_busy_until {
             if let Some(req) = &self.region_req {
                 if let Some(region) = req.borrow_mut().pop() {
+                    progress = true;
                     match self.mem.read_region(0, &region) {
                         Ok(data) => {
                             let lanes = self.mem.config().lanes();
@@ -337,6 +444,7 @@ impl Kernel for PolyMemKernel {
                     .unwrap()
                     .borrow_mut()
                     .push(moved);
+                progress = true;
             }
         }
         if self.copy_inflight.is_none()
@@ -346,6 +454,7 @@ impl Kernel for PolyMemKernel {
         {
             if let Some(req) = &self.region_copy_req {
                 if let Some((src, dst)) = req.borrow_mut().pop() {
+                    progress = true;
                     match self.mem.copy_region(0, &src, &dst) {
                         Ok(()) => {
                             let lanes = self.mem.config().lanes();
@@ -371,6 +480,7 @@ impl Kernel for PolyMemKernel {
         if cycle >= self.write_busy_until {
             if let Some(req) = &self.region_write_req {
                 if let Some((region, values)) = req.borrow_mut().pop() {
+                    progress = true;
                     match self.mem.write_region(&region, &values) {
                         Ok(()) => {
                             let lanes = self.mem.config().lanes();
@@ -403,6 +513,7 @@ impl Kernel for PolyMemKernel {
             }
             let req = self.read_req[port].borrow_mut().pop();
             if let Some(access) = req {
+                progress = true;
                 match self.mem.read_into(port, access, &mut self.scratch) {
                     Ok(()) => {
                         self.pipelines[port].push(cycle, self.scratch.clone());
@@ -417,12 +528,14 @@ impl Kernel for PolyMemKernel {
         if cycle >= self.write_busy_until {
             let w = self.write_req.borrow_mut().pop();
             if let Some((access, data)) = w {
+                progress = true;
                 match self.mem.write(access, &data) {
                     Ok(()) => self.writes_served += 1,
                     Err(e) => self.errors.push(e),
                 }
             }
         }
+        self.attribute_cycle(progress);
     }
 
     fn is_idle(&self) -> bool {
@@ -813,6 +926,117 @@ mod tests {
         assert_eq!(k.errors().len(), 1);
         assert_eq!(k.region_reads_served(), 0);
         assert!(gs.borrow().is_empty());
+    }
+
+    #[test]
+    fn cycle_attribution_sums_to_ticks_exactly() {
+        use polymem::telemetry::TelemetryRegistry;
+        use std::cell::Cell;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let rq = vec![stream("rq", 8)];
+        let rs = vec![stream("rs", 8)];
+        let wq = stream("wq", 8);
+        let mut k =
+            PolyMemKernel::new("pm", cfg, 4, rq.clone(), rs.clone(), Rc::clone(&wq)).unwrap();
+        let reg = TelemetryRegistry::new();
+        k.attach_telemetry(&reg);
+        let pacing = Rc::new(Cell::new(false));
+        k.set_pcie_flag(Rc::clone(&pacing));
+
+        // Cycle 0: write commits (active). Cycle 1: read issues (active).
+        // Cycles 2..5: the read drains the 4-cycle pipeline (pipeline).
+        // Cycle 5: delivery (active). Cycles 6..8: idle. Cycles 9..11: the
+        // pacer withholds data (pcie).
+        wq.borrow_mut()
+            .push((ParallelAccess::row(0, 0), vec![7; 8]));
+        k.tick(0);
+        rq[0].borrow_mut().push(ParallelAccess::row(0, 0));
+        for c in 1..9 {
+            k.tick(c);
+        }
+        pacing.set(true);
+        for c in 9..12 {
+            k.tick(c);
+        }
+        pacing.set(false);
+
+        let snap = reg.snapshot();
+        let cycles = |state: &str| {
+            snap.counter_value(
+                "dfe_kernel_cycles_total",
+                &[("kernel", "pm"), ("state", state)],
+            )
+            .unwrap()
+        };
+        let (active, contention, pipeline, pcie, idle) = (
+            cycles("active"),
+            cycles("contention"),
+            cycles("pipeline"),
+            cycles("pcie"),
+            cycles("idle"),
+        );
+        assert_eq!(
+            active + contention + pipeline + pcie + idle,
+            12,
+            "every tick lands in exactly one bucket"
+        );
+        assert_eq!(active, 3, "write, read issue, read delivery");
+        assert_eq!(pipeline, 3, "latency drain cycles 2..5");
+        assert_eq!(pcie, 3, "pacer-flagged cycles");
+        assert_eq!(idle, 3);
+        assert_eq!(contention, 0);
+        // The wrapped memory's datapath counters ride the same registry.
+        assert!(snap
+            .counter_value("polymem_uniform_accesses_total", &[])
+            .is_some_and(|v| v >= 2));
+    }
+
+    #[test]
+    fn attribution_counts_burst_contention() {
+        use polymem::telemetry::TelemetryRegistry;
+        use polymem::RegionShape;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let wq = stream("wq", 8);
+        let bq = stream("bq", 8);
+        let mut k = PolyMemKernel::new(
+            "pm",
+            cfg,
+            2,
+            vec![stream("rq", 8)],
+            vec![stream("rs", 8)],
+            Rc::clone(&wq),
+        )
+        .unwrap();
+        k.attach_region_write_port(Rc::clone(&bq));
+        let reg = TelemetryRegistry::new();
+        k.attach_telemetry(&reg);
+        // A 4-access-cycle burst plus a queued per-access write: the write
+        // stalls behind the burst for cycles 1..3 (contention), lands at 4.
+        let region = Region::new("b", 2, 0, RegionShape::Block { rows: 4, cols: 8 });
+        bq.borrow_mut().push((region, (0..32).collect()));
+        wq.borrow_mut()
+            .push((ParallelAccess::row(0, 0), vec![9; 8]));
+        for c in 0..5 {
+            k.tick(c);
+        }
+        let snap = reg.snapshot();
+        let cycles = |state: &str| {
+            snap.counter_value(
+                "dfe_kernel_cycles_total",
+                &[("kernel", "pm"), ("state", state)],
+            )
+            .unwrap()
+        };
+        assert_eq!(cycles("active"), 2, "burst accept + stalled write landing");
+        assert_eq!(cycles("contention"), 3, "write blocked behind the burst");
+        assert_eq!(
+            cycles("active")
+                + cycles("contention")
+                + cycles("pipeline")
+                + cycles("pcie")
+                + cycles("idle"),
+            5
+        );
     }
 
     #[test]

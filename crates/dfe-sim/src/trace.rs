@@ -7,9 +7,12 @@
 //! peak occupancy proxies) for bottleneck hunting.
 
 use crate::stream::StreamRef;
+use polymem::telemetry::{Counter, TelemetryRegistry};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,6 +37,32 @@ struct TraceBuf {
     capacity: usize,
     dropped: u64,
     enabled: bool,
+    bridge: Option<TelemetryBridge>,
+}
+
+/// Counts recorded events into a [`TelemetryRegistry`] as
+/// `dfe_trace_events_total{source=...}`. One counter handle is registered
+/// per distinct source on first sight; subsequent records are a map lookup
+/// plus an atomic add.
+#[derive(Debug)]
+struct TelemetryBridge {
+    registry: Arc<TelemetryRegistry>,
+    counters: HashMap<String, Counter>,
+}
+
+impl TelemetryBridge {
+    fn count(&mut self, source: &str) {
+        if let Some(c) = self.counters.get(source) {
+            c.inc();
+            return;
+        }
+        let c = self.registry.counter(
+            "dfe_trace_events_total",
+            vec![("source", source.to_string())],
+        );
+        c.inc();
+        self.counters.insert(source.to_string(), c);
+    }
 }
 
 impl Tracer {
@@ -45,6 +74,7 @@ impl Tracer {
                 capacity,
                 dropped: 0,
                 enabled: true,
+                bridge: None,
             })),
         }
     }
@@ -59,16 +89,48 @@ impl Tracer {
             b.events.pop_front();
             b.dropped += 1;
         }
+        let source = source.into();
+        if let Some(bridge) = &mut b.bridge {
+            bridge.count(&source);
+        }
         b.events.push_back(TraceEvent {
             cycle,
-            source: source.into(),
+            source,
             event: event.into(),
         });
+    }
+
+    /// Record an event whose description is built lazily: `event` runs only
+    /// when the tracer is enabled, so hot paths pay a single flag check —
+    /// no `format!`, no clone — while tracing is off.
+    pub fn record_with(&self, cycle: u64, source: &str, event: impl FnOnce() -> String) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(cycle, source.to_string(), event());
+    }
+
+    /// Whether recording is currently enabled (the fast check
+    /// [`Self::record_with`] performs before building an event).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
     }
 
     /// Enable or disable recording.
     pub fn set_enabled(&self, on: bool) {
         self.inner.borrow_mut().enabled = on;
+    }
+
+    /// Mirror every recorded event into `registry` as
+    /// `dfe_trace_events_total{source=...}` (counts only; the event text
+    /// stays in the trace buffer). Events recorded while disabled are not
+    /// counted, matching the buffer's behaviour.
+    pub fn bridge_registry(&self, registry: Arc<TelemetryRegistry>) {
+        self.inner.borrow_mut().bridge = Some(TelemetryBridge {
+            registry,
+            counters: HashMap::new(),
+        });
     }
 
     /// All retained events, oldest first.
@@ -280,5 +342,47 @@ mod tests {
         let t2 = t.clone();
         t.record(0, "k", "from t");
         assert_eq!(t2.events().len(), 1);
+    }
+
+    #[test]
+    fn record_with_builds_lazily() {
+        let t = Tracer::new(8);
+        t.set_enabled(false);
+        let mut built = false;
+        t.record_with(0, "k", || {
+            built = true;
+            "hidden".into()
+        });
+        assert!(!built, "closure must not run while disabled");
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        t.set_enabled(true);
+        t.record_with(1, "k", || "visible".into());
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].event, "visible");
+    }
+
+    #[test]
+    fn bridge_counts_events_by_source() {
+        use polymem::telemetry::TelemetryRegistry;
+        use std::sync::Arc;
+        let reg = Arc::new(TelemetryRegistry::new());
+        let t = Tracer::new(8);
+        t.bridge_registry(Arc::clone(&reg));
+        t.record(0, "pm", "a");
+        t.record(1, "pm", "b");
+        t.record(2, "loader", "c");
+        t.set_enabled(false);
+        t.record(3, "pm", "suppressed");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("dfe_trace_events_total", &[("source", "pm")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("dfe_trace_events_total", &[("source", "loader")]),
+            Some(1)
+        );
     }
 }

@@ -91,6 +91,15 @@ impl VcdRecorder {
         out
     }
 
+    /// Sample a telemetry gauge (e.g. a FIFO-occupancy gauge) as a signal
+    /// value, clamping negative readings to zero — waveform viewers show
+    /// unsigned wires. Declare the signal first, as with [`Self::sample`].
+    /// In a `telemetry-off` build the gauge always reads zero, so the
+    /// waveform simply flatlines.
+    pub fn sample_metric(&mut self, name: &str, cycle: u64, gauge: &polymem::telemetry::Gauge) {
+        self.sample(name, cycle, gauge.get().max(0) as u64);
+    }
+
     /// Number of declared signals.
     pub fn signal_count(&self) -> usize {
         self.signals.len()
@@ -181,6 +190,24 @@ mod tests {
         v.declare("s", 8);
         v.declare("s", 8);
         assert_eq!(v.signal_count(), 1);
+    }
+
+    #[test]
+    fn sample_metric_tracks_a_gauge() {
+        use polymem::telemetry::TelemetryRegistry;
+        let reg = TelemetryRegistry::new();
+        let occ = reg.gauge("fifo_occupancy", vec![("stream", "out".to_string())]);
+        let mut v = VcdRecorder::new();
+        v.declare("occupancy", 16);
+        for c in 0..4u64 {
+            occ.add(2);
+            v.sample_metric("occupancy", c, &occ);
+        }
+        occ.add(-100); // clamped to zero in the waveform
+        v.sample_metric("occupancy", 5, &occ);
+        let doc = v.render("m", 8.0);
+        assert!(doc.contains("b1000 "), "gauge value 8 sampled: {doc}");
+        assert!(doc.contains("b0 "), "negative reading clamps to 0");
     }
 
     #[test]

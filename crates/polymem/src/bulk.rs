@@ -72,6 +72,9 @@ impl<T: Copy + Default> PolyMem<T> {
             }
             self.stats.reads += plan.accesses as u64;
             self.stats.elements_read += plan.len() as u64;
+            if let Some(t) = &self.tlm {
+                t.region_read(port, plan.accesses, plan.len());
+            }
             return Ok(());
         }
         // Per-access oracle path: one parallel read per access, lanes
@@ -115,6 +118,9 @@ impl<T: Copy + Default> PolyMem<T> {
             }
             self.stats.writes += plan.accesses as u64;
             self.stats.elements_written += plan.len() as u64;
+            if let Some(t) = &self.tlm {
+                t.region_write(plan.accesses, plan.len());
+            }
             return Ok(());
         }
         let cfg = *self.config();
@@ -171,6 +177,10 @@ impl<T: Copy + Default> PolyMem<T> {
             self.stats.writes += dp.accesses as u64;
             self.stats.elements_read += sp.len() as u64;
             self.stats.elements_written += dp.len() as u64;
+            if let Some(t) = &self.tlm {
+                t.region_read(port, sp.accesses, sp.len());
+                t.region_write(dp.accesses, dp.len());
+            }
             return Ok(());
         }
         let cfg = *self.config();

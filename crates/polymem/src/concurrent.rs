@@ -44,6 +44,7 @@ use crate::plan::{AccessPlan, PlanCache, PlanCacheStats};
 use crate::region::Region;
 use crate::region_plan::{RegionPlan, RegionPlanCache, RegionPlanCacheStats};
 use crate::scheme::{AccessPattern, ParallelAccess};
+use crate::telemetry::{Counter, TelemetryRegistry};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -51,6 +52,87 @@ use std::sync::Arc;
 /// Below this many elements a region read is gathered serially: spawning
 /// port threads costs more than the gather itself.
 const PARALLEL_REGION_MIN: usize = 256;
+
+/// Telemetry handles for a [`ConcurrentPolyMem`] (attached via
+/// [`ConcurrentPolyMem::attach_telemetry`]).
+///
+/// Counters are [`Counter`]s — plain `Relaxed` atomics — so any port
+/// thread may bump them through `&self`, including the spawned bank
+/// writers of a region burst while they hold their bank's write guard
+/// (an atomic add can never interact with the lock order). Per-bank
+/// element counts exploit the conflict-freedom theorem exactly like
+/// [`crate::mem::PolyMem`]'s: a single parallel access touches every
+/// bank once, so singles bump one shared `uniform` base that the
+/// registry folds into every bank's exported sample; only region bursts
+/// add per-bank extras (one add per bank per region, not per element).
+#[derive(Debug)]
+struct ConcTelemetry {
+    reads: Counter,
+    writes: Counter,
+    elements_read: Counter,
+    elements_written: Counter,
+    conflicts_avoided: Counter,
+    uniform: Counter,
+    bank_elems: Vec<Counter>,
+}
+
+impl ConcTelemetry {
+    /// One conflict-free parallel read of `lanes` elements.
+    #[inline]
+    fn single_read(&self, lanes: usize) {
+        self.reads.inc();
+        self.elements_read.add(lanes as u64);
+        self.uniform.inc();
+        self.conflicts_avoided.add(lanes as u64 - 1);
+    }
+
+    /// One conflict-free parallel write of `lanes` elements.
+    #[inline]
+    fn single_write(&self, lanes: usize) {
+        self.writes.inc();
+        self.elements_written.add(lanes as u64);
+        self.uniform.inc();
+        self.conflicts_avoided.add(lanes as u64 - 1);
+    }
+
+    /// A region gather of `len` elements in `accesses` conflict-free
+    /// accesses. Each bank owns exactly `accesses` of the region's
+    /// elements (rectangular cover), so the per-bank adds are uniform.
+    fn region_read(&self, accesses: usize, len: usize) {
+        self.reads.add(accesses as u64);
+        self.elements_read.add(len as u64);
+        self.conflicts_avoided.add((len - accesses) as u64);
+        for bank in &self.bank_elems {
+            bank.add(accesses as u64);
+        }
+    }
+
+    /// Aggregate counters of a region scatter. Per-bank element counts are
+    /// *not* added here — the bank-guard scopes that actually drain each
+    /// bank call [`Self::bank_batch`] (or [`Self::region_write_banks`] on
+    /// the interleaved path, which has no batched guards).
+    fn region_write(&self, accesses: usize, len: usize) {
+        self.writes.add(accesses as u64);
+        self.elements_written.add(len as u64);
+        self.conflicts_avoided.add((len - accesses) as u64);
+    }
+
+    /// Per-bank element adds for a region scatter that does not go through
+    /// batched bank guards (the overlap-interleaved copy path).
+    fn region_write_banks(&self, accesses: usize) {
+        for bank in &self.bank_elems {
+            bank.add(accesses as u64);
+        }
+    }
+
+    /// Count `n` elements drained into bank `b`. Called while the bank's
+    /// write guard is held: a single `Relaxed` atomic add, lock-free and
+    /// panic-free by construction (verified statically by polymem-verify).
+    #[inline]
+    fn bank_batch(&self, b: usize, n: u64) {
+        self.bank_elems[b].add(n);
+    }
+}
 
 /// A PolyMem whose ports can be driven from multiple threads through `&self`.
 #[derive(Debug)]
@@ -69,6 +151,9 @@ pub struct ConcurrentPolyMem<T> {
     /// plans through the pattern shard).
     region_plans: RwLock<RegionPlanCache>,
     planning: AtomicBool,
+    /// Telemetry handles, when attached. `None` costs one branch per
+    /// operation and nothing else.
+    tlm: Option<ConcTelemetry>,
 }
 
 impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
@@ -88,7 +173,52 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             plans: std::array::from_fn(|_| RwLock::new(PlanCache::new(config.lanes(), depth))),
             region_plans: RwLock::new(RegionPlanCache::new(config.lanes())),
             planning: AtomicBool::new(true),
+            tlm: None,
         })
+    }
+
+    /// Register this memory's datapath counters with `registry` and start
+    /// counting. Exported metrics are prefixed `polymem_conc_` (aggregate
+    /// reads/writes/elements/conflicts-avoided, per-bank element counts)
+    /// plus the plan-cache counters of every pattern shard
+    /// (`cache="conc-<pattern>"`) and the region-plan cache
+    /// (`cache="conc-region"`). Takes `&mut self`, so attachment happens
+    /// while no port threads are running; counting itself is `&self` and
+    /// thread-safe.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry) {
+        let lanes = self.config.lanes();
+        let uniform = registry.counter("polymem_conc_uniform_accesses_total", Vec::new());
+        let bank_elems = (0..lanes)
+            .map(|b| {
+                registry.counter_with_base(
+                    "polymem_conc_bank_elements_total",
+                    vec![("bank", b.to_string())],
+                    &uniform,
+                )
+            })
+            .collect();
+        self.tlm = Some(ConcTelemetry {
+            reads: registry.counter("polymem_conc_reads_total", Vec::new()),
+            writes: registry.counter("polymem_conc_writes_total", Vec::new()),
+            elements_read: registry.counter("polymem_conc_elements_read_total", Vec::new()),
+            elements_written: registry.counter("polymem_conc_elements_written_total", Vec::new()),
+            conflicts_avoided: registry.counter("polymem_conc_conflicts_avoided_total", Vec::new()),
+            uniform,
+            bank_elems,
+        });
+        for (i, shard) in self.plans.iter_mut().enumerate() {
+            let label = vec![("cache", format!("conc-{}", AccessPattern::ALL[i].name()))];
+            shard.get_mut().register_telemetry(registry, label);
+        }
+        self.region_plans
+            .get_mut()
+            .register_telemetry(registry, vec![("cache", "conc-region".to_string())]);
+    }
+
+    /// Stop counting into a previously attached registry (already exported
+    /// values stay visible there).
+    pub fn detach_telemetry(&mut self) {
+        self.tlm = None;
     }
 
     /// The configuration.
@@ -178,6 +308,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             for (&bank, &delta) in plan.banks.iter().zip(&plan.deltas) {
                 out.push(self.banks[bank as usize].read()[(base + delta) as usize]);
             }
+            if let Some(t) = &self.tlm {
+                t.single_read(out.len());
+            }
             return Ok(out);
         }
         let coords = self.agu.expand(access)?;
@@ -186,6 +319,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             let bank = self.maf.assign_linear(i, j);
             let addr = self.afn.address(i, j);
             out.push(self.banks[bank].read()[addr]);
+        }
+        if let Some(t) = &self.tlm {
+            t.single_read(out.len());
         }
         Ok(out)
     }
@@ -208,6 +344,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             for ((&bank, &delta), &v) in plan.banks.iter().zip(&plan.deltas).zip(data) {
                 self.banks[bank as usize].write()[(base + delta) as usize] = v;
             }
+            if let Some(t) = &self.tlm {
+                t.single_write(lanes);
+            }
             return Ok(());
         }
         let coords = self.agu.expand(access)?;
@@ -215,6 +354,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             let bank = self.maf.assign_linear(i, j);
             let addr = self.afn.address(i, j);
             self.banks[bank].write()[addr] = v;
+        }
+        if let Some(t) = &self.tlm {
+            t.single_write(lanes);
         }
         Ok(())
     }
@@ -227,6 +369,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
     pub fn read_region(&self, region: &Region) -> Result<Vec<T>> {
         let plan = self.region_plan_for(region)?;
         plan.check_bounds(region, self.config.rows, self.config.cols)?;
+        if let Some(t) = &self.tlm {
+            t.region_read(plan.accesses, plan.len());
+        }
         let base = self.afn.address(region.i, region.j) as isize;
         let len = plan.len();
         let mut out = vec![T::default(); len];
@@ -269,6 +414,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         }
         let plan = self.region_plan_for(region)?;
         plan.check_bounds(region, self.config.rows, self.config.cols)?;
+        if let Some(t) = &self.tlm {
+            t.region_write(plan.accesses, plan.len());
+        }
         let base = self.afn.address(region.i, region.j) as isize;
         for (b, bank) in self.banks.iter().enumerate().take(plan.lanes) {
             let elems = &plan.bank_elems[b * plan.accesses..(b + 1) * plan.accesses];
@@ -276,6 +424,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             for &c in elems {
                 let c = c as usize;
                 guard[(base + plan.deltas[c]) as usize] = values[c];
+            }
+            if let Some(t) = &self.tlm {
+                t.bank_batch(b, elems.len() as u64);
             }
         }
         Ok(())
@@ -309,7 +460,16 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         dp.check_bounds(dst, self.config.rows, self.config.cols)?;
         let sbase = self.afn.address(src.i, src.j) as isize;
         let dbase = self.afn.address(dst.i, dst.j) as isize;
+        if let Some(t) = &self.tlm {
+            t.region_read(sp.accesses, sp.len());
+            t.region_write(dp.accesses, dp.len());
+        }
         if regions_overlap(src, dst) {
+            if let Some(t) = &self.tlm {
+                // No batched bank guards on this path: count the scatter's
+                // per-bank elements here (each access hits each bank once).
+                t.region_write_banks(dp.accesses);
+            }
             return self.copy_interleaved(&sp, sbase, &dp, dbase, scratch);
         }
         let len = sp.len();
@@ -356,6 +516,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         for &c in elems {
             let c = c as usize;
             guard[(base + plan.deltas[c]) as usize] = values[c];
+        }
+        if let Some(t) = &self.tlm {
+            t.bank_batch(b, elems.len() as u64);
         }
     }
 

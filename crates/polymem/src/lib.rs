@@ -70,6 +70,7 @@ pub mod region;
 pub mod region_plan;
 pub mod scheme;
 pub mod shuffle;
+pub mod telemetry;
 pub mod theory;
 
 pub use addressing::AddressingFunction;
@@ -89,6 +90,10 @@ pub use region::{Region, RegionShape};
 pub use region_plan::{RegionPlan, RegionPlanCache, RegionPlanCacheStats, RegionPlanKey};
 pub use scheme::{AccessPattern, AccessScheme, ParallelAccess};
 pub use shuffle::Crossbar;
+pub use telemetry::{
+    Counter, Gauge, Histogram, Label, MetricSample, SampleValue, StatCounter, TelemetryRegistry,
+    TelemetrySnapshot,
+};
 
 /// Glob-import convenience: `use polymem::prelude::*;` brings in the types
 /// nearly every user needs.

@@ -23,6 +23,7 @@ use crate::plan::{PlanCache, PlanCacheStats};
 use crate::region_plan::{RegionPlanCache, RegionPlanCacheStats};
 use crate::scheme::{AccessPattern, ParallelAccess};
 use crate::shuffle::Crossbar;
+use crate::telemetry::{Counter, TelemetryRegistry};
 
 /// Running counters of memory activity, for benchmarks and reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +36,82 @@ pub struct AccessStats {
     pub elements_read: u64,
     /// Elements stored by writes.
     pub elements_written: u64,
+}
+
+/// Telemetry handles for one [`PolyMem`], populated by
+/// [`PolyMem::attach_telemetry`]. Each field is a pre-resolved registry
+/// handle, so the hot-path cost of an instrumented access is a handful of
+/// `Relaxed` atomic adds — no locks, no allocation, no panicking
+/// construct.
+///
+/// Per-bank counters exploit the conflict-freedom theorem: every
+/// full-lane access touches each bank exactly once, and every region plan
+/// gives each bank exactly `accesses` elements. So the hot paths bump two
+/// *shared* bases — `uniform_accesses` for single accesses,
+/// `region_accesses` for region ops — and the registry folds both into
+/// every bank's exported sample. No per-bank loop on any hot path.
+///
+/// All updates use the `*_owned` single-writer counter ops (plain
+/// load/store, no `lock` prefix): every call here happens under the
+/// owning `PolyMem`'s `&mut self`, so writes are serialized by
+/// construction. The concurrent wrapper keeps its own RMW counters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MemTelemetry {
+    /// Parallel read accesses, per read port.
+    port_reads: Vec<Counter>,
+    /// Parallel write accesses through the write port.
+    writes: Counter,
+    /// Elements delivered by reads.
+    elements_read: Counter,
+    /// Elements stored by writes.
+    elements_written: Counter,
+    /// Full-lane single accesses (reads + writes): the uniform per-bank
+    /// base — each such access lands one element in every bank.
+    uniform_accesses: Counter,
+    /// Per-bank elements added by region operations (each region op lands
+    /// `accesses` elements in every bank): the second per-bank base.
+    region_accesses: Counter,
+    /// Serialized bank cycles avoided by conflict-free banking
+    /// (`lanes - 1` per access; `len - accesses` per region op).
+    conflicts_avoided: Counter,
+}
+
+impl MemTelemetry {
+    #[inline]
+    fn single_read(&self, port: usize, lanes: usize) {
+        if let Some(c) = self.port_reads.get(port) {
+            c.inc_owned();
+        }
+        self.elements_read.add_owned(lanes as u64);
+        self.uniform_accesses.inc_owned();
+        self.conflicts_avoided.add_owned(lanes as u64 - 1);
+    }
+
+    #[inline]
+    fn single_write(&self, lanes: usize) {
+        self.writes.inc_owned();
+        self.elements_written.add_owned(lanes as u64);
+        self.uniform_accesses.inc_owned();
+        self.conflicts_avoided.add_owned(lanes as u64 - 1);
+    }
+
+    #[inline]
+    pub(crate) fn region_read(&self, port: usize, accesses: usize, len: usize) {
+        if let Some(c) = self.port_reads.get(port) {
+            c.add_owned(accesses as u64);
+        }
+        self.elements_read.add_owned(len as u64);
+        self.conflicts_avoided.add_owned((len - accesses) as u64);
+        self.region_accesses.add_owned(accesses as u64);
+    }
+
+    #[inline]
+    pub(crate) fn region_write(&self, accesses: usize, len: usize) {
+        self.writes.add_owned(accesses as u64);
+        self.elements_written.add_owned(len as u64);
+        self.conflicts_avoided.add_owned((len - accesses) as u64);
+        self.region_accesses.add_owned(accesses as u64);
+    }
 }
 
 /// A polymorphic parallel memory instance.
@@ -77,6 +154,10 @@ pub struct PolyMem<T> {
     /// independent so benchmarks can compare region-planned vs per-access
     /// planned vs fully interpreted.
     pub(crate) region_planning: bool,
+    /// Registry handles when telemetry is attached (see
+    /// [`Self::attach_telemetry`]); `None` keeps the hot path at a single
+    /// branch.
+    pub(crate) tlm: Option<MemTelemetry>,
 }
 
 impl<T: Copy + Default> PolyMem<T> {
@@ -106,6 +187,7 @@ impl<T: Copy + Default> PolyMem<T> {
             planning: true,
             region_plans: RegionPlanCache::new(lanes),
             region_planning: true,
+            tlm: None,
         })
     }
 
@@ -181,6 +263,57 @@ impl<T: Copy + Default> PolyMem<T> {
     /// Drop all compiled region plans (they recompile lazily on next use).
     pub fn clear_region_plans(&mut self) {
         self.region_plans.clear();
+    }
+
+    /// Register this memory's datapath metrics in `registry` and start
+    /// recording into them: per-port access counters, per-bank element
+    /// counters (`polymem_bank_elements_total{bank=..}`), element totals,
+    /// conflicts avoided, and the plan / region-plan cache counters
+    /// (`polymem_plan_cache_*_total{cache=..}` — live views of the same
+    /// cells `plan_stats()` reads).
+    ///
+    /// Attachment is idempotent (same metric keys re-register) and cheap
+    /// to leave off: unattached memories pay one `Option` branch per
+    /// access. A cloned `PolyMem` shares its telemetry handles with the
+    /// original; call `attach_telemetry` on the clone to rebind it.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry) {
+        let uniform = registry.counter("polymem_uniform_accesses_total", vec![]);
+        let region_accesses = registry.counter("polymem_region_accesses_total", vec![]);
+        let mut t = MemTelemetry {
+            uniform_accesses: uniform.clone(),
+            region_accesses: region_accesses.clone(),
+            writes: registry.counter("polymem_writes_total", vec![]),
+            elements_read: registry.counter("polymem_elements_read_total", vec![]),
+            elements_written: registry.counter("polymem_elements_written_total", vec![]),
+            conflicts_avoided: registry.counter("polymem_conflicts_avoided_total", vec![]),
+            ..MemTelemetry::default()
+        };
+        for p in 0..self.config.read_ports {
+            t.port_reads
+                .push(registry.counter("polymem_reads_total", vec![("port", p.to_string())]));
+        }
+        // Every bank's element count is entirely base traffic: uniform
+        // full-lane accesses plus region-plan accesses, each of which lands
+        // the same count in every bank. The per-bank handle is dropped —
+        // nothing ever writes to it directly.
+        for b in 0..self.lanes() {
+            let _ = registry.counter_with_bases(
+                "polymem_bank_elements_total",
+                vec![("bank", b.to_string())],
+                &[&uniform, &region_accesses],
+            );
+        }
+        self.plans
+            .register_telemetry(registry, vec![("cache", "access".into())]);
+        self.region_plans
+            .register_telemetry(registry, vec![("cache", "region".into())]);
+        self.tlm = Some(t);
+    }
+
+    /// Stop recording datapath telemetry (registered metrics stay in the
+    /// registry at their last values).
+    pub fn detach_telemetry(&mut self) {
+        self.tlm = None;
     }
 
     /// Start recording every coordinate touched by parallel accesses —
@@ -326,6 +459,9 @@ impl<T: Copy + Default> PolyMem<T> {
         }
         self.stats.writes += 1;
         self.stats.elements_written += lanes as u64;
+        if let Some(t) = &self.tlm {
+            t.single_write(lanes);
+        }
         Ok(())
     }
 
@@ -357,6 +493,9 @@ impl<T: Copy + Default> PolyMem<T> {
         }
         self.stats.reads += 1;
         self.stats.elements_read += lanes as u64;
+        if let Some(t) = &self.tlm {
+            t.single_read(port, lanes);
+        }
         Ok(())
     }
 

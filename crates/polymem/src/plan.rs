@@ -33,9 +33,9 @@ use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
 use crate::scheme::{AccessPattern, ParallelAccess};
 use crate::shuffle::Crossbar;
+use crate::telemetry::{Label, StatCounter, TelemetryRegistry};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Multiply-rotate hasher (the rustc-hash construction) for [`PlanKey`]s.
@@ -294,15 +294,17 @@ pub struct PlanCacheStats {
 /// Lazy per-residue-class cache of [`AccessPlan`]s.
 ///
 /// The class count is bounded by `6 patterns * (p*q)^2`, so entries are
-/// never evicted. Hit/miss counters are atomic so shared-`&self` users
-/// (e.g. [`crate::concurrent::ConcurrentPolyMem`]) can count lookups.
+/// never evicted. Hit/miss counters are atomic ([`StatCounter`]) so
+/// shared-`&self` users (e.g. [`crate::concurrent::ConcurrentPolyMem`])
+/// can count lookups, and so a [`TelemetryRegistry`] can export them live
+/// via [`Self::register_telemetry`].
 #[derive(Debug)]
 pub struct PlanCache {
     period: usize,
     depth: usize,
     map: PlanMap,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: StatCounter,
+    misses: StatCounter,
 }
 
 impl PlanCache {
@@ -313,8 +315,8 @@ impl PlanCache {
             period,
             depth,
             map: PlanMap::default(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: StatCounter::new(),
+            misses: StatCounter::new(),
         }
     }
 
@@ -329,7 +331,7 @@ impl PlanCache {
     pub fn lookup(&self, access: ParallelAccess) -> Option<Arc<AccessPlan>> {
         let found = self.map.get(&PlanKey::of(access, self.period)).cloned();
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         found
     }
@@ -349,11 +351,11 @@ impl PlanCache {
         use std::collections::hash_map::Entry;
         match self.map.entry(PlanKey::of(access, self.period)) {
             Entry::Occupied(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Ok(e.into_mut())
             }
             Entry::Vacant(v) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 let plan = AccessPlan::compile(access, agu, maf, afn, self.depth)?;
                 Ok(v.insert(Arc::new(plan)))
             }
@@ -363,7 +365,7 @@ impl PlanCache {
     /// Insert a pre-compiled plan (used by shared-cache wrappers that
     /// compile outside the map borrow).
     pub fn insert(&mut self, key: PlanKey, plan: Arc<AccessPlan>) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         self.map.insert(key, plan);
     }
 
@@ -375,21 +377,34 @@ impl PlanCache {
     /// Activity counters and current size.
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self.map.len(),
         }
+    }
+
+    /// Export the hit/miss counters through `registry` as
+    /// `polymem_plan_cache_hits_total` / `polymem_plan_cache_misses_total`
+    /// with the given labels. The registry holds live handles to the same
+    /// atomics [`Self::stats`] reads, so exported values track lookups with
+    /// no extra work on the lookup path.
+    pub fn register_telemetry(&self, registry: &TelemetryRegistry, labels: Vec<Label>) {
+        registry.register_stat("polymem_plan_cache_hits_total", labels.clone(), &self.hits);
+        registry.register_stat("polymem_plan_cache_misses_total", labels, &self.misses);
     }
 }
 
 impl Clone for PlanCache {
     fn clone(&self) -> Self {
+        // Counters copy by value: the clone starts with the same counts but
+        // its own atomics (a registry watching the original keeps watching
+        // only the original).
         Self {
             period: self.period,
             depth: self.depth,
             map: self.map.clone(),
-            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
-            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            hits: StatCounter::from_value(self.hits.get()),
+            misses: StatCounter::from_value(self.misses.get()),
         }
     }
 }

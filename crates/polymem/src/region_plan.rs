@@ -31,6 +31,7 @@ use crate::maf::ModuleAssignment;
 use crate::plan::{PlanCache, PlanKeyHasher};
 use crate::region::{Region, RegionShape};
 use crate::scheme::AccessScheme;
+use crate::telemetry::{Label, StatCounter, TelemetryRegistry};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -402,9 +403,9 @@ pub struct RegionPlanCache {
     capacity: usize,
     map: RegionPlanMap,
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: StatCounter,
+    misses: StatCounter,
+    evictions: StatCounter,
     bytes: AtomicU64,
 }
 
@@ -427,9 +428,9 @@ impl RegionPlanCache {
             capacity: capacity.max(1),
             map: RegionPlanMap::default(),
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: StatCounter::new(),
+            misses: StatCounter::new(),
+            evictions: StatCounter::new(),
             bytes: AtomicU64::new(0),
         }
     }
@@ -460,7 +461,7 @@ impl RegionPlanCache {
         let found = self.map.get(&RegionPlanKey::of(region, self.period));
         if let Some(slot) = found {
             slot.last_used.store(self.stamp(), Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         found.map(|slot| Arc::clone(&slot.plan))
     }
@@ -479,7 +480,7 @@ impl RegionPlanCache {
             if let Some(slot) = self.map.remove(&oldest) {
                 self.bytes
                     .fetch_sub(slot.plan.heap_bytes() as u64, Ordering::Relaxed);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
     }
@@ -502,10 +503,10 @@ impl RegionPlanCache {
         let key = RegionPlanKey::of(region, self.period);
         if let Some(slot) = self.map.get(&key) {
             slot.last_used.store(self.stamp(), Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(Arc::clone(&slot.plan));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let plan = Arc::new(RegionPlan::compile(region, scheme, agu, maf, afn, cache)?);
         self.make_room();
         self.bytes
@@ -524,7 +525,7 @@ impl RegionPlanCache {
     /// compile outside the map borrow), evicting the least-recently-used
     /// plan when full.
     pub fn insert(&mut self, key: RegionPlanKey, plan: Arc<RegionPlan>) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         self.make_room();
         self.bytes
             .fetch_add(plan.heap_bytes() as u64, Ordering::Relaxed);
@@ -548,26 +549,48 @@ impl RegionPlanCache {
     /// Activity counters, current size/capacity, and heap footprint.
     pub fn stats(&self) -> RegionPlanCacheStats {
         RegionPlanCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries: self.map.len(),
             capacity: self.capacity,
             bytes: self.bytes.load(Ordering::Relaxed),
         }
     }
+
+    /// Export the hit/miss/eviction counters through `registry` as
+    /// `polymem_plan_cache_{hits,misses,evictions}_total` with the given
+    /// labels. The registry holds live handles to the same atomics
+    /// [`Self::stats`] reads, so exported values track lookups with no
+    /// extra work on the lookup path.
+    pub fn register_telemetry(&self, registry: &TelemetryRegistry, labels: Vec<Label>) {
+        registry.register_stat("polymem_plan_cache_hits_total", labels.clone(), &self.hits);
+        registry.register_stat(
+            "polymem_plan_cache_misses_total",
+            labels.clone(),
+            &self.misses,
+        );
+        registry.register_stat(
+            "polymem_plan_cache_evictions_total",
+            labels,
+            &self.evictions,
+        );
+    }
 }
 
 impl Clone for RegionPlanCache {
     fn clone(&self) -> Self {
+        // Counters copy by value: the clone starts with the same counts but
+        // its own atomics (a registry watching the original keeps watching
+        // only the original).
         Self {
             period: self.period,
             capacity: self.capacity,
             map: self.map.clone(),
             tick: AtomicU64::new(self.tick.load(Ordering::Relaxed)),
-            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
-            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
-            evictions: AtomicU64::new(self.evictions.load(Ordering::Relaxed)),
+            hits: StatCounter::from_value(self.hits.get()),
+            misses: StatCounter::from_value(self.misses.get()),
+            evictions: StatCounter::from_value(self.evictions.get()),
             bytes: AtomicU64::new(self.bytes.load(Ordering::Relaxed)),
         }
     }

@@ -1,0 +1,1353 @@
+//! Unified telemetry: a lock-free metrics registry with Prometheus/JSON
+//! exporters.
+//!
+//! Every crate in the workspace observes itself through this module: the
+//! memory datapath (per-bank / per-port element counters, conflicts
+//! avoided), the plan caches (hit / miss / eviction), the cycle-level
+//! simulator (stall attribution) and the STREAM harness (per-pass
+//! bandwidth histograms) all register handles in one
+//! [`TelemetryRegistry`] and are exported together as a
+//! [`TelemetrySnapshot`].
+//!
+//! ## Design
+//!
+//! * **Lock-free hot path.** A [`Counter`] / [`Gauge`] / [`Histogram`]
+//!   handle is an `Arc` around plain atomics; `inc` / `add` / `observe`
+//!   are single `Relaxed` read-modify-writes with no branching, no
+//!   allocation and no panicking construct — they pass the
+//!   `polymem-verify` hot-path lint inside replay functions. The registry
+//!   lock is touched only at registration and snapshot time, never by a
+//!   metric operation.
+//! * **Static labels.** Metric names and label *keys* are `&'static str`;
+//!   label values are owned strings fixed at registration. Nothing on the
+//!   increment path formats or hashes a label.
+//! * **Feature-gated no-ops.** With the `telemetry-off` cargo feature the
+//!   instrumentation handles become zero-sized types whose operations
+//!   compile to nothing, so a build can prove the overhead is removable.
+//!   [`StatCounter`] — used where counting is part of a public API
+//!   contract (the plan-cache `stats()` views) — stays real in both
+//!   modes.
+//! * **Derived per-bank counters.** Every conflict-free full-lane access
+//!   touches each bank exactly once (the theorem `polymem-verify` checks
+//!   exhaustively), so single-access traffic is counted once per access
+//!   and folded into every bank's sample via a shared *base* counter
+//!   ([`TelemetryRegistry::counter_with_base`]) instead of paying `lanes`
+//!   atomic ops per access. Region ops add their exact per-bank element
+//!   counts on top.
+//!
+//! The vendored `serde` is an offline marker stub, so the exporters are
+//! hand-rolled: [`TelemetrySnapshot::to_json`] /
+//! [`TelemetrySnapshot::from_json`] round-trip a compact JSON document,
+//! and [`TelemetrySnapshot::to_prometheus`] renders the Prometheus text
+//! exposition format.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One metric label: static key, owned value fixed at registration.
+pub type Label = (&'static str, String);
+
+// ---------------------------------------------------------------------------
+// Always-on counter (API-contract accounting, e.g. plan-cache stats).
+// ---------------------------------------------------------------------------
+
+/// A shared monotonic counter that is **always functional**, independent
+/// of the `telemetry-off` feature. Used where counts are part of a public
+/// API contract (cache `stats()`), with the registry holding a live
+/// handle so snapshots stay fresh.
+#[derive(Debug, Clone, Default)]
+pub struct StatCounter(Arc<AtomicU64>);
+
+impl StatCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh counter starting at `v` (used by value-copying `Clone`
+    /// impls that must not share the underlying cell).
+    pub fn from_value(v: u64) -> Self {
+        Self(Arc::new(AtomicU64::new(v)))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Reset to zero (stats-view compatibility; not used on hot paths).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Release);
+    }
+
+    fn cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation handles (no-ops under `telemetry-off`).
+// ---------------------------------------------------------------------------
+
+/// A monotonic instrumentation counter.
+///
+/// With the `telemetry-off` feature this is a zero-sized type whose
+/// operations compile to nothing and never register.
+#[cfg(not(feature = "telemetry-off"))]
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+/// A monotonic instrumentation counter (disabled build: zero-sized no-op).
+#[cfg(feature = "telemetry-off")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter;
+
+#[cfg(not(feature = "telemetry-off"))]
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one. Single `Relaxed` atomic op; allocation- and panic-free.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`. Single `Relaxed` atomic op; allocation- and panic-free.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one under a **single-writer discipline**: a `Relaxed` load +
+    /// store pair instead of a read-modify-write, skipping the full bus
+    /// fence on hot paths. Sound only when every write to this counter is
+    /// serialized by the caller (e.g. instrumentation called under `&mut
+    /// self`, as `PolyMem` does); concurrent writers would lose updates —
+    /// `ConcurrentPolyMem` must use [`Self::inc`] / [`Self::add`].
+    /// Concurrent *readers* (snapshots) are always safe.
+    #[inline]
+    pub fn inc_owned(&self) {
+        self.add_owned(1);
+    }
+
+    /// Add `n` under a single-writer discipline (see [`Self::inc_owned`]).
+    #[inline]
+    pub fn add_owned(&self, n: u64) {
+        let v = self.0.load(Ordering::Relaxed).wrapping_add(n);
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    fn cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.0)
+    }
+}
+
+#[cfg(feature = "telemetry-off")]
+impl Counter {
+    /// A fresh counter (no-op build).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn inc_owned(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn add_owned(&self, _n: u64) {}
+
+    /// Always zero in the disabled build.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// A last-value instrumentation gauge (signed).
+#[cfg(not(feature = "telemetry-off"))]
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+/// A last-value instrumentation gauge (disabled build: zero-sized no-op).
+#[cfg(feature = "telemetry-off")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauge;
+
+#[cfg(not(feature = "telemetry-off"))]
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    fn cell(&self) -> Arc<AtomicI64> {
+        Arc::clone(&self.0)
+    }
+}
+
+#[cfg(feature = "telemetry-off")]
+impl Gauge {
+    /// A fresh gauge (no-op build).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn set(&self, _v: i64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn add(&self, _d: i64) {}
+
+    /// Always zero in the disabled build.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+/// Shared storage behind a [`Histogram`] handle.
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bounds of the finite buckets; an implicit `+Inf`
+    /// bucket follows.
+    bounds: &'static [u64],
+    /// One slot per bound, plus the overflow slot.
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &'static [u64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn observe(&self, v: u64) {
+        // Bucket search over a handful of static bounds: branch-cheap,
+        // allocation- and panic-free.
+        let mut idx = self.bounds.len();
+        for (k, &b) in self.bounds.iter().enumerate() {
+            if v <= b {
+                idx = k;
+                break;
+            }
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn sample(&self) -> HistogramSample {
+        HistogramSample {
+            bounds: self.bounds.to_vec(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Acquire))
+                .collect(),
+            sum: self.sum.load(Ordering::Acquire),
+            count: self.count.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// A fixed-bucket instrumentation histogram over `u64` observations.
+#[cfg(not(feature = "telemetry-off"))]
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// A fixed-bucket instrumentation histogram (disabled build: no-op).
+#[cfg(feature = "telemetry-off")]
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram;
+
+#[cfg(not(feature = "telemetry-off"))]
+impl Histogram {
+    /// A fresh histogram with the given inclusive bucket bounds (an
+    /// implicit `+Inf` bucket is appended).
+    pub fn new(bounds: &'static [u64]) -> Self {
+        Self(Arc::new(HistogramCore::new(bounds)))
+    }
+
+    /// Record one observation. Three `Relaxed` atomic ops.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.observe(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Acquire)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Acquire)
+    }
+
+    fn core(&self) -> Arc<HistogramCore> {
+        Arc::clone(&self.0)
+    }
+}
+
+#[cfg(feature = "telemetry-off")]
+impl Histogram {
+    /// A fresh histogram (no-op build).
+    pub fn new(_bounds: &'static [u64]) -> Self {
+        Self
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn observe(&self, _v: u64) {}
+
+    /// Always zero in the disabled build.
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in the disabled build.
+    pub fn sum(&self) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Metric {
+    /// `value = cell + sum(bases)` — the bases carry traffic shared by
+    /// every sibling (uniform single accesses, region accesses), so hot
+    /// paths bump one shared counter instead of one per bank (see module
+    /// docs).
+    Counter {
+        cell: Arc<AtomicU64>,
+        bases: Vec<Arc<AtomicU64>>,
+    },
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: &'static str,
+    labels: Vec<Label>,
+    metric: Metric,
+}
+
+/// The process-wide (or per-component) metric registry.
+///
+/// Registration and snapshotting take an internal lock; metric
+/// operations on the returned handles never do.
+#[derive(Debug, Default)]
+pub struct TelemetryRegistry {
+    entries: RwLock<Vec<Entry>>,
+}
+
+impl TelemetryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn upsert(&self, name: &'static str, labels: Vec<Label>, metric: Metric) {
+        let mut entries = self.entries.write();
+        if let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            e.metric = metric;
+        } else {
+            entries.push(Entry {
+                name,
+                labels,
+                metric,
+            });
+        }
+    }
+
+    /// Register (or re-register) a counter and return its handle. In the
+    /// `telemetry-off` build this registers nothing and returns a no-op
+    /// handle.
+    pub fn counter(&self, name: &'static str, labels: Vec<Label>) -> Counter {
+        let c = Counter::new();
+        #[cfg(not(feature = "telemetry-off"))]
+        self.upsert(
+            name,
+            labels,
+            Metric::Counter {
+                cell: c.cell(),
+                bases: Vec::new(),
+            },
+        );
+        #[cfg(feature = "telemetry-off")]
+        let _ = labels;
+        c
+    }
+
+    /// Register a counter whose exported value is its own cell **plus**
+    /// `base` — the uniform-traffic fold described in the module docs.
+    pub fn counter_with_base(
+        &self,
+        name: &'static str,
+        labels: Vec<Label>,
+        base: &Counter,
+    ) -> Counter {
+        self.counter_with_bases(name, labels, &[base])
+    }
+
+    /// Register a counter whose exported value is its own cell **plus**
+    /// the sum of every `base` counter. This is how per-bank metrics stay
+    /// cheap: traffic the uniformity invariant guarantees hits *every*
+    /// bank equally (uniform full-lane accesses, region-plan accesses) is
+    /// accumulated once in a shared base rather than once per bank, and
+    /// only folded in at snapshot time.
+    pub fn counter_with_bases(
+        &self,
+        name: &'static str,
+        labels: Vec<Label>,
+        bases: &[&Counter],
+    ) -> Counter {
+        let c = Counter::new();
+        #[cfg(not(feature = "telemetry-off"))]
+        self.upsert(
+            name,
+            labels,
+            Metric::Counter {
+                cell: c.cell(),
+                bases: bases.iter().map(|b| b.cell()).collect(),
+            },
+        );
+        #[cfg(feature = "telemetry-off")]
+        let _ = (labels, bases);
+        c
+    }
+
+    /// Register (or re-register) a gauge and return its handle.
+    pub fn gauge(&self, name: &'static str, labels: Vec<Label>) -> Gauge {
+        let g = Gauge::new();
+        #[cfg(not(feature = "telemetry-off"))]
+        self.upsert(name, labels, Metric::Gauge(g.cell()));
+        #[cfg(feature = "telemetry-off")]
+        let _ = labels;
+        g
+    }
+
+    /// Register (or re-register) a fixed-bucket histogram.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: Vec<Label>,
+        bounds: &'static [u64],
+    ) -> Histogram {
+        let h = Histogram::new(bounds);
+        #[cfg(not(feature = "telemetry-off"))]
+        self.upsert(name, labels, Metric::Histogram(h.core()));
+        #[cfg(feature = "telemetry-off")]
+        let _ = (labels, bounds);
+        h
+    }
+
+    /// Attach an existing always-on [`StatCounter`] (e.g. a plan-cache
+    /// hit counter) under a metric name. Present in both builds — API
+    /// accounting is never compiled out.
+    pub fn register_stat(&self, name: &'static str, labels: Vec<Label>, stat: &StatCounter) {
+        self.upsert(
+            name,
+            labels,
+            Metric::Counter {
+                cell: stat.cell(),
+                bases: Vec::new(),
+            },
+        );
+    }
+
+    /// A point-in-time sample of every registered metric, sorted by
+    /// `(name, labels)` for deterministic export.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let entries = self.entries.read();
+        let mut metrics: Vec<MetricSample> = entries
+            .iter()
+            .map(|e| MetricSample {
+                name: e.name.to_string(),
+                labels: e
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+                value: match &e.metric {
+                    Metric::Counter { cell, bases } => SampleValue::Counter(
+                        cell.load(Ordering::Acquire)
+                            + bases.iter().map(|b| b.load(Ordering::Acquire)).sum::<u64>(),
+                    ),
+                    Metric::Gauge(cell) => SampleValue::Gauge(cell.load(Ordering::Acquire)),
+                    Metric::Histogram(core) => SampleValue::Histogram(core.sample()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        TelemetrySnapshot { metrics }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + exporters.
+// ---------------------------------------------------------------------------
+
+/// The sampled value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSample),
+}
+
+/// A sampled histogram: finite bucket bounds, per-bucket counts (one
+/// extra overflow slot), total count and sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `buckets.len() == bounds.len() + 1` (overflow
+    /// slot last).
+    pub buckets: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+/// One sampled metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Metric name (the stable ID schema checks key on).
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// A consistent point-in-time export of a [`TelemetryRegistry`].
+///
+/// The workspace's `serde` is a marker-trait stub, so serialization is
+/// hand-rolled: [`Self::to_json`] / [`Self::from_json`] round-trip, and
+/// [`Self::to_prometheus`] renders the text exposition format.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Every sampled metric, sorted by `(name, labels)`.
+    pub metrics: Vec<MetricSample>,
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl TelemetrySnapshot {
+    /// The distinct metric names in this snapshot (sorted, deduplicated)
+    /// — the IDs the committed telemetry schema is checked against.
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.metrics.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Find a sampled counter value by name and labels.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|m| {
+                m.name == name
+                    && m.labels.len() == labels.len()
+                    && m.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .and_then(|m| match &m.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Serialize as a compact JSON document, one metric per line:
+    ///
+    /// ```json
+    /// {"metrics":[
+    /// {"name":"x","labels":{"bank":"0"},"kind":"counter","value":3},
+    /// {"name":"h","labels":{},"kind":"histogram","bounds":[8],"buckets":[1,0],"sum":5,"count":1}
+    /// ]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[\n");
+        for (n, m) in self.metrics.iter().enumerate() {
+            out.push_str("{\"name\":\"");
+            json_escape(&mut out, &m.name);
+            out.push_str("\",\"labels\":{");
+            for (k, (key, value)) in m.labels.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape(&mut out, key);
+                out.push_str("\":\"");
+                json_escape(&mut out, value);
+                out.push('"');
+            }
+            out.push_str("},");
+            match &m.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("\"kind\":\"counter\",\"value\":{v}"));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("\"kind\":\"gauge\",\"value\":{v}"));
+                }
+                SampleValue::Histogram(h) => {
+                    out.push_str("\"kind\":\"histogram\",\"bounds\":[");
+                    for (k, b) in h.bounds.iter().enumerate() {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&b.to_string());
+                    }
+                    out.push_str("],\"buckets\":[");
+                    for (k, b) in h.buckets.iter().enumerate() {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&b.to_string());
+                    }
+                    out.push_str(&format!("],\"sum\":{},\"count\":{}", h.sum, h.count));
+                }
+            }
+            out.push('}');
+            if n + 1 < self.metrics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parse a document produced by [`Self::to_json`] (whitespace- and
+    /// ordering-tolerant). Integer-valued JSON only — the exporters never
+    /// emit floats.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_obj().ok_or("top level must be an object")?;
+        let metrics_val = json::field(obj, "metrics").ok_or("missing `metrics` array")?;
+        let arr = metrics_val.as_arr().ok_or("`metrics` must be an array")?;
+        let mut metrics = Vec::with_capacity(arr.len());
+        for item in arr {
+            let m = item.as_obj().ok_or("metric must be an object")?;
+            let name = json::field(m, "name")
+                .and_then(json::JsonValue::as_str)
+                .ok_or("metric missing `name`")?
+                .to_string();
+            let labels = match json::field(m, "labels") {
+                Some(l) => l
+                    .as_obj()
+                    .ok_or("`labels` must be an object")?
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("label `{k}` must be a string"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            };
+            let kind = json::field(m, "kind")
+                .and_then(json::JsonValue::as_str)
+                .ok_or("metric missing `kind`")?;
+            let value = match kind {
+                "counter" => SampleValue::Counter(
+                    json::field(m, "value")
+                        .and_then(json::JsonValue::as_u64)
+                        .ok_or("counter missing `value`")?,
+                ),
+                "gauge" => SampleValue::Gauge(
+                    json::field(m, "value")
+                        .and_then(json::JsonValue::as_i64)
+                        .ok_or("gauge missing `value`")?,
+                ),
+                "histogram" => {
+                    let nums = |key: &str| -> Result<Vec<u64>, String> {
+                        json::field(m, key)
+                            .and_then(json::JsonValue::as_arr)
+                            .ok_or_else(|| format!("histogram missing `{key}`"))?
+                            .iter()
+                            .map(|v| v.as_u64().ok_or_else(|| format!("bad `{key}` entry")))
+                            .collect()
+                    };
+                    SampleValue::Histogram(HistogramSample {
+                        bounds: nums("bounds")?,
+                        buckets: nums("buckets")?,
+                        sum: json::field(m, "sum")
+                            .and_then(json::JsonValue::as_u64)
+                            .ok_or("histogram missing `sum`")?,
+                        count: json::field(m, "count")
+                            .and_then(json::JsonValue::as_u64)
+                            .ok_or("histogram missing `count`")?,
+                    })
+                }
+                other => return Err(format!("unknown metric kind `{other}`")),
+            };
+            metrics.push(MetricSample {
+                name,
+                labels,
+                value,
+            });
+        }
+        Ok(Self { metrics })
+    }
+
+    /// Render the Prometheus text exposition format. Histograms expand
+    /// into cumulative `_bucket{le=..}` series plus `_sum` / `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for m in &self.metrics {
+            if m.name != last_name {
+                let kind = match &m.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {kind}\n", m.name));
+                last_name = &m.name;
+            }
+            match &m.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, prom_labels(&m.labels, None)));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, prom_labels(&m.labels, None)));
+                }
+                SampleValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (k, &c) in h.buckets.iter().enumerate() {
+                        cum += c;
+                        let le = h
+                            .bounds
+                            .get(k)
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "+Inf".into());
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            m.name,
+                            prom_labels(&m.labels, Some(&le))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut escaped = String::new();
+        for c in v.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                '\n' => escaped.push_str("\\n"),
+                c => escaped.push(c),
+            }
+        }
+        out.push_str(&format!("{k}=\"{escaped}\""));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (integers, strings, arrays, objects).
+// ---------------------------------------------------------------------------
+
+mod json {
+    //! A recursive-descent parser for the integer-valued JSON subset the
+    //! telemetry exporters emit. Hand-rolled because the vendored `serde`
+    //! is a marker stub with no real deserialization.
+
+    /// Parsed JSON value (integer-valued subset).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Integer (floats are rejected — the exporters never emit them).
+        Int(i128),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<JsonValue>),
+        /// Object (ordered key/value pairs).
+        Obj(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+            match self {
+                JsonValue::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[JsonValue]> {
+            match self {
+                JsonValue::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                JsonValue::Int(v) => u64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                JsonValue::Int(v) => i64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+    }
+
+    /// Look up a field in an object.
+    pub fn field<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected `{}` at byte {}, found `{}`",
+                    b as char, self.pos, self.bytes[self.pos] as char
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<JsonValue, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(JsonValue::Str(self.string()?)),
+                b't' => self.keyword("true", JsonValue::Bool(true)),
+                b'f' => self.keyword("false", JsonValue::Bool(false)),
+                b'n' => self.keyword("null", JsonValue::Null),
+                b'-' | b'0'..=b'9' => self.number(),
+                other => Err(format!(
+                    "unexpected `{}` at byte {}",
+                    other as char, self.pos
+                )),
+            }
+        }
+
+        fn keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("expected `{word}` at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<JsonValue, String> {
+            self.skip_ws();
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+                return Err(format!(
+                    "floats are not supported (byte {}): telemetry exports integers only",
+                    self.pos
+                ));
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "invalid utf-8 in number".to_string())?;
+            text.parse::<i128>()
+                .map(JsonValue::Int)
+                .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = self
+                    .bytes
+                    .get(self.pos)
+                    .copied()
+                    .ok_or("unterminated string")?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = self
+                            .bytes
+                            .get(self.pos)
+                            .copied()
+                            .ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| "invalid \\u escape".to_string())?,
+                                    16,
+                                )
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| "invalid \\u code point".to_string())?,
+                                );
+                            }
+                            other => return Err(format!("bad escape `\\{}`", other as char)),
+                        }
+                    }
+                    _ => {
+                        // Re-decode from the byte stream: multi-byte UTF-8
+                        // sequences pass through unchanged.
+                        let rest = &self.bytes[self.pos - 1..];
+                        let ch_len = utf8_len(b);
+                        let s = std::str::from_utf8(&rest[..ch_len.min(rest.len())])
+                            .map_err(|_| "invalid utf-8 in string".to_string())?;
+                        out.push_str(s);
+                        self.pos += ch_len - 1;
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<JsonValue, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    other => return Err(format!("expected `,` or `]`, found `{}`", other as char)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<JsonValue, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    other => {
+                        return Err(format!("expected `,` or `}}`, found `{}`", other as char))
+                    }
+                }
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_counter_is_always_real() {
+        let c = StatCounter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let shared = c.clone();
+        shared.inc();
+        assert_eq!(c.get(), 6, "clones share the cell");
+        let copied = StatCounter::from_value(c.get());
+        copied.inc();
+        assert_eq!(c.get(), 6, "from_value does not share");
+        assert_eq!(copied.get(), 7);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn counters_gauges_histograms_record() {
+        let r = TelemetryRegistry::new();
+        let c = r.counter("c_total", vec![("k", "v".into())]);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        let g = r.gauge("g", vec![]);
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        let h = r.histogram("h", vec![], &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 555);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("c_total", &[("k", "v")]), Some(3));
+        let hist = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "h")
+            .expect("histogram sampled");
+        match &hist.value {
+            SampleValue::Histogram(hs) => {
+                assert_eq!(hs.buckets, vec![1, 1, 1]);
+                assert_eq!(hs.bounds, vec![10, 100]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn registering_same_key_replaces() {
+        let r = TelemetryRegistry::new();
+        let a = r.counter("x_total", vec![]);
+        a.add(5);
+        let b = r.counter("x_total", vec![]);
+        b.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("x_total", &[]), Some(1));
+        assert_eq!(snap.metrics.len(), 1);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn base_counter_folds_uniform_traffic() {
+        let r = TelemetryRegistry::new();
+        let uniform = r.counter("uniform_total", vec![]);
+        let b0 = r.counter_with_base("bank_total", vec![("bank", "0".into())], &uniform);
+        let b1 = r.counter_with_base("bank_total", vec![("bank", "1".into())], &uniform);
+        uniform.add(10); // 10 full-lane accesses: one element per bank each
+        b0.add(3); // a region op routed 3 extra elements to bank 0
+        let _ = &b1;
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("bank_total", &[("bank", "0")]), Some(13));
+        assert_eq!(snap.counter_value("bank_total", &[("bank", "1")]), Some(10));
+    }
+
+    #[cfg(feature = "telemetry-off")]
+    #[test]
+    fn disabled_handles_are_zero_sized_noops() {
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        let r = TelemetryRegistry::new();
+        let c = r.counter("c_total", vec![]);
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let h = r.histogram("h", vec![], &[1]);
+        h.observe(5);
+        assert_eq!(h.count(), 0);
+        // Instrumentation registers nothing; StatCounters still do.
+        let s = StatCounter::new();
+        s.add(2);
+        r.register_stat("s_total", vec![], &s);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 1);
+        assert_eq!(snap.counter_value("s_total", &[]), Some(2));
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let r = TelemetryRegistry::new();
+        r.counter("z_total", vec![]).inc();
+        r.counter("a_total", vec![("bank", "1".into())]).inc();
+        r.counter("a_total", vec![("bank", "0".into())]).inc();
+        let names: Vec<_> = r
+            .snapshot()
+            .metrics
+            .iter()
+            .map(|m| (m.name.clone(), m.labels.clone()))
+            .collect();
+        assert_eq!(names[0].0, "a_total");
+        assert_eq!(names[0].1[0].1, "0");
+        assert_eq!(names[1].1[0].1, "1");
+        assert_eq!(names[2].0, "z_total");
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn json_round_trip() {
+        let r = TelemetryRegistry::new();
+        r.counter("c_total", vec![("bank", "0".into())]).add(42);
+        r.gauge("g", vec![]).set(-7);
+        let h = r.histogram("h", vec![("pass", "copy".into())], &[8, 64]);
+        h.observe(3);
+        h.observe(100);
+        let snap = r.snapshot();
+        let text = snap.to_json();
+        let parsed = TelemetrySnapshot::from_json(&text).expect("round-trip parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(TelemetrySnapshot::from_json("").is_err());
+        assert!(TelemetrySnapshot::from_json("[]").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"metrics\":[{}]}").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"metrics\":[]} trailing").is_err());
+        // Floats are explicitly unsupported.
+        assert!(TelemetrySnapshot::from_json(
+            "{\"metrics\":[{\"name\":\"x\",\"kind\":\"counter\",\"value\":1.5}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn from_json_tolerates_whitespace_and_escapes() {
+        let text = "{ \"metrics\" : [ { \"name\" : \"a\\nb\" , \"labels\" : { } ,\n\
+                    \"kind\" : \"gauge\" , \"value\" : -3 } ] }";
+        let snap = TelemetrySnapshot::from_json(text).expect("parses");
+        assert_eq!(snap.metrics[0].name, "a\nb");
+        assert_eq!(snap.metrics[0].value, SampleValue::Gauge(-3));
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn prometheus_text_format() {
+        let r = TelemetryRegistry::new();
+        r.counter("c_total", vec![("bank", "0".into())]).add(3);
+        let h = r.histogram("lat", vec![], &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE c_total counter"), "{text}");
+        assert!(text.contains("c_total{bank=\"0\"} 3"), "{text}");
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"100\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_sum 55"), "{text}");
+        assert!(text.contains("lat_count 2"), "{text}");
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let r = std::sync::Arc::new(TelemetryRegistry::new());
+        let c = r.counter("mt_total", vec![]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("thread panicked");
+        }
+        assert_eq!(r.snapshot().counter_value("mt_total", &[]), Some(40_000));
+    }
+}

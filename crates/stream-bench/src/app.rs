@@ -24,11 +24,33 @@ use dfe_sim::kernel::Kernel;
 use dfe_sim::pcie::{Host, PcieLink};
 use dfe_sim::polymem_kernel::{PolyMemKernel, PAPER_READ_LATENCY};
 use dfe_sim::stream::stream;
+use polymem::telemetry::{Counter, Histogram, TelemetryRegistry};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// The paper's synthesized STREAM clock: 120 MHz.
 pub const PAPER_STREAM_FREQ_MHZ: f64 = 120.0;
+
+/// Bucket bounds for per-pass cycle counts: paper-size passes land in the
+/// thousands, toy geometries in the tens.
+static PASS_CYCLE_BOUNDS: [u64; 8] = [64, 128, 256, 512, 1024, 4096, 16384, 65536];
+
+/// Bucket bounds for per-pass achieved bandwidth in MB/s; the top finite
+/// bucket sits just under the paper's 15 360 MB/s peak.
+static PASS_BANDWIDTH_BOUNDS: [u64; 6] = [1000, 2000, 4000, 8000, 12000, 15360];
+
+/// Per-pass app telemetry: pass-level histograms plus the simulated-cycle
+/// accumulator that the exact-sum stall check reconciles against
+/// `dfe_kernel_cycles_total` (the kernel ticks exactly once per simulated
+/// cycle in [`StreamApp::run_pass`], so the state buckets must sum to
+/// `stream_sim_cycles_total` when telemetry was attached before the first
+/// pass).
+struct AppTelemetry {
+    pass_cycles: Histogram,
+    pass_bandwidth: Histogram,
+    passes: Counter,
+    sim_cycles: Counter,
+}
 
 /// Timing result of a measured compute stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +120,7 @@ pub struct StreamApp {
     polymem: PolyMemKernel,
     state: StateRef,
     host: Host,
+    tlm: Option<AppTelemetry>,
 }
 
 impl StreamApp {
@@ -190,7 +213,35 @@ impl StreamApp {
             polymem,
             state,
             host: Host::new(PcieLink::vectis()),
+            tlm: None,
         })
+    }
+
+    /// Wire the whole design into `registry`: the PolyMem kernel's cycle
+    /// attribution and datapath counters, the burst controller's occupancy
+    /// histogram (burst mode only), and the app's own per-pass cycle and
+    /// bandwidth histograms. Attach before the first [`Self::run_pass`] so
+    /// the attribution buckets cover every simulated cycle.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry) {
+        self.polymem.attach_telemetry(registry);
+        if let Driver::Burst(b) = &mut self.driver {
+            b.attach_telemetry(registry);
+        }
+        let labels = vec![("op", self.op.name().to_string())];
+        self.tlm = Some(AppTelemetry {
+            pass_cycles: registry.histogram(
+                "stream_pass_cycles",
+                labels.clone(),
+                &PASS_CYCLE_BOUNDS,
+            ),
+            pass_bandwidth: registry.histogram(
+                "stream_pass_bandwidth_mbps",
+                labels.clone(),
+                &PASS_BANDWIDTH_BOUNDS,
+            ),
+            passes: registry.counter("stream_passes_total", labels.clone()),
+            sim_cycles: registry.counter("stream_sim_cycles_total", labels),
+        });
     }
 
     /// The op being benchmarked.
@@ -250,7 +301,16 @@ impl StreamApp {
                 );
             }
         }
-        self.clock.cycle() - start
+        let cycles = self.clock.cycle() - start;
+        if let Some(t) = &self.tlm {
+            t.passes.inc();
+            t.sim_cycles.add(cycles);
+            t.pass_cycles.observe(cycles);
+            let ns = cycles as f64 * self.clock.period_ns();
+            let bytes = (self.op.bytes_per_element() * self.layout.a.len) as f64;
+            t.pass_bandwidth.observe((bytes / ns * 1000.0) as u64);
+        }
+        cycles
     }
 
     /// **Compute stage**, measured as the paper does: `runs` blocking
@@ -481,6 +541,63 @@ mod tests {
         let c1 = app.run_pass();
         let c2 = app.run_pass();
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn attribution_buckets_sum_to_simulated_cycles_exactly() {
+        // The invariant polymem-top renders: with telemetry attached before
+        // the first pass, every simulated cycle lands in exactly one
+        // dfe_kernel_cycles_total state bucket.
+        for burst in [false, true] {
+            let layout = StreamLayout::new(512, 64, 2, 4, AccessScheme::RoCo, 2).unwrap();
+            let mut app = if burst {
+                StreamApp::new_burst(StreamOp::Triad(1.5), layout, 120.0).unwrap()
+            } else {
+                StreamApp::new(StreamOp::Triad(1.5), layout, 120.0).unwrap()
+            };
+            let reg = polymem::TelemetryRegistry::new();
+            app.attach_telemetry(&reg);
+            let (a, b, c) = vectors(512);
+            app.load(&a, &b, &c).unwrap();
+            let c1 = app.run_pass();
+            let c2 = app.run_pass();
+            let snap = reg.snapshot();
+            let state = |s: &str| {
+                snap.counter_value(
+                    "dfe_kernel_cycles_total",
+                    &[("kernel", "polymem"), ("state", s)],
+                )
+                .unwrap_or(0)
+            };
+            let attributed = state("active")
+                + state("contention")
+                + state("pipeline")
+                + state("pcie")
+                + state("idle");
+            let sim = snap
+                .counter_value("stream_sim_cycles_total", &[("op", "Triad")])
+                .expect("sim cycle accumulator registered");
+            assert_eq!(sim, c1 + c2, "accumulator tracks run_pass (burst={burst})");
+            assert_eq!(attributed, sim, "exact-sum attribution (burst={burst})");
+            assert_eq!(
+                snap.counter_value("stream_passes_total", &[("op", "Triad")]),
+                Some(2)
+            );
+        }
+    }
+
+    #[test]
+    fn pass_histograms_record_each_pass() {
+        let layout = StreamLayout::new(512, 64, 2, 4, AccessScheme::RoCo, 2).unwrap();
+        let mut app = StreamApp::new(StreamOp::Copy, layout, PAPER_STREAM_FREQ_MHZ).unwrap();
+        let reg = polymem::TelemetryRegistry::new();
+        app.attach_telemetry(&reg);
+        let (a, b, c) = vectors(512);
+        app.load(&a, &b, &c).unwrap();
+        app.measure(3);
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("stream_pass_cycles"), "{prom}");
+        assert!(prom.contains("stream_pass_bandwidth_mbps"), "{prom}");
     }
 
     #[test]

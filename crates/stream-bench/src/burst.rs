@@ -32,7 +32,28 @@ use dfe_sim::polymem_kernel::{
     RegionCopyRequest, RegionCopyResponse, RegionRequest, RegionResponse, RegionWriteRequest,
 };
 use dfe_sim::stream::StreamRef;
+use polymem::telemetry::{Counter, Histogram, TelemetryRegistry};
 use polymem::Region;
+
+/// Bucket bounds for the in-flight-burst occupancy histogram: real covers
+/// are a handful of regions, so small powers of two resolve the whole range.
+static OUTSTANDING_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Per-event controller telemetry: how many bursts are in flight each time
+/// one is issued or retired, plus the issue count itself. Observations
+/// happen on *events* (issue / completion), not every tick, so an idle
+/// controller costs nothing.
+struct BurstTelemetry {
+    outstanding: Histogram,
+    issued: Counter,
+}
+
+impl BurstTelemetry {
+    fn observe(&self, issued: usize, written: usize) {
+        self.outstanding
+            .observe(issued.saturating_sub(written) as u64);
+    }
+}
 
 /// The burst-mode compute-stage controller.
 ///
@@ -59,6 +80,8 @@ pub struct BurstController {
     stash: Option<Vec<u64>>,
     /// Computed burst held back by write-FIFO backpressure.
     pending_write: Option<(usize, Vec<u64>)>,
+    /// Occupancy/issue telemetry, when attached.
+    tlm: Option<BurstTelemetry>,
 }
 
 impl BurstController {
@@ -111,7 +134,24 @@ impl BurstController {
             reads_issued: 0,
             stash: None,
             pending_write: None,
+            tlm: None,
         }
+    }
+
+    /// Register the controller's occupancy histogram
+    /// (`stream_burst_outstanding{op=...}`) and issue counter
+    /// (`stream_bursts_issued_total{op=...}`) with `registry`. Observations
+    /// are per burst event, so the steady-state tick path is untouched.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry) {
+        let labels = vec![("op", self.op.name().to_string())];
+        self.tlm = Some(BurstTelemetry {
+            outstanding: registry.histogram(
+                "stream_burst_outstanding",
+                labels.clone(),
+                &OUTSTANDING_BOUNDS,
+            ),
+            issued: registry.counter("stream_bursts_issued_total", labels),
+        });
     }
 
     /// Bursts (regions) per pass.
@@ -141,11 +181,18 @@ impl BurstController {
                 .borrow_mut()
                 .push((self.src[r].clone(), self.dst[r].clone()));
             st.issued += 1;
+            if let Some(t) = &self.tlm {
+                t.issued.inc();
+                t.observe(st.issued, st.written);
+            }
         }
         if self.copy_resp.borrow_mut().pop().is_some() {
             st.written += 1;
             if st.written >= self.bursts() {
                 st.running = false;
+            }
+            if let Some(t) = &self.tlm {
+                t.observe(st.issued, st.written);
             }
         }
     }
@@ -167,7 +214,15 @@ impl BurstController {
             };
             self.region_req.borrow_mut().push(region.clone());
             self.reads_issued += 1;
-            self.state.borrow_mut().issued = self.reads_issued.div_ceil(reads_per_burst);
+            let mut st = self.state.borrow_mut();
+            let issued = self.reads_issued.div_ceil(reads_per_burst);
+            if issued > st.issued {
+                st.issued = issued;
+                if let Some(t) = &self.tlm {
+                    t.issued.inc();
+                    t.observe(st.issued, st.written);
+                }
+            }
         }
         // Collect phase: combine a full operand set into one write burst.
         if self.pending_write.is_none() {
@@ -206,6 +261,9 @@ impl BurstController {
                 st.written += 1;
                 if st.written >= self.bursts() {
                     st.running = false;
+                }
+                if let Some(t) = &self.tlm {
+                    t.observe(st.issued, st.written);
                 }
             }
         }
@@ -384,6 +442,26 @@ mod tests {
         write_req.borrow_mut().pop();
         ctrl.tick(2);
         assert!(ctrl.pass_done(), "burst drains once the FIFO has room");
+    }
+
+    #[test]
+    fn telemetry_counts_issues_and_occupancy_events() {
+        let mut rig = make(StreamOp::Copy);
+        let reg = TelemetryRegistry::new();
+        rig.ctrl.attach_telemetry(&reg);
+        rig.ctrl.tick(0); // issue event: outstanding = 1
+        rig.copy_resp.borrow_mut().push(16);
+        rig.ctrl.tick(1); // completion event: outstanding = 0
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_value("stream_bursts_issued_total", &[("op", "Copy")]),
+            Some(1)
+        );
+        let prom = snap.to_prometheus();
+        assert!(
+            prom.contains("stream_burst_outstanding"),
+            "histogram exported: {prom}"
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@ use dfe_sim::polymem_kernel::{
 };
 use dfe_sim::stream::StreamRef;
 use polymem::Region;
+use std::cell::Cell;
+use std::rc::Rc;
 
 /// Cycles between host chunks at the PCIe bulk rate: one `lanes * 8`-byte
 /// chunk every `ceil(chunk_bytes / (link_Bns * period_ns))` cycles.
@@ -36,6 +38,7 @@ pub struct LoadKernel {
     interval: u64,
     last_issue: Option<u64>,
     write_req: StreamRef<WriteRequest>,
+    pacing: Option<Rc<Cell<bool>>>,
 }
 
 impl LoadKernel {
@@ -57,12 +60,27 @@ impl LoadKernel {
             interval: interval.max(1),
             last_issue: None,
             write_req,
+            pacing: None,
         }
     }
 
     /// Chunks still to send.
     pub fn remaining(&self) -> usize {
         self.layout.chunks() - self.next_chunk
+    }
+
+    /// Share a pacing flag with the downstream PolyMem kernel (see
+    /// [`dfe_sim::polymem_kernel::PolyMemKernel::set_pcie_flag`]): the
+    /// loader raises it while it is withholding a chunk for PCIe arrival
+    /// timing, so the memory attributes those stalls to `pcie`, not `idle`.
+    pub fn set_pacing_flag(&mut self, flag: Rc<Cell<bool>>) {
+        self.pacing = Some(flag);
+    }
+
+    fn set_pacing(&self, on: bool) {
+        if let Some(f) = &self.pacing {
+            f.set(on);
+        }
     }
 }
 
@@ -73,13 +91,16 @@ impl Kernel for LoadKernel {
 
     fn tick(&mut self, cycle: u64) {
         if self.next_chunk >= self.layout.chunks() {
+            self.set_pacing(false);
             return;
         }
         if let Some(last) = self.last_issue {
             if cycle < last + self.interval {
+                self.set_pacing(true);
                 return;
             }
         }
+        self.set_pacing(false);
         if !self.write_req.borrow().can_push() {
             return;
         }
@@ -179,6 +200,7 @@ pub struct BurstLoadKernel {
     /// Cycle at which each region's last PCIe chunk has arrived.
     arrival: Vec<u64>,
     write_req: StreamRef<RegionWriteRequest>,
+    pacing: Option<Rc<Cell<bool>>>,
 }
 
 impl BurstLoadKernel {
@@ -215,12 +237,26 @@ impl BurstLoadKernel {
             next: 0,
             arrival,
             write_req,
+            pacing: None,
         }
     }
 
     /// Bursts still to send.
     pub fn remaining(&self) -> usize {
         self.regions.len() - self.next
+    }
+
+    /// Share a pacing flag with the downstream PolyMem kernel (see
+    /// [`dfe_sim::polymem_kernel::PolyMemKernel::set_pcie_flag`]): raised
+    /// while the next burst's tail chunk is still on the PCIe wire.
+    pub fn set_pacing_flag(&mut self, flag: Rc<Cell<bool>>) {
+        self.pacing = Some(flag);
+    }
+
+    fn set_pacing(&self, on: bool) {
+        if let Some(f) = &self.pacing {
+            f.set(on);
+        }
     }
 }
 
@@ -231,11 +267,14 @@ impl Kernel for BurstLoadKernel {
 
     fn tick(&mut self, cycle: u64) {
         if self.next >= self.regions.len() {
+            self.set_pacing(false);
             return;
         }
         if cycle < self.arrival[self.next] {
+            self.set_pacing(true);
             return; // the burst's tail chunk is still on the wire
         }
+        self.set_pacing(false);
         if !self.write_req.borrow().can_push() {
             return;
         }
@@ -484,6 +523,47 @@ mod tests {
         }
         assert_eq!(off.take(), data);
         assert_eq!(pm.region_reads_served(), 3);
+    }
+
+    #[test]
+    fn pcie_pacing_attributed_to_pcie_not_idle() {
+        let n = 4 * 64;
+        let (layout, _rq, _rs, _wq, mut pm) = build(n);
+        let bwq = stream("bwq", 4);
+        pm.attach_region_write_port(Rc::clone(&bwq));
+        let reg = polymem::TelemetryRegistry::new();
+        pm.attach_telemetry(&reg);
+        let pacing = Rc::new(Cell::new(false));
+        pm.set_pcie_flag(Rc::clone(&pacing));
+        let data: Vec<u64> = (0..n as u64).collect();
+        let mut loader = BurstLoadKernel::new("A", layout.a, layout.config.p, data, 4, bwq);
+        loader.set_pacing_flag(Rc::clone(&pacing));
+        let mut cycle = 0u64;
+        while !(loader.is_idle() && pm.pipelines_empty()) {
+            loader.tick(cycle);
+            pm.tick(cycle);
+            cycle += 1;
+            assert!(cycle < 20_000);
+        }
+        let snap = reg.snapshot();
+        let state = |s: &str| {
+            snap.counter_value("dfe_kernel_cycles_total", &[("kernel", "pm"), ("state", s)])
+                .unwrap_or(0)
+        };
+        // Store-and-forward: most of the load is spent waiting on the link.
+        assert!(state("pcie") > 0, "pacing stalls must land in pcie");
+        assert!(
+            state("pcie") > state("idle"),
+            "PCIe-bound load: pcie {} vs idle {}",
+            state("pcie"),
+            state("idle")
+        );
+        let total = state("active")
+            + state("contention")
+            + state("pipeline")
+            + state("pcie")
+            + state("idle");
+        assert_eq!(total, cycle, "every tick lands in exactly one bucket");
     }
 
     #[test]

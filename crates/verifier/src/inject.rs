@@ -10,7 +10,7 @@
 
 use crate::findings::{Finding, Severity};
 use crate::locks;
-use crate::{lint, schemes};
+use crate::{lint, schemes, telemetry};
 use polymem::{
     AccessPattern, AccessScheme, AddressingFunction, Agu, ModuleAssignment, ParallelAccess,
     PlanCache, Region, RegionPlan, RegionShape,
@@ -137,7 +137,28 @@ fn writing_read_port(concurrent_src: &str) -> Mutation {
     record("writing-read-port", "port-aliasing", &findings)
 }
 
-/// Mutation 6: a hot replay function with a bare `unwrap()`; the source
+/// Mutation 6: append a function that snapshots the telemetry registry
+/// while holding a bank write guard; the guard-scope scan must flag the
+/// registry lock taken under a bank lock.
+fn locked_telemetry_in_guard(concurrent_src: &str) -> Mutation {
+    let injected = format!(
+        "{concurrent_src}\nimpl<T> ConcurrentPolyMem<T> {{\n    fn injected_locked_telemetry\
+         (&self, registry: &TelemetryRegistry) {{\n        let mut guard = \
+         self.banks[0].write();\n        let snap = registry.snapshot();\n        \
+         let _ = (&mut guard, snap);\n    }}\n}}\n"
+    );
+    let mut findings = Vec::new();
+    let graph = locks::analyze_source(&injected, "concurrent.rs[injected]", &mut findings);
+    findings.clear();
+    let _ = telemetry::analyze_source(&injected, &graph, "concurrent.rs[injected]", &mut findings);
+    record(
+        "locked-telemetry-in-guard",
+        "telemetry-lock-in-guard",
+        &findings,
+    )
+}
+
+/// Mutation 7: a hot replay function with a bare `unwrap()`; the source
 /// lint must reject it without an allowlist entry.
 fn panicking_hot_path() -> Mutation {
     let src = "impl<T> PolyMem<T> {\n    fn read_planned(&mut self) {\n        \
@@ -165,6 +186,7 @@ pub fn run(root: &Path, findings: &mut Vec<Finding>) -> Vec<Mutation> {
         corrupt_region_plan(),
         reversed_lock_order(&concurrent_src),
         writing_read_port(&concurrent_src),
+        locked_telemetry_in_guard(&concurrent_src),
         panicking_hot_path(),
     ];
     for m in &mutations {
@@ -193,7 +215,7 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let mut findings = Vec::new();
         let mutations = run(&root, &mut findings);
-        assert_eq!(mutations.len(), 6);
+        assert_eq!(mutations.len(), 7);
         for m in &mutations {
             assert!(m.caught, "{} survived: {}", m.name, m.detail);
         }

@@ -22,6 +22,9 @@
 //!   reach a bank write (same-cycle port aliasing);
 //! * [`lint`] — rejects panicking constructs in plan-replay hot paths,
 //!   modulo a tracked allowlist;
+//! * [`telemetry`] — proves instrumentation inside held bank-guard scopes
+//!   uses only lock-free atomic counter handles (no registry calls under
+//!   a bank lock, no single-writer `*_owned` ops in multi-writer code);
 //! * [`inject`] — mutation-tests the analyzer itself by seeding one
 //!   violation per hazard class and requiring each to be caught.
 //!
@@ -38,3 +41,4 @@ pub mod lint;
 pub mod locks;
 pub mod plans;
 pub mod schemes;
+pub mod telemetry;

@@ -88,6 +88,16 @@ pub struct Acquisition {
     scope_end: usize,
 }
 
+impl Acquisition {
+    /// Byte range of the source the guard is held over: `[acquisition,
+    /// end-of-enclosing-block)`. Empty for transient (non-`let`-bound)
+    /// guards. Offsets are valid into both the original and the masked
+    /// source (masking is length-preserving).
+    pub fn held_scope(&self) -> (usize, usize) {
+        (self.pos, self.scope_end)
+    }
+}
+
 /// One lock-order edge: `from` is held while `to` is acquired.
 #[derive(Debug, Clone)]
 pub struct LockEdge {

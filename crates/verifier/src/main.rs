@@ -4,7 +4,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use verifier::findings::{findings_json, Finding, Json, Severity};
-use verifier::{inject, lint, locks, plans, schemes};
+use verifier::{inject, lint, locks, plans, schemes, telemetry};
 
 struct Options {
     root: PathBuf,
@@ -155,6 +155,22 @@ fn locks_json(graph: &locks::LockGraph) -> Json {
     ])
 }
 
+fn telemetry_json(out: &telemetry::TelemetryGuardReport) -> Json {
+    Json::Obj(vec![
+        (
+            "bank_guard_scopes".into(),
+            Json::UInt(out.bank_guard_scopes as u64),
+        ),
+        (
+            "telemetry_sites".into(),
+            Json::UInt(out.telemetry_sites as u64),
+        ),
+        ("atomic_sites".into(), Json::UInt(out.atomic_sites as u64)),
+        ("locked_sites".into(), Json::UInt(out.locked_sites as u64)),
+        ("owned_ops".into(), Json::UInt(out.owned_ops as u64)),
+    ])
+}
+
 fn lint_json(out: &lint::LintOutput) -> Json {
     Json::Obj(vec![
         (
@@ -243,6 +259,17 @@ fn main() -> ExitCode {
             graph.spawns
         );
         sections.push(("locks".into(), locks_json(&graph)));
+
+        let tlm_out = telemetry::run(&opts.root, &graph, &mut findings);
+        println!(
+            "  telemetry: {} bank-guard scope(s) scanned, {} atomic counter site(s) verified \
+             lock-free, {} registry call(s) under a guard, {} owned op(s)",
+            tlm_out.bank_guard_scopes,
+            tlm_out.atomic_sites,
+            tlm_out.locked_sites,
+            tlm_out.owned_ops
+        );
+        sections.push(("telemetry".into(), telemetry_json(&tlm_out)));
 
         let lint_out = lint::run(&opts.root, &mut findings);
         println!(

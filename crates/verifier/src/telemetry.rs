@@ -1,0 +1,252 @@
+//! Telemetry guard-scope analysis: instrumentation inside bank guards
+//! must be lock-free.
+//!
+//! The unified telemetry layer promises that counting never perturbs the
+//! datapath's locking protocol. Concretely, `ConcurrentPolyMem` bumps
+//! per-bank counters *while holding that bank's write guard* (the batched
+//! `bank_batch` adds in `write_region` / `scatter_range`); if any such
+//! call ever reached back into the registry — registration, snapshotting,
+//! anything that takes the registry's `RwLock` — the bank guard would
+//! nest under a foreign lock, invisible to the bank-lock protocol the
+//! lock analyzer proves. This pass re-derives the promise from source on
+//! every run:
+//!
+//! * every *held* bank-guard scope found by [`crate::locks`] is scanned
+//!   for telemetry call sites; sites using the atomic handle methods
+//!   (`bank_batch`, `inc`, `add`, `observe` on pre-resolved handles) are
+//!   recorded as verified, while any registry-surface token inside the
+//!   scope (`registry.`, `.snapshot(`, `register_*`, `attach_telemetry`)
+//!   is an error — those paths take the registry lock;
+//! * the whole file is additionally screened for the single-writer
+//!   `*_owned` counter fast path: sound under `PolyMem`'s `&mut self`,
+//!   but a lost-update bug in the multi-writer concurrent memory, so its
+//!   appearance in `concurrent.rs` is an error regardless of scope;
+//! * like every scanner here, the pass hard-fails towards a warning if it
+//!   finds no bank guards or no telemetry sites at all — a refactor must
+//!   not silently blind it.
+
+use crate::findings::{Finding, Severity};
+use crate::locks::{line_of, mask_source, LockClass, LockGraph, LockMode};
+use std::path::Path;
+
+/// Telemetry call sites that only touch pre-resolved atomic handles —
+/// safe inside any guard scope. (`t` is the conventional binding for the
+/// attached telemetry struct in `polymem`.)
+const ATOMIC_SITES: &[&str] = &[
+    "t.bank_batch(",
+    "t.inc(",
+    "t.add(",
+    "t.observe(",
+    "t.single_read(",
+    "t.single_write(",
+    "t.region_read(",
+    "t.region_write(",
+    "t.region_write_banks(",
+];
+
+/// Registry-surface tokens: each of these acquires the registry's
+/// internal `RwLock` (registration upserts, snapshot reads) and must
+/// never appear while a bank guard is held.
+const LOCKED_SITES: &[&str] = &[
+    "registry.",
+    ".snapshot(",
+    "register_stat(",
+    "register_telemetry(",
+    "attach_telemetry(",
+    "counter_with_base",
+    ".counter(",
+    ".gauge(",
+    ".histogram(",
+];
+
+/// What the guard-scope scan found (the report section).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryGuardReport {
+    /// Held bank-guard scopes examined.
+    pub bank_guard_scopes: usize,
+    /// Telemetry call sites found inside those scopes.
+    pub telemetry_sites: usize,
+    /// Of those, sites using only atomic handle methods.
+    pub atomic_sites: usize,
+    /// Registry-surface (lock-taking) sites inside guard scopes: must be 0.
+    pub locked_sites: usize,
+    /// Single-writer `*_owned` counter ops anywhere in the file: must be 0.
+    pub owned_ops: usize,
+}
+
+/// Scan `src` (with its already-built lock graph) for telemetry hazards.
+pub fn analyze_source(
+    src: &str,
+    graph: &LockGraph,
+    label: &str,
+    findings: &mut Vec<Finding>,
+) -> TelemetryGuardReport {
+    let masked = mask_source(src);
+    let mut report = TelemetryGuardReport::default();
+
+    for acq in graph
+        .acquisitions
+        .iter()
+        .filter(|a| a.class == LockClass::Bank && a.mode == LockMode::Write && a.held)
+    {
+        let (start, end) = acq.held_scope();
+        if start >= end {
+            continue;
+        }
+        report.bank_guard_scopes += 1;
+        let scope = &masked[start..end];
+        for pat in ATOMIC_SITES {
+            let mut s = 0;
+            while let Some(found) = scope[s..].find(pat) {
+                report.telemetry_sites += 1;
+                report.atomic_sites += 1;
+                s += found + pat.len();
+            }
+        }
+        for pat in LOCKED_SITES {
+            let mut s = 0;
+            while let Some(found) = scope[s..].find(pat) {
+                let at = start + s + found;
+                report.telemetry_sites += 1;
+                report.locked_sites += 1;
+                findings.push(Finding::new(
+                    "telemetry",
+                    Severity::Error,
+                    "telemetry-lock-in-guard",
+                    format!("{label}:{} in {}", line_of(src, at), acq.function),
+                    format!(
+                        "`{pat}` inside a held bank write guard ({}:{}): registry calls \
+                         take the registry RwLock under a bank lock",
+                        acq.function, acq.line
+                    ),
+                ));
+                s += found + pat.len();
+            }
+        }
+    }
+
+    // Single-writer counter ops are forbidden in the concurrent memory
+    // wholesale: two port threads racing a load+store pair lose updates.
+    let mut s = 0;
+    while let Some(found) = masked[s..].find("_owned(") {
+        let at = s + found;
+        report.owned_ops += 1;
+        findings.push(Finding::new(
+            "telemetry",
+            Severity::Error,
+            "owned-counter-in-concurrent",
+            format!("{label}:{}", line_of(src, at)),
+            "single-writer `*_owned` counter op in multi-writer code: updates from \
+             racing port threads would be lost; use the RMW `inc`/`add`"
+                .to_string(),
+        ));
+        s = at + "_owned(".len();
+    }
+
+    if report.bank_guard_scopes == 0 || report.atomic_sites == 0 {
+        findings.push(Finding::new(
+            "telemetry",
+            Severity::Warning,
+            "telemetry-scan-blind",
+            label.to_string(),
+            format!(
+                "found {} bank-guard scope(s) and {} atomic telemetry site(s); the batched \
+                 per-bank counting this pass exists to audit has moved or been renamed",
+                report.bank_guard_scopes, report.atomic_sites
+            ),
+        ));
+    }
+    report
+}
+
+/// Read `concurrent.rs` under `root`, rebuild its lock graph, and run the
+/// guard-scope scan.
+pub fn run(root: &Path, graph: &LockGraph, findings: &mut Vec<Finding>) -> TelemetryGuardReport {
+    let path = root.join("crates/polymem/src/concurrent.rs");
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            findings.push(Finding::new(
+                "telemetry",
+                Severity::Error,
+                "scanner-blind",
+                path.display().to_string(),
+                format!("cannot read source: {e}"),
+            ));
+            return TelemetryGuardReport::default();
+        }
+    };
+    analyze_source(&src, graph, "concurrent.rs", findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks;
+
+    const REAL: &str = include_str!("../../polymem/src/concurrent.rs");
+
+    #[test]
+    fn real_source_is_clean_and_nonvacuous() {
+        let mut findings = Vec::new();
+        let graph = locks::analyze_source(REAL, "concurrent.rs", &mut findings);
+        findings.clear();
+        let report = analyze_source(REAL, &graph, "concurrent.rs", &mut findings);
+        assert!(findings.is_empty(), "{findings:#?}");
+        assert!(report.bank_guard_scopes >= 2, "{report:?}");
+        assert!(report.atomic_sites >= 2, "{report:?}");
+        assert_eq!(report.locked_sites, 0);
+        assert_eq!(report.owned_ops, 0);
+    }
+
+    #[test]
+    fn registry_call_under_bank_guard_is_flagged() {
+        let injected = format!(
+            "{REAL}\nimpl<T> ConcurrentPolyMem<T> {{\n    fn injected_locked_telemetry(&self, \
+             registry: &TelemetryRegistry) {{\n        let mut guard = self.banks[0].write();\n        \
+             let snap = registry.snapshot();\n        let _ = (&mut guard, snap);\n    }}\n}}\n"
+        );
+        let mut findings = Vec::new();
+        let graph = locks::analyze_source(&injected, "concurrent.rs[injected]", &mut findings);
+        findings.clear();
+        let report = analyze_source(&injected, &graph, "concurrent.rs[injected]", &mut findings);
+        assert!(report.locked_sites >= 1, "{report:?}");
+        assert!(
+            findings.iter().any(|f| f.code == "telemetry-lock-in-guard"),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn owned_counter_op_is_flagged_anywhere() {
+        let injected = format!(
+            "{REAL}\nimpl<T> ConcurrentPolyMem<T> {{\n    fn injected_single_writer(&self) {{\n        \
+             if let Some(t) = &self.tlm {{ t.reads.inc_owned(); }}\n    }}\n}}\n"
+        );
+        let mut findings = Vec::new();
+        let graph = locks::analyze_source(&injected, "x", &mut findings);
+        findings.clear();
+        let report = analyze_source(&injected, &graph, "x", &mut findings);
+        assert_eq!(report.owned_ops, 1);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.code == "owned-counter-in-concurrent"),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn blind_scan_warns() {
+        let src = "impl<T> Nothing<T> { fn noop(&self) {} }\n";
+        let mut findings = Vec::new();
+        let graph = locks::analyze_source(src, "x", &mut findings);
+        findings.clear();
+        let report = analyze_source(src, &graph, "x", &mut findings);
+        assert_eq!(report.bank_guard_scopes, 0);
+        assert!(
+            findings.iter().any(|f| f.code == "telemetry-scan-blind"),
+            "{findings:#?}"
+        );
+    }
+}
