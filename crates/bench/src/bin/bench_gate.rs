@@ -25,6 +25,7 @@ use std::process::Command;
 const GATED_BENCHES: &[(&str, &str)] = &[
     ("region", "BENCH_region.json"),
     ("stream_region", "BENCH_stream_region.json"),
+    ("layout", "BENCH_layout.json"),
 ];
 
 /// Extra quick-mode reruns allowed per bench target before a violation is

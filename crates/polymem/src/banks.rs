@@ -6,6 +6,93 @@
 //! bank's data cache-local while still modelling per-bank independence.
 
 use crate::error::{PolyMemError, Result};
+use serde::{Deserialize, Serialize};
+
+/// How the flat backing store interleaves banks (Ferry et al.'s
+/// burst-friendly layouts, arXiv 2202.05933).
+///
+/// The choice is invisible at the bank/address interface — `read(bank,
+/// addr)` means the same thing under either layout — but it decides which
+/// *logical* walks become contiguous bursts in the flat store, and
+/// therefore which compiled region plans coalesce into long
+/// `copy_from_slice` runs:
+///
+/// * [`BankLayout::BankMajor`] (the default, and the only layout the
+///   concurrent wrapper supports): bank `b` owns the contiguous slab
+///   `data[b*depth .. (b+1)*depth]`. Walks that stay inside one bank
+///   (strided intra-bank sweeps) are contiguous.
+/// * [`BankLayout::AddrInterleaved`]: address `a` of every bank sits in
+///   the contiguous stripe `data[a*banks .. (a+1)*banks]`. Walks that
+///   sweep all banks at one address — exactly what a conflict-free
+///   full-lane access does — become contiguous, so canonical-order region
+///   replays of lane-dense schemes coalesce into maximal runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BankLayout {
+    /// `flat[bank * depth + addr]` — bank slabs are contiguous.
+    #[default]
+    BankMajor,
+    /// `flat[addr * banks + bank]` — per-address stripes are contiguous.
+    AddrInterleaved,
+}
+
+impl BankLayout {
+    /// Flat index of `(bank, addr)` in a `banks x depth` store.
+    #[inline]
+    pub fn flatten(self, bank: usize, addr: usize, banks: usize, depth: usize) -> usize {
+        match self {
+            BankLayout::BankMajor => bank * depth + addr,
+            BankLayout::AddrInterleaved => {
+                let _ = depth;
+                addr * banks + bank
+            }
+        }
+    }
+
+    /// The compiled-plan fold term for `(bank, addr-delta)`: the signed
+    /// flat offset a plan stores so replay is `flat[base_flat + fold]`.
+    #[inline]
+    pub fn fold(self, bank: isize, delta: isize, banks: usize, depth: usize) -> isize {
+        match self {
+            BankLayout::BankMajor => bank * depth as isize + delta,
+            BankLayout::AddrInterleaved => delta * banks as isize + bank,
+        }
+    }
+
+    /// Flat-index multiplier for a pure intra-bank address term: replays
+    /// turn a logical base address into `base * base_scale` before adding
+    /// fold offsets.
+    #[inline]
+    pub fn base_scale(self, banks: usize) -> isize {
+        match self {
+            BankLayout::BankMajor => 1,
+            BankLayout::AddrInterleaved => banks as isize,
+        }
+    }
+
+    /// Which bank owns flat slot `flat`.
+    #[inline]
+    pub fn bank_of(self, flat: usize, banks: usize, depth: usize) -> usize {
+        match self {
+            BankLayout::BankMajor => flat / depth,
+            BankLayout::AddrInterleaved => {
+                let _ = depth;
+                flat % banks
+            }
+        }
+    }
+
+    /// Which intra-bank address flat slot `flat` holds.
+    #[inline]
+    pub fn addr_of(self, flat: usize, banks: usize, depth: usize) -> usize {
+        match self {
+            BankLayout::BankMajor => flat % depth,
+            BankLayout::AddrInterleaved => {
+                let _ = depth;
+                flat / banks
+            }
+        }
+    }
+}
 
 /// The physical storage: `banks` independent linear memories of `depth`
 /// elements each.
@@ -13,16 +100,24 @@ use crate::error::{PolyMemError, Result};
 pub struct BankArray<T> {
     banks: usize,
     depth: usize,
-    /// Bank-major storage: element `a` of bank `b` is `data[b * depth + a]`.
+    layout: BankLayout,
+    /// Flat storage; `layout` decides where `(bank, addr)` lands.
     data: Vec<T>,
 }
 
 impl<T: Copy + Default> BankArray<T> {
-    /// Allocate `banks` banks of `depth` elements, zero/default-initialised.
+    /// Allocate `banks` banks of `depth` elements, zero/default-initialised,
+    /// in the default bank-major layout.
     pub fn new(banks: usize, depth: usize) -> Self {
+        Self::with_layout(banks, depth, BankLayout::BankMajor)
+    }
+
+    /// Allocate with an explicit backing layout.
+    pub fn with_layout(banks: usize, depth: usize, layout: BankLayout) -> Self {
         Self {
             banks,
             depth,
+            layout,
             data: vec![T::default(); banks * depth],
         }
     }
@@ -45,18 +140,24 @@ impl<T: Copy + Default> BankArray<T> {
         self.data.len()
     }
 
+    /// The backing layout this array was allocated with.
+    #[inline]
+    pub fn layout(&self) -> BankLayout {
+        self.layout
+    }
+
     /// Read element `addr` of `bank`.
     #[inline]
     pub fn read(&self, bank: usize, addr: usize) -> T {
         debug_assert!(bank < self.banks && addr < self.depth);
-        self.data[bank * self.depth + addr]
+        self.data[self.layout.flatten(bank, addr, self.banks, self.depth)]
     }
 
     /// Write element `addr` of `bank`.
     #[inline]
     pub fn write(&mut self, bank: usize, addr: usize, value: T) {
         debug_assert!(bank < self.banks && addr < self.depth);
-        self.data[bank * self.depth + addr] = value;
+        self.data[self.layout.flatten(bank, addr, self.banks, self.depth)] = value;
     }
 
     /// Parallel read: for each bank `b`, fetch `addrs[b]` into `out[b]`.
@@ -66,7 +167,7 @@ impl<T: Copy + Default> BankArray<T> {
         debug_assert_eq!(addrs.len(), self.banks);
         debug_assert_eq!(out.len(), self.banks);
         for b in 0..self.banks {
-            out[b] = self.data[b * self.depth + addrs[b]];
+            out[b] = self.data[self.layout.flatten(b, addrs[b], self.banks, self.depth)];
         }
     }
 
@@ -76,7 +177,7 @@ impl<T: Copy + Default> BankArray<T> {
         debug_assert_eq!(addrs.len(), self.banks);
         debug_assert_eq!(values.len(), self.banks);
         for b in 0..self.banks {
-            self.data[b * self.depth + addrs[b]] = values[b];
+            self.data[self.layout.flatten(b, addrs[b], self.banks, self.depth)] = values[b];
         }
     }
 
@@ -90,7 +191,7 @@ impl<T: Copy + Default> BankArray<T> {
                 ),
             });
         }
-        Ok(self.data[bank * self.depth + addr])
+        Ok(self.data[self.layout.flatten(bank, addr, self.banks, self.depth)])
     }
 
     /// Fill every location with `value` (test/reset helper).
@@ -98,19 +199,28 @@ impl<T: Copy + Default> BankArray<T> {
         self.data.fill(value);
     }
 
-    /// Raw view of one bank's storage.
+    /// Raw view of one bank's storage. Only the bank-major layout keeps a
+    /// bank contiguous; under [`BankLayout::AddrInterleaved`] a bank's
+    /// elements are strided through the store and no slice view exists.
     pub fn bank_slice(&self, bank: usize) -> &[T] {
+        debug_assert_eq!(
+            self.layout,
+            BankLayout::BankMajor,
+            "bank_slice requires the bank-major layout"
+        );
         &self.data[bank * self.depth..(bank + 1) * self.depth]
     }
 
-    /// Bank-major flat view of the whole storage (element `a` of bank `b`
-    /// is `flat()[b * depth + a]`) — the gather surface of compiled plans.
+    /// Layout-ordered flat view of the whole storage (slot of `(b, a)` is
+    /// `layout().flatten(b, a, banks, depth)`) — the gather surface of
+    /// compiled plans.
     #[inline]
     pub(crate) fn flat(&self) -> &[T] {
         &self.data
     }
 
-    /// Mutable bank-major flat view — the scatter surface of compiled plans.
+    /// Mutable layout-ordered flat view — the scatter surface of compiled
+    /// plans.
     #[inline]
     pub(crate) fn flat_mut(&mut self) -> &mut [T] {
         &mut self.data
@@ -176,5 +286,41 @@ mod tests {
             b.write(1, a, a as u64 + 100);
         }
         assert_eq!(b.bank_slice(1), &[100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn interleaved_layout_roundtrips_and_stripes() {
+        let mut b = BankArray::<u64>::with_layout(4, 8, BankLayout::AddrInterleaved);
+        assert_eq!(b.layout(), BankLayout::AddrInterleaved);
+        for bank in 0..4 {
+            for a in 0..8 {
+                b.write(bank, a, (bank * 100 + a) as u64);
+            }
+        }
+        for bank in 0..4 {
+            for a in 0..8 {
+                assert_eq!(b.read(bank, a), (bank * 100 + a) as u64);
+                assert_eq!(b.try_read(bank, a).unwrap(), (bank * 100 + a) as u64);
+            }
+        }
+        // Address stripe a holds all banks' element a contiguously.
+        let stripe: Vec<u64> = (0..4).map(|bank| b.read(bank, 3)).collect();
+        assert_eq!(stripe, vec![3, 103, 203, 303]);
+        assert_eq!(&b.flat()[3 * 4..4 * 4], &stripe[..]);
+    }
+
+    #[test]
+    fn layout_flatten_decode_agree() {
+        for layout in [BankLayout::BankMajor, BankLayout::AddrInterleaved] {
+            for bank in 0..4 {
+                for addr in 0..8 {
+                    let f = layout.flatten(bank, addr, 4, 8);
+                    assert_eq!(layout.bank_of(f, 4, 8), bank, "{layout:?}");
+                    assert_eq!(layout.addr_of(f, 4, 8), addr, "{layout:?}");
+                    let fold = layout.fold(bank as isize, addr as isize, 4, 8);
+                    assert_eq!(fold, f as isize, "fold at delta=addr, base=0");
+                }
+            }
+        }
     }
 }

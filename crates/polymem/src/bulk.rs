@@ -13,11 +13,15 @@
 //!   deployment option: same data, different conflict-free view set).
 //!
 //! By default every operation replays a compiled [`RegionPlan`]
-//! (see [`crate::region_plan`]): one bounds check, one origin address, one
-//! flat gather/scatter loop — no per-access plan lookups, no coordinate
-//! reordering, no allocation beyond the caller's output buffer. The
-//! per-access path survives behind [`PolyMem::set_region_planning`] as the
-//! differential-testing oracle and the tracing path.
+//! (see [`crate::region_plan`]): one bounds check, one origin address, then
+//! the plan's *run table* — maximal unit-stride segments become
+//! `copy_from_slice`/`copy_within` block moves, everything else goes
+//! through the fixed-width chunked strided loop. No per-access plan
+//! lookups, no coordinate reordering, no allocation beyond the caller's
+//! output buffer (copies between distinct plans stage through one scratch
+//! vector). The per-access path survives behind
+//! [`PolyMem::set_region_planning`] as the differential-testing oracle and
+//! the tracing path.
 
 use crate::config::PolyMemConfig;
 use crate::error::{PolyMemError, Result};
@@ -66,14 +70,13 @@ impl<T: Copy + Default> PolyMem<T> {
             let plan = self.region_plan_for(region)?;
             plan.check_bounds(region, self.config.rows, self.config.cols)?;
             let base = self.afn.address(region.i, region.j) as isize;
-            let flat = self.banks.flat();
-            for (o, &f) in out.iter_mut().zip(&plan.fold) {
-                *o = flat[(base + f) as usize];
-            }
+            plan.gather_into(self.banks.flat(), base, out);
             self.stats.reads += plan.accesses as u64;
             self.stats.elements_read += plan.len() as u64;
             if let Some(t) = &self.tlm {
                 t.region_read(port, plan.accesses, plan.len());
+                let (c, s) = byte_split::<T>(&plan);
+                t.region_bytes(c, s);
             }
             return Ok(());
         }
@@ -112,14 +115,13 @@ impl<T: Copy + Default> PolyMem<T> {
             let plan = self.region_plan_for(region)?;
             plan.check_bounds(region, self.config.rows, self.config.cols)?;
             let base = self.afn.address(region.i, region.j) as isize;
-            let flat = self.banks.flat_mut();
-            for (&f, &v) in plan.fold.iter().zip(values) {
-                flat[(base + f) as usize] = v;
-            }
+            plan.scatter_from(self.banks.flat_mut(), base, values);
             self.stats.writes += plan.accesses as u64;
             self.stats.elements_written += plan.len() as u64;
             if let Some(t) = &self.tlm {
                 t.region_write(plan.accesses, plan.len());
+                let (c, s) = byte_split::<T>(&plan);
+                t.region_bytes(c, s);
             }
             return Ok(());
         }
@@ -138,11 +140,20 @@ impl<T: Copy + Default> PolyMem<T> {
         Ok(())
     }
 
-    /// Copy `src` to `dst` through the ports (one read + one write per
-    /// access pair — the STREAM-Copy inner loop as a library call).
-    /// Regions must decompose into the same number of accesses; lane `k` of
-    /// source access `t` lands in lane `k` of destination access `t`, so
-    /// overlapping regions behave exactly like the explicit per-access loop.
+    /// Copy `src` to `dst` through the ports (the STREAM-Copy inner loop as
+    /// a library call). Regions must decompose into the same number of
+    /// accesses; lane `k` of source access `t` lands in lane `k` of
+    /// destination access `t`, so overlapping regions behave exactly like
+    /// the explicit per-access loop.
+    ///
+    /// The planned path picks the cheapest replay that preserves those
+    /// semantics: disjoint same-residue-class copies are pure
+    /// `copy_within` block moves over the shared plan's store runs;
+    /// disjoint same-shape copies gather canonically through the source
+    /// run table and scatter through the destination's (same-shape regions
+    /// decompose at fixed offsets from their origins, so canonical pairing
+    /// equals the positional per-access pairing); only overlapping or
+    /// cross-shape copies walk the exact access-interleaved loop.
     pub fn copy_region(&mut self, port: usize, src: &Region, dst: &Region) -> Result<()> {
         if port >= self.config.read_ports {
             return Err(PolyMemError::InvalidPort {
@@ -160,18 +171,44 @@ impl<T: Copy + Default> PolyMem<T> {
             dp.check_bounds(dst, self.config.rows, self.config.cols)?;
             let sbase = self.afn.address(src.i, src.j) as isize;
             let dbase = self.afn.address(dst.i, dst.j) as isize;
-            let lanes = self.config.lanes();
-            let mut buf = vec![T::default(); lanes];
-            let flat = self.banks.flat_mut();
-            for t in 0..sp.accesses {
-                let sa = &sp.afold[t * lanes..(t + 1) * lanes];
-                let da = &dp.afold[t * lanes..(t + 1) * lanes];
-                for (b, &f) in buf.iter_mut().zip(sa) {
-                    *b = flat[(sbase + f) as usize];
+            let overlap = src.overlaps(dst);
+            let elem = std::mem::size_of::<T>() as u64;
+            let (coalesced, strided);
+            if !overlap && Arc::ptr_eq(&sp, &dp) {
+                // Same residue class, disjoint: both regions touch
+                // congruent storage images, so the copy is one
+                // `copy_within` per store run.
+                sp.copy_store_runs_within(self.banks.flat_mut(), sbase, dbase);
+                coalesced = 2 * sp.len() as u64 * elem;
+                strided = 0;
+            } else if !overlap && src.shape == dst.shape {
+                let mut buf = vec![T::default(); sp.len()];
+                sp.gather_into(self.banks.flat(), sbase, &mut buf);
+                dp.scatter_from(self.banks.flat_mut(), dbase, &buf);
+                let (sc, ss) = byte_split::<T>(&sp);
+                let (dc, ds) = byte_split::<T>(&dp);
+                coalesced = sc + dc;
+                strided = ss + ds;
+            } else {
+                // Overlap or cross-shape: exact per-access interleaving
+                // through the access-major maps.
+                let lanes = self.config.lanes();
+                let sfb = sp.flat_base(sbase);
+                let dfb = dp.flat_base(dbase);
+                let mut buf = vec![T::default(); lanes];
+                let flat = self.banks.flat_mut();
+                for t in 0..sp.accesses {
+                    let sa = &sp.afold[t * lanes..(t + 1) * lanes];
+                    let da = &dp.afold[t * lanes..(t + 1) * lanes];
+                    for (b, &f) in buf.iter_mut().zip(sa) {
+                        *b = flat[(sfb + f) as usize];
+                    }
+                    for (&f, &v) in da.iter().zip(&buf) {
+                        flat[(dfb + f) as usize] = v;
+                    }
                 }
-                for (&f, &v) in da.iter().zip(&buf) {
-                    flat[(dbase + f) as usize] = v;
-                }
+                coalesced = 0;
+                strided = 2 * sp.len() as u64 * elem;
             }
             self.stats.reads += sp.accesses as u64;
             self.stats.writes += dp.accesses as u64;
@@ -180,6 +217,7 @@ impl<T: Copy + Default> PolyMem<T> {
             if let Some(t) = &self.tlm {
                 t.region_read(port, sp.accesses, sp.len());
                 t.region_write(dp.accesses, dp.len());
+                t.region_bytes(coalesced, strided);
             }
             return Ok(());
         }
@@ -229,11 +267,9 @@ impl<T: Copy + Default> PolyMem<T> {
             let dp = out.region_plan_for(&whole)?;
             let sbase = self.afn.address(0, 0) as isize;
             let dbase = out.afn.address(0, 0) as isize;
-            let sflat = self.banks.flat();
-            let dflat = out.banks.flat_mut();
-            for (&sf, &df) in sp.fold.iter().zip(&dp.fold) {
-                dflat[(dbase + df) as usize] = sflat[(sbase + sf) as usize];
-            }
+            let mut buf = vec![T::default(); sp.len()];
+            sp.gather_into(self.banks.flat(), sbase, &mut buf);
+            dp.scatter_from(out.banks.flat_mut(), dbase, &buf);
             self.stats.reads += sp.accesses as u64;
             self.stats.elements_read += sp.len() as u64;
             out.stats.writes += dp.accesses as u64;
@@ -250,6 +286,17 @@ impl<T: Copy + Default> PolyMem<T> {
         }
         Ok(out)
     }
+}
+
+/// Coalesced/strided byte attribution of one plan replay: bytes moved by
+/// unit-stride block moves vs the chunked strided loop.
+#[inline]
+fn byte_split<T>(plan: &RegionPlan) -> (u64, u64) {
+    let elem = std::mem::size_of::<T>() as u64;
+    (
+        plan.contiguous_elems as u64 * elem,
+        (plan.len() - plan.contiguous_elems) as u64 * elem,
+    )
 }
 
 fn copy_shape_mismatch(src: &Region, n: usize, dst: &Region, m: usize) -> PolyMemError {
@@ -350,9 +397,11 @@ mod tests {
         let shifted = Region::new("row2", 13, 0, RegionShape::Row { len: 16 });
         m.read_region(0, &shifted).unwrap();
         let s = m.region_plan_stats();
-        assert_eq!(s.misses, 1, "one compile for the residue class: {s:?}");
+        // Two compiles: the whole-space plan `load_row_major` builds in
+        // `mem()`, plus one for the row's residue class.
+        assert_eq!(s.misses, 2, "whole-space + one row class: {s:?}");
         assert_eq!(s.hits, 4);
-        assert_eq!(s.entries, 1);
+        assert_eq!(s.entries, 2);
         assert!(s.bytes > 0);
         m.clear_region_plans();
         assert_eq!(m.region_plan_stats().entries, 0);
@@ -477,6 +526,92 @@ mod tests {
         assert_eq!(col, want);
         // ...and rows are gone.
         assert!(reco.read(0, ParallelAccess::row(0, 0)).is_err());
+    }
+
+    #[test]
+    fn coalesced_replay_matches_oracle_under_both_layouts() {
+        use crate::banks::BankLayout;
+        for layout in [BankLayout::BankMajor, BankLayout::AddrInterleaved] {
+            for scheme in AccessScheme::ALL {
+                let cfg = PolyMemConfig::new(16, 16, 2, 4, scheme, 1)
+                    .unwrap()
+                    .with_layout(layout);
+                let mut m = PolyMem::<u64>::new(cfg).unwrap();
+                let data: Vec<u64> = (0..256).map(|k| k * 31 + 7).collect();
+                m.load_row_major(&data).unwrap();
+                assert_eq!(m.dump_row_major(), data, "{scheme} {layout:?} roundtrip");
+                let regions = [
+                    Region::new("b", 2, 4, RegionShape::Block { rows: 4, cols: 8 }),
+                    Region::new("r", 5, 0, RegionShape::Row { len: 16 }),
+                    Region::new("c", 0, 7, RegionShape::Col { len: 16 }),
+                    Region::new("d", 1, 2, RegionShape::MainDiag { len: 8 }),
+                    Region::new("one", 3, 3, RegionShape::Row { len: 1 }),
+                    Region::new("whole", 0, 0, RegionShape::Block { rows: 16, cols: 16 }),
+                ];
+                for r in &regions {
+                    let planned = m.read_region(0, r);
+                    m.set_region_planning(false);
+                    let oracle = m.read_region(0, r);
+                    m.set_region_planning(true);
+                    match (&planned, &oracle) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a, b, "{scheme} {layout:?} {}", r.name)
+                        }
+                        (Err(_), Err(_)) => {}
+                        _ => panic!("{scheme} {layout:?} {}: {planned:?} vs {oracle:?}", r.name),
+                    }
+                    // Write parity too: scatter the reversed values through
+                    // both paths and compare full dumps.
+                    if let Ok(vals) = &planned {
+                        let rev: Vec<u64> = vals.iter().rev().copied().collect();
+                        m.write_region(r, &rev).unwrap();
+                        let planned_dump = m.dump_row_major();
+                        m.load_row_major(&data).unwrap();
+                        m.set_region_planning(false);
+                        m.write_region(r, &rev).unwrap();
+                        let oracle_dump = m.dump_row_major();
+                        m.set_region_planning(true);
+                        assert_eq!(
+                            planned_dump, oracle_dump,
+                            "{scheme} {layout:?} {} write",
+                            r.name
+                        );
+                        m.load_row_major(&data).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_region_same_class_fast_path_matches_oracle() {
+        // src and dst share a residue class (origins 8 rows apart, period
+        // 8) => the same Arc'd plan => the store-run copy_within path.
+        let src = Region::new("s", 0, 0, RegionShape::Block { rows: 2, cols: 8 });
+        let dst = Region::new("d", 8, 0, RegionShape::Block { rows: 2, cols: 8 });
+        let mut planned = mem(AccessScheme::ReRo);
+        planned.copy_region(0, &src, &dst).unwrap();
+        let mut naive = mem(AccessScheme::ReRo);
+        naive.set_region_planning(false);
+        naive.copy_region(0, &src, &dst).unwrap();
+        assert_eq!(planned.dump_row_major(), naive.dump_row_major());
+    }
+
+    #[test]
+    fn copy_region_same_shape_cross_class_matches_oracle() {
+        // Same shape, different residue class, disjoint: the canonical
+        // gather/scatter path must equal the positional per-access oracle.
+        let src = Region::new("s", 0, 0, RegionShape::Block { rows: 2, cols: 8 });
+        let dst = Region::new("d", 3, 5, RegionShape::Block { rows: 2, cols: 8 });
+        for scheme in AccessScheme::ALL {
+            let mut planned = mem(scheme);
+            let mut naive = mem(scheme);
+            naive.set_region_planning(false);
+            let a = planned.copy_region(0, &src, &dst);
+            let b = naive.copy_region(0, &src, &dst);
+            assert_eq!(a.is_ok(), b.is_ok(), "{scheme}");
+            assert_eq!(planned.dump_row_major(), naive.dump_row_major(), "{scheme}");
+        }
     }
 
     #[test]

@@ -15,18 +15,28 @@
 //! the roadmap flagged.
 //!
 //! Region operations ([`ConcurrentPolyMem::read_region`] /
-//! [`ConcurrentPolyMem::write_region`]) replay compiled [`RegionPlan`]s:
-//! reads shard the canonical element range across the configured read ports
-//! (one contiguous output chunk per port thread), writes take each bank
-//! lock once and drain that bank's elements in a batch.
-//! [`ConcurrentPolyMem::copy_region`] fuses the two into one burst: a
-//! port-sharded gather of the whole source region followed by one merged
+//! [`ConcurrentPolyMem::write_region`]) replay compiled [`RegionPlan`]s
+//! through their *per-bank run tables*: every lock acquisition drains
+//! maximal constant-stride segments — `copy_from_slice` block moves when
+//! the intra-bank stride is 1, the fixed-width chunked strided loop
+//! otherwise — instead of one element per guard deref. Reads are
+//! two-phase: port threads shard the *banks* and gather each bank's share
+//! under one read lock into a disjoint stage slice, then a lock-free pass
+//! spreads the stage into canonical order.
+//! [`ConcurrentPolyMem::copy_region`] fuses gather and scatter into one
+//! burst: when source and destination share a plan (same residue class,
+//! disjoint) each bank's segments move internally with `copy_within`
+//! under a single guard; otherwise the staged gather feeds one merged
 //! write per destination bank — the spawned bank writers are the *one*
 //! sanctioned place a spawned thread takes a bank write lock (via
 //! [`scatter_range`](ConcurrentPolyMem), each writer owns exactly one
 //! bank, so writers never contend and never alias a read port's bank
 //! view mid-access). Overlapping regions fall back to the sequential
 //! access-interleaved order so results match [`crate::PolyMem::copy_region`].
+//!
+//! Note: this façade keeps its per-bank `Vec` storage regardless of
+//! [`crate::BankLayout`] — the layout knob shapes the *flat* backing of
+//! [`crate::PolyMem`]; here every bank is already its own allocation.
 //!
 //! Granularity note: each element access locks its bank individually, so a
 //! concurrent reader may observe a simultaneous write partially applied
@@ -42,7 +52,9 @@ use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
 use crate::plan::{AccessPlan, PlanCache, PlanCacheStats};
 use crate::region::Region;
-use crate::region_plan::{RegionPlan, RegionPlanCache, RegionPlanCacheStats};
+use crate::region_plan::{
+    gather_strided, scatter_strided, RegionPlan, RegionPlanCache, RegionPlanCacheStats,
+};
 use crate::scheme::{AccessPattern, ParallelAccess};
 use crate::telemetry::{Counter, TelemetryRegistry};
 use parking_lot::RwLock;
@@ -74,6 +86,8 @@ struct ConcTelemetry {
     conflicts_avoided: Counter,
     uniform: Counter,
     bank_elems: Vec<Counter>,
+    region_coalesced_bytes: Counter,
+    region_strided_bytes: Counter,
 }
 
 impl ConcTelemetry {
@@ -132,6 +146,25 @@ impl ConcTelemetry {
     fn bank_batch(&self, b: usize, n: u64) {
         self.bank_elems[b].add(n);
     }
+
+    /// Attribute one region replay's bytes to the coalesced (per-bank
+    /// block moves) vs strided (chunked loop) buckets.
+    #[inline]
+    fn region_bytes(&self, coalesced: u64, strided: u64) {
+        self.region_coalesced_bytes.add(coalesced);
+        self.region_strided_bytes.add(strided);
+    }
+}
+
+/// Coalesced/strided byte attribution of one per-bank-locked replay: the
+/// share moved by `d_stride == 1` bank runs vs the chunked strided loop.
+#[inline]
+fn bank_byte_split<T>(plan: &RegionPlan) -> (u64, u64) {
+    let elem = std::mem::size_of::<T>() as u64;
+    (
+        plan.bank_contiguous_elems as u64 * elem,
+        (plan.len() - plan.bank_contiguous_elems) as u64 * elem,
+    )
 }
 
 /// A PolyMem whose ports can be driven from multiple threads through `&self`.
@@ -205,6 +238,10 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             conflicts_avoided: registry.counter("polymem_conc_conflicts_avoided_total", Vec::new()),
             uniform,
             bank_elems,
+            region_coalesced_bytes: registry
+                .counter("polymem_conc_region_coalesced_bytes_total", Vec::new()),
+            region_strided_bytes: registry
+                .counter("polymem_conc_region_strided_bytes_total", Vec::new()),
         });
         for (i, shard) in self.plans.iter_mut().enumerate() {
             let label = vec![("cache", format!("conc-{}", AccessPattern::ALL[i].name()))];
@@ -361,50 +398,101 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         Ok(())
     }
 
-    /// Read a whole region in canonical element order, sharding the compiled
-    /// gather across the configured read ports: each port thread fills one
-    /// contiguous chunk of the output, exactly as each hardware port streams
-    /// one slice of a burst. Small regions are gathered inline — thread
-    /// launch would dominate.
+    /// Read a whole region in canonical element order. Two-phase
+    /// run-coalesced replay: port threads shard the *banks* (each port
+    /// drains a contiguous band of banks, one read lock per bank, moving
+    /// that bank's run segments into a disjoint slice of a bank-major
+    /// stage), then a lock-free pass spreads the stage into canonical
+    /// order through the same run table. Small regions run both phases
+    /// inline — thread launch would dominate.
     pub fn read_region(&self, region: &Region) -> Result<Vec<T>> {
         let plan = self.region_plan_for(region)?;
         plan.check_bounds(region, self.config.rows, self.config.cols)?;
         if let Some(t) = &self.tlm {
             t.region_read(plan.accesses, plan.len());
+            let (c, s) = bank_byte_split::<T>(&plan);
+            t.region_bytes(c, s);
         }
         let base = self.afn.address(region.i, region.j) as isize;
         let len = plan.len();
         let mut out = vec![T::default(); len];
-        let ports = self.config.read_ports.max(1);
-        if ports == 1 || len < PARALLEL_REGION_MIN {
-            self.gather_range(&plan, base, 0, &mut out);
+        if len == 0 {
             return Ok(out);
         }
-        let chunk = len.div_ceil(ports);
-        let plan_ref = &plan;
-        crossbeam::scope(|s| {
-            for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
-                s.spawn(move |_| {
-                    self.gather_range(plan_ref, base, ci * chunk, out_chunk);
-                });
+        let accesses = plan.accesses;
+        let mut stage = vec![T::default(); len];
+        let ports = self.config.read_ports.max(1);
+        if ports == 1 || len < PARALLEL_REGION_MIN {
+            for (b, chunk) in stage.chunks_mut(accesses).enumerate() {
+                self.gather_range(&plan, base, b, chunk);
             }
-        })
-        .expect("region port thread panicked");
+        } else {
+            let banks_per_port = plan.lanes.div_ceil(ports);
+            let plan_ref = &plan;
+            crossbeam::scope(|s| {
+                for (ci, band) in stage.chunks_mut(banks_per_port * accesses).enumerate() {
+                    s.spawn(move |_| {
+                        for (k, chunk) in band.chunks_mut(accesses).enumerate() {
+                            self.gather_range(plan_ref, base, ci * banks_per_port + k, chunk);
+                        }
+                    });
+                }
+            })
+            .expect("region port thread panicked");
+        }
+        for b in 0..plan.lanes {
+            self.spread_range(&plan, b, &stage[b * accesses..(b + 1) * accesses], &mut out);
+        }
         Ok(out)
     }
 
-    /// Gather canonical elements `[start, start + out.len())` of a region
-    /// plan into `out`.
-    fn gather_range(&self, plan: &RegionPlan, base: isize, start: usize, out: &mut [T]) {
-        for (t, o) in out.iter_mut().enumerate() {
-            let c = start + t;
-            *o = self.banks[plan.banks[c] as usize].read()[(base + plan.deltas[c]) as usize];
+    /// Gather bank `b`'s share of a region (in `bank_elems` order) into
+    /// `out` under a single bank read lock: one `copy_from_slice` per
+    /// unit-stride run segment, the chunked strided loop otherwise.
+    fn gather_range(&self, plan: &RegionPlan, base: isize, b: usize, out: &mut [T]) {
+        let lo = plan.bank_run_index[b] as usize;
+        let hi = plan.bank_run_index[b + 1] as usize;
+        let guard = self.banks[b].read();
+        let bank = guard.as_slice();
+        let mut pos = 0usize;
+        for run in &plan.bank_runs[lo..hi] {
+            let len = run.len as usize;
+            let a0 = base + run.d0;
+            let dst = &mut out[pos..pos + len];
+            if run.d_stride == 1 {
+                dst.copy_from_slice(&bank[a0 as usize..a0 as usize + len]);
+            } else {
+                gather_strided(bank, a0, run.d_stride, dst);
+            }
+            pos += len;
+        }
+    }
+
+    /// Spread bank `b`'s staged elements (gathered in `bank_elems` order)
+    /// into their canonical positions of `out`. Pure memory traffic — no
+    /// lock is held or taken.
+    fn spread_range(&self, plan: &RegionPlan, b: usize, stage: &[T], out: &mut [T]) {
+        let lo = plan.bank_run_index[b] as usize;
+        let hi = plan.bank_run_index[b + 1] as usize;
+        let mut pos = 0usize;
+        for run in &plan.bank_runs[lo..hi] {
+            let len = run.len as usize;
+            let src = &stage[pos..pos + len];
+            let c0 = run.c0 as usize;
+            if run.c_stride == 1 {
+                out[c0..c0 + len].copy_from_slice(src);
+            } else {
+                scatter_strided(out, c0 as isize, run.c_stride as isize, src);
+            }
+            pos += len;
         }
     }
 
     /// Write a whole region (values in canonical order), taking each bank
-    /// lock exactly once and draining that bank's elements in a batch —
-    /// `p*q` lock acquisitions per region instead of one per element.
+    /// lock exactly once and draining that bank's run segments in a batch —
+    /// `p*q` lock acquisitions per region instead of one per element, and
+    /// block moves instead of element stores wherever a segment is
+    /// unit-stride on both sides.
     pub fn write_region(&self, region: &Region, values: &[T]) -> Result<()> {
         if values.len() != region.len() {
             return Err(PolyMemError::WrongLaneCount {
@@ -416,18 +504,12 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         plan.check_bounds(region, self.config.rows, self.config.cols)?;
         if let Some(t) = &self.tlm {
             t.region_write(plan.accesses, plan.len());
+            let (c, s) = bank_byte_split::<T>(&plan);
+            t.region_bytes(c, s);
         }
         let base = self.afn.address(region.i, region.j) as isize;
-        for (b, bank) in self.banks.iter().enumerate().take(plan.lanes) {
-            let elems = &plan.bank_elems[b * plan.accesses..(b + 1) * plan.accesses];
-            let mut guard = bank.write();
-            for &c in elems {
-                let c = c as usize;
-                guard[(base + plan.deltas[c]) as usize] = values[c];
-            }
-            if let Some(t) = &self.tlm {
-                t.bank_batch(b, elems.len() as u64);
-            }
+        for b in 0..plan.lanes {
+            self.scatter_range(&plan, base, b, values);
         }
         Ok(())
     }
@@ -439,12 +521,15 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         self.copy_region_with(src, dst, &mut scratch)
     }
 
-    /// Copy `src` into `dst` as one fused operation: a port-sharded gather
-    /// of the whole source region, then one merged write per destination
-    /// bank. `scratch` is reused across calls so steady-state bursts are
-    /// allocation-free. Overlapping regions take the access-interleaved
-    /// slow path, which matches the sequential [`crate::PolyMem::copy_region`]
-    /// element for element.
+    /// Copy `src` into `dst` as one fused operation. Disjoint regions that
+    /// share a plan (same residue class) never leave their banks: each
+    /// bank's run segments move internally with `copy_within` under a
+    /// single write guard. Other disjoint copies stage a port-sharded
+    /// run-coalesced gather, spread it to canonical order, then issue one
+    /// merged write per destination bank. `scratch` is reused across calls
+    /// so steady-state bursts are allocation-free. Overlapping regions
+    /// take the access-interleaved slow path, which matches the sequential
+    /// [`crate::PolyMem::copy_region`] element for element.
     pub fn copy_region_with(&self, src: &Region, dst: &Region, scratch: &mut Vec<T>) -> Result<()> {
         let sp = self.region_plan_for(src)?;
         let dp = self.region_plan_for(dst)?;
@@ -469,32 +554,61 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
                 // No batched bank guards on this path: count the scatter's
                 // per-bank elements here (each access hits each bank once).
                 t.region_write_banks(dp.accesses);
+                t.region_bytes(0, 2 * sp.len() as u64 * std::mem::size_of::<T>() as u64);
             }
             return self.copy_interleaved(&sp, sbase, &dp, dbase, scratch);
         }
         let len = sp.len();
+        if len == 0 {
+            return Ok(());
+        }
+        if Arc::ptr_eq(&sp, &dp) {
+            if let Some(t) = &self.tlm {
+                let (c, s) = bank_byte_split::<T>(&sp);
+                t.region_bytes(2 * c, 2 * s);
+            }
+            self.copy_bank_runs(&sp, sbase, dbase);
+            return Ok(());
+        }
+        if let Some(t) = &self.tlm {
+            let (sc, ss) = bank_byte_split::<T>(&sp);
+            let (dc, ds) = bank_byte_split::<T>(&dp);
+            t.region_bytes(sc + dc, ss + ds);
+        }
+        let accesses = sp.accesses;
         scratch.clear();
-        scratch.resize(len, T::default());
+        scratch.resize(2 * len, T::default());
+        let (stage, canonical) = scratch.split_at_mut(len);
         let ports = self.config.read_ports.max(1);
         if ports == 1 || len < PARALLEL_REGION_MIN {
-            self.gather_range(&sp, sbase, 0, scratch);
+            for (b, chunk) in stage.chunks_mut(accesses).enumerate() {
+                self.gather_range(&sp, sbase, b, chunk);
+            }
+        } else {
+            let banks_per_port = sp.lanes.div_ceil(ports);
+            let plan_ref = &sp;
+            crossbeam::scope(|s| {
+                for (ci, band) in stage.chunks_mut(banks_per_port * accesses).enumerate() {
+                    s.spawn(move |_| {
+                        for (k, chunk) in band.chunks_mut(accesses).enumerate() {
+                            self.gather_range(plan_ref, sbase, ci * banks_per_port + k, chunk);
+                        }
+                    });
+                }
+            })
+            .expect("region port thread panicked");
+        }
+        for b in 0..sp.lanes {
+            self.spread_range(&sp, b, &stage[b * accesses..(b + 1) * accesses], canonical);
+        }
+        let values: &[T] = canonical;
+        if ports == 1 || len < PARALLEL_REGION_MIN {
             for b in 0..dp.lanes {
-                self.scatter_range(&dp, dbase, b, scratch);
+                self.scatter_range(&dp, dbase, b, values);
             }
             return Ok(());
         }
-        let chunk = len.div_ceil(ports);
-        let plan_ref = &sp;
-        crossbeam::scope(|s| {
-            for (ci, out_chunk) in scratch.chunks_mut(chunk).enumerate() {
-                s.spawn(move |_| {
-                    self.gather_range(plan_ref, sbase, ci * chunk, out_chunk);
-                });
-            }
-        })
-        .expect("region port thread panicked");
         let dplan = &dp;
-        let values = &scratch[..];
         crossbeam::scope(|s| {
             for b in 0..dplan.lanes {
                 s.spawn(move |_| {
@@ -507,18 +621,79 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
     }
 
     /// Write bank `b`'s share of a region in one batch: a single bank
-    /// write-lock acquisition draining `bank_elems[b]`'s canonical indices
-    /// out of `values`. Each spawned burst writer owns exactly one bank, so
-    /// writers are mutually disjoint by construction.
+    /// write-lock acquisition draining the bank's run segments out of
+    /// `values` (canonical order) — a `copy_from_slice` when a segment is
+    /// unit-stride on both sides, the chunked strided loop when one side
+    /// strides, a scalar loop for the rare dual-strided segment. Each
+    /// spawned burst writer owns exactly one bank, so writers are mutually
+    /// disjoint by construction.
     fn scatter_range(&self, plan: &RegionPlan, base: isize, b: usize, values: &[T]) {
-        let elems = &plan.bank_elems[b * plan.accesses..(b + 1) * plan.accesses];
+        let lo = plan.bank_run_index[b] as usize;
+        let hi = plan.bank_run_index[b + 1] as usize;
+        let mut drained = 0u64;
         let mut guard = self.banks[b].write();
-        for &c in elems {
-            let c = c as usize;
-            guard[(base + plan.deltas[c]) as usize] = values[c];
+        let bank = guard.as_mut_slice();
+        for run in &plan.bank_runs[lo..hi] {
+            let len = run.len as usize;
+            let c0 = run.c0 as usize;
+            let a0 = base + run.d0;
+            if run.c_stride == 1 {
+                let src = &values[c0..c0 + len];
+                if run.d_stride == 1 {
+                    bank[a0 as usize..a0 as usize + len].copy_from_slice(src);
+                } else {
+                    scatter_strided(bank, a0, run.d_stride, src);
+                }
+            } else if run.d_stride == 1 {
+                gather_strided(
+                    values,
+                    c0 as isize,
+                    run.c_stride as isize,
+                    &mut bank[a0 as usize..a0 as usize + len],
+                );
+            } else {
+                for t in 0..len {
+                    bank[(a0 + t as isize * run.d_stride) as usize] =
+                        values[c0 + t * run.c_stride as usize];
+                }
+            }
+            drained += run.len as u64;
         }
         if let Some(t) = &self.tlm {
-            t.bank_batch(b, elems.len() as u64);
+            t.bank_batch(b, drained);
+        }
+    }
+
+    /// Same-plan disjoint copy: per bank, one write guard, then every run
+    /// segment moves *within* the bank — `copy_within` when the intra-bank
+    /// stride is 1, a strided self-copy otherwise (source and destination
+    /// address sets are disjoint, so iteration order cannot alias). Serial
+    /// by design: the spawned-writer pattern stays confined to
+    /// [`Self::scatter_range`].
+    fn copy_bank_runs(&self, plan: &RegionPlan, sbase: isize, dbase: isize) {
+        for b in 0..plan.lanes {
+            let lo = plan.bank_run_index[b] as usize;
+            let hi = plan.bank_run_index[b + 1] as usize;
+            let mut drained = 0u64;
+            let mut guard = self.banks[b].write();
+            let bank = guard.as_mut_slice();
+            for run in &plan.bank_runs[lo..hi] {
+                let len = run.len as usize;
+                let s0 = sbase + run.d0;
+                let d0 = dbase + run.d0;
+                if run.d_stride == 1 {
+                    bank.copy_within(s0 as usize..s0 as usize + len, d0 as usize);
+                } else {
+                    for t in 0..len {
+                        let off = t as isize * run.d_stride;
+                        bank[(d0 + off) as usize] = bank[(s0 + off) as usize];
+                    }
+                }
+                drained += run.len as u64;
+            }
+            if let Some(t) = &self.tlm {
+                t.bank_batch(b, drained);
+            }
         }
     }
 
@@ -605,16 +780,10 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
     }
 }
 
-/// Conservative bounding-box overlap test (via [`Region::extents`]): a
+/// Conservative bounding-box overlap test (see [`Region::overlaps`]): a
 /// false positive only costs the interleaved slow path, never correctness.
 fn regions_overlap(a: &Region, b: &Region) -> bool {
-    let (ad, ar, al) = a.extents();
-    let (bd, br, bl) = b.extents();
-    let (ai, aj) = (a.i as isize, a.j as isize);
-    let (bi, bj) = (b.i as isize, b.j as isize);
-    let rows_meet = ai <= bi + bd as isize && bi <= ai + ad as isize;
-    let cols_meet = aj - al as isize <= bj + br as isize && bj - bl as isize <= aj + ar as isize;
-    rows_meet && cols_meet
+    a.overlaps(b)
 }
 
 #[cfg(test)]
@@ -907,5 +1076,57 @@ mod tests {
             .is_err());
         assert!(m.read(PA::rect(1, 1)).is_err()); // misaligned RoCo rect
         assert!(m.read(PA::rect(2, 4)).is_ok());
+    }
+
+    /// copy_region parity under racing writers: a writer hammers a third
+    /// disjoint region while bursts copy src into a same-class destination
+    /// (the `copy_within` bank-run path) and a cross-class one (the staged
+    /// gather + spawned per-bank scatter path). Afterwards both
+    /// destinations hold exactly src's content, src is untouched, and the
+    /// hammered region holds the writer's final values.
+    #[test]
+    fn copy_region_parity_under_racing_writers() {
+        let cfg = PolyMemConfig::new(32, 64, 2, 4, AccessScheme::RoCo, 4).unwrap();
+        let m = ConcurrentPolyMem::<u64>::new(cfg).unwrap();
+        for i in 0..32usize {
+            for j in 0..64usize {
+                m.set(i, j, (i * 64 + j) as u64).unwrap();
+            }
+        }
+        let shape = RegionShape::Block { rows: 8, cols: 32 };
+        let src = Region::new("s", 0, 0, shape);
+        let hot = Region::new("w", 8, 0, shape);
+        // (16, 0) is congruent to (0, 0) mod the period 8: same plan Arc.
+        let dst_same = Region::new("d0", 16, 0, shape);
+        // (24, 4) is a different residue class: staged gather + scatter.
+        let dst_cross = Region::new("d1", 24, 4, shape);
+        let stop = AtomicBool::new(false);
+        let writer_vals: Vec<u64> = (0..hot.len() as u64).map(|k| 0xdead_0000 + k).collect();
+        crossbeam::scope(|s| {
+            s.spawn(|_| {
+                while !stop.load(Ordering::Relaxed) {
+                    m.write_region(&hot, &writer_vals).unwrap();
+                }
+            });
+            for _ in 0..50 {
+                m.copy_region(&src, &dst_same).unwrap();
+                m.copy_region(&src, &dst_cross).unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+        .unwrap();
+        for i in 0..8usize {
+            for j in 0..32usize {
+                let want = (i * 64 + j) as u64;
+                assert_eq!(m.get(i, j).unwrap(), want, "src ({i},{j})");
+                assert_eq!(m.get(16 + i, j).unwrap(), want, "dst_same ({i},{j})");
+                assert_eq!(m.get(24 + i, 4 + j).unwrap(), want, "dst_cross ({i},{j})");
+                assert_eq!(
+                    m.get(8 + i, j).unwrap(),
+                    0xdead_0000 + (i * 32 + j) as u64,
+                    "hot ({i},{j})"
+                );
+            }
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! PolyMem configuration — the compile-time parameters of the MaxJ design
 //! (paper §III-A: capacity, `p x q` lanes, access scheme, read ports).
 
+use crate::banks::BankLayout;
 use crate::error::{PolyMemError, Result};
 use crate::scheme::AccessScheme;
 use serde::{Deserialize, Serialize};
@@ -26,6 +27,11 @@ pub struct PolyMemConfig {
     pub read_ports: usize,
     /// Element width in bytes (the paper uses 8 = 64-bit throughout).
     pub element_bytes: usize,
+    /// Flat backing layout of the bank array (burst-friendliness knob;
+    /// defaults to bank-major, the layout every release before this field
+    /// existed used — hence `serde(default)`).
+    #[serde(default)]
+    pub layout: BankLayout,
 }
 
 impl PolyMemConfig {
@@ -49,9 +55,16 @@ impl PolyMemConfig {
             scheme,
             read_ports,
             element_bytes: Self::DEFAULT_ELEMENT_BYTES,
+            layout: BankLayout::BankMajor,
         };
         cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// The same configuration with a different flat backing layout.
+    pub fn with_layout(mut self, layout: BankLayout) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Build a configuration from a target capacity in bytes (as the paper's

@@ -8,6 +8,16 @@
 //! or persist it for replay — and it gives the repository a
 //! forward-compatible wire format exercised by round-trip tests.
 //!
+//! Both directions ride the run-coalesced whole-space replay:
+//! [`PolyMem::dump_row_major`] gathers and [`PolyMem::load_row_major`]
+//! scatters through the compiled whole-region plan's run table (block
+//! moves for unit-stride segments), so imaging cost tracks memcpy rather
+//! than a per-element loop. The payload is row-major *logical* order —
+//! deliberately independent of the flat [`BankLayout`], so an image taken
+//! from an interleaved memory restores into any layout.
+//!
+//! [`BankLayout`]: crate::BankLayout
+//!
 //! ## Format (`PMIM`, version 1, little-endian)
 //!
 //! ```text
@@ -158,6 +168,22 @@ mod tests {
             assert_eq!(back.config().scheme, scheme);
             assert_eq!(back.get(5, 11).unwrap(), 42);
         }
+    }
+
+    #[test]
+    fn image_is_layout_independent() {
+        use crate::banks::BankLayout;
+        // An image taken from an interleaved-layout memory restores into
+        // the default layout with identical logical contents: the payload
+        // is logical row-major, not the flat backing order.
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 2)
+            .unwrap()
+            .with_layout(BankLayout::AddrInterleaved);
+        let mut m = PolyMem::new(cfg).unwrap();
+        let data: Vec<u64> = (0..256).map(|x| x * 31 + 7).collect();
+        m.load_row_major(&data).unwrap();
+        let back = from_image(to_image(&m)).unwrap();
+        assert_eq!(back.dump_row_major(), data);
     }
 
     #[test]

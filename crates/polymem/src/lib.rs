@@ -77,7 +77,7 @@ pub use addressing::AddressingFunction;
 pub use agu::Agu;
 pub use analysis::{analyse, bank_heatmap, rank_schemes, ConflictReport};
 pub use banded::BandedMatrix;
-pub use banks::BankArray;
+pub use banks::{BankArray, BankLayout};
 pub use concurrent::ConcurrentPolyMem;
 pub use config::PolyMemConfig;
 pub use error::{PolyMemError, Result};

@@ -20,6 +20,7 @@ use crate::config::PolyMemConfig;
 use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
 use crate::plan::{PlanCache, PlanCacheStats};
+use crate::region::{Region, RegionShape};
 use crate::region_plan::{RegionPlanCache, RegionPlanCacheStats};
 use crate::scheme::{AccessPattern, ParallelAccess};
 use crate::shuffle::Crossbar;
@@ -74,6 +75,10 @@ pub(crate) struct MemTelemetry {
     /// Serialized bank cycles avoided by conflict-free banking
     /// (`lanes - 1` per access; `len - accesses` per region op).
     conflicts_avoided: Counter,
+    /// Bytes moved by unit-stride runs (block moves) of region replay.
+    region_coalesced_bytes: Counter,
+    /// Bytes moved by the chunked strided-run replay loops.
+    region_strided_bytes: Counter,
 }
 
 impl MemTelemetry {
@@ -111,6 +116,15 @@ impl MemTelemetry {
         self.elements_written.add_owned(len as u64);
         self.conflicts_avoided.add_owned((len - accesses) as u64);
         self.region_accesses.add_owned(accesses as u64);
+    }
+
+    /// Attribute one region replay's traffic to the coalesced/strided
+    /// split (bytes moved by unit-stride block runs vs chunked strided
+    /// loops).
+    #[inline]
+    pub(crate) fn region_bytes(&self, coalesced: u64, strided: u64) {
+        self.region_coalesced_bytes.add_owned(coalesced);
+        self.region_strided_bytes.add_owned(strided);
     }
 }
 
@@ -168,7 +182,7 @@ impl<T: Copy + Default> PolyMem<T> {
         let maf = ModuleAssignment::new(config.scheme, config.p, config.q);
         let afn = AddressingFunction::new(config.p, config.q, config.rows, config.cols);
         let agu = Agu::new(config.p, config.q, config.rows, config.cols);
-        let banks = BankArray::new(lanes, config.bank_depth());
+        let banks = BankArray::with_layout(lanes, config.bank_depth(), config.layout);
         Ok(Self {
             config,
             maf,
@@ -183,7 +197,7 @@ impl<T: Copy + Default> PolyMem<T> {
             banked: vec![T::default(); lanes],
             stats: AccessStats::default(),
             trace_log: None,
-            plans: PlanCache::new(lanes, config.bank_depth()),
+            plans: PlanCache::with_layout(lanes, config.bank_depth(), config.layout),
             planning: true,
             region_plans: RegionPlanCache::new(lanes),
             region_planning: true,
@@ -286,6 +300,9 @@ impl<T: Copy + Default> PolyMem<T> {
             elements_read: registry.counter("polymem_elements_read_total", vec![]),
             elements_written: registry.counter("polymem_elements_written_total", vec![]),
             conflicts_avoided: registry.counter("polymem_conflicts_avoided_total", vec![]),
+            region_coalesced_bytes: registry
+                .counter("polymem_region_coalesced_bytes_total", vec![]),
+            region_strided_bytes: registry.counter("polymem_region_strided_bytes_total", vec![]),
             ..MemTelemetry::default()
         };
         for p in 0..self.config.read_ports {
@@ -360,7 +377,8 @@ impl<T: Copy + Default> PolyMem<T> {
         // Plans are per residue class; bounds depend on the actual origin
         // and must be re-checked even on a cache hit.
         self.agu.check_bounds(access)?;
-        let base = self.afn.address(access.i, access.j) as isize;
+        let base = self.afn.address(access.i, access.j) as isize
+            * self.config.layout.base_scale(self.config.lanes());
         let Self {
             plans,
             agu,
@@ -381,7 +399,8 @@ impl<T: Copy + Default> PolyMem<T> {
     fn write_planned(&mut self, access: ParallelAccess, data: &[T]) -> Result<()> {
         self.check_access(access)?;
         self.agu.check_bounds(access)?;
-        let base = self.afn.address(access.i, access.j) as isize;
+        let base = self.afn.address(access.i, access.j) as isize
+            * self.config.layout.base_scale(self.config.lanes());
         let Self {
             plans,
             agu,
@@ -537,8 +556,28 @@ impl<T: Copy + Default> PolyMem<T> {
         Ok(())
     }
 
+    /// The whole logical space as one Block region (always a legal region:
+    /// `rows % p == 0` and `cols % q == 0` by config validation), whose
+    /// canonical element order is exactly row-major.
+    pub(crate) fn whole_region(&self) -> Region {
+        Region::new(
+            "__whole",
+            0,
+            0,
+            RegionShape::Block {
+                rows: self.config.rows,
+                cols: self.config.cols,
+            },
+        )
+    }
+
     /// Fill the whole logical space from a row-major slice of
     /// `rows * cols` elements (the paper's DSE validation fill).
+    ///
+    /// With region planning on this replays the whole-space region plan —
+    /// one run-coalesced scatter instead of `rows * cols` MAF/addressing
+    /// evaluations — and leaves that plan cached for
+    /// [`Self::dump_row_major`] and scheme conversions.
     pub fn load_row_major(&mut self, data: &[T]) -> Result<()> {
         let n = self.config.capacity_elems();
         if data.len() != n {
@@ -546,6 +585,12 @@ impl<T: Copy + Default> PolyMem<T> {
                 got: data.len(),
                 expected: n,
             });
+        }
+        if self.use_region_plan() {
+            let whole = self.whole_region();
+            let plan = self.region_plan_for(&whole)?;
+            plan.scatter_from(self.banks.flat_mut(), 0, data);
+            return Ok(());
         }
         for i in 0..self.config.rows {
             for j in 0..self.config.cols {
@@ -558,8 +603,21 @@ impl<T: Copy + Default> PolyMem<T> {
     }
 
     /// Dump the whole logical space to a row-major `Vec`.
+    ///
+    /// Replays the cached whole-space region plan (run-coalesced gather)
+    /// when one exists — [`Self::load_row_major`] leaves it resident — and
+    /// otherwise walks the interpreted per-element path, so the method
+    /// stays `&self`.
     pub fn dump_row_major(&self) -> Vec<T> {
-        let mut out = Vec::with_capacity(self.config.capacity_elems());
+        let n = self.config.capacity_elems();
+        if self.use_region_plan() {
+            if let Some(plan) = self.region_plans.lookup(&self.whole_region()) {
+                let mut out = vec![T::default(); n];
+                plan.gather_into(self.banks.flat(), 0, &mut out);
+                return out;
+            }
+        }
+        let mut out = Vec::with_capacity(n);
         for i in 0..self.config.rows {
             for j in 0..self.config.cols {
                 let bank = self.maf.assign_linear(i, j);

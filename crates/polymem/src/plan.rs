@@ -29,6 +29,7 @@
 
 use crate::addressing::AddressingFunction;
 use crate::agu::Agu;
+use crate::banks::BankLayout;
 use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
 use crate::scheme::{AccessPattern, ParallelAccess};
@@ -115,14 +116,18 @@ impl PlanKey {
 
 /// A compiled parallel access: per-lane routing for one residue class.
 ///
-/// `fold[k] = banks[k] * bank_depth + delta[k]` is the lane's offset into
-/// the bank-major flat storage, relative to the origin's aligned-tile
-/// address `A(i0, j0)`. A read is then
-/// `out[k] = flat[(A(i0, j0) + fold[k]) as usize]` for every lane.
+/// `fold[k] = layout.fold(banks[k], delta[k])` is the lane's offset into
+/// the flat storage (bank-major: `banks[k] * depth + delta[k]`;
+/// address-interleaved: `delta[k] * lanes + banks[k]`), relative to the
+/// flat slot of the origin's aligned-tile address `A(i0, j0)`. A read is
+/// then `out[k] = flat[(A(i0, j0) * scale + fold[k]) as usize]` for every
+/// lane, with `scale = layout.base_scale(lanes)`.
 #[derive(Debug, Clone)]
 pub struct AccessPlan {
     /// The pattern this plan serves (for diagnostics).
     pub pattern: AccessPattern,
+    /// The flat backing layout `fold` was compiled against.
+    pub layout: BankLayout,
     /// Per-lane linear bank index (the crossbar steering signal).
     pub banks: Vec<u32>,
     /// Inverse route: `inverse[b]` is the lane served by bank `b`.
@@ -130,7 +135,7 @@ pub struct AccessPlan {
     /// Per-lane signed intra-bank address delta relative to `A(i0, j0)`.
     /// Negative deltas arise from the secondary diagonal's leftward walk.
     pub deltas: Vec<isize>,
-    /// Per-lane flat-storage offset: `banks[k] * depth + deltas[k]`.
+    /// Per-lane flat-storage offset: `layout.fold(banks[k], deltas[k])`.
     pub fold: Vec<isize>,
 }
 
@@ -148,6 +153,7 @@ impl AccessPlan {
         maf: &ModuleAssignment,
         afn: &AddressingFunction,
         depth: usize,
+        layout: BankLayout,
     ) -> Result<Self> {
         let coords = agu.expand(access)?;
         let lanes = coords.len();
@@ -169,10 +175,11 @@ impl AccessPlan {
             let delta = afn.address(i, j) as isize - base;
             banks.push(b as u32);
             deltas.push(delta);
-            fold.push(b as isize * depth as isize + delta);
+            fold.push(layout.fold(b as isize, delta, lanes, depth));
         }
         let plan = Self {
             pattern: access.pattern,
+            layout,
             banks,
             inverse,
             deltas,
@@ -268,11 +275,11 @@ impl AccessPlan {
                     self.pattern, self.inverse[b]
                 )));
             }
-            if self.fold[k] != b as isize * depth as isize + self.deltas[k] {
+            if self.fold[k] != self.layout.fold(b as isize, self.deltas[k], lanes, depth) {
                 return Err(structural(format!(
-                    "plan for {:?}: fold[{k}] = {} disagrees with bank {b} * depth {depth} \
-                     + delta {}",
-                    self.pattern, self.fold[k], self.deltas[k]
+                    "plan for {:?}: fold[{k}] = {} disagrees with {:?} fold of bank {b}, \
+                     depth {depth}, delta {}",
+                    self.pattern, self.fold[k], self.layout, self.deltas[k]
                 )));
             }
         }
@@ -302,6 +309,7 @@ pub struct PlanCacheStats {
 pub struct PlanCache {
     period: usize,
     depth: usize,
+    layout: BankLayout,
     map: PlanMap,
     hits: StatCounter,
     misses: StatCounter,
@@ -309,11 +317,17 @@ pub struct PlanCache {
 
 impl PlanCache {
     /// Empty cache for a memory with `p*q == period` lanes and banks of
-    /// `depth` elements.
+    /// `depth` elements, compiling against the bank-major layout.
     pub fn new(period: usize, depth: usize) -> Self {
+        Self::with_layout(period, depth, BankLayout::BankMajor)
+    }
+
+    /// Empty cache compiling fold offsets against an explicit layout.
+    pub fn with_layout(period: usize, depth: usize, layout: BankLayout) -> Self {
         Self {
             period,
             depth,
+            layout,
             map: PlanMap::default(),
             hits: StatCounter::new(),
             misses: StatCounter::new(),
@@ -324,6 +338,12 @@ impl PlanCache {
     #[inline]
     pub fn period(&self) -> usize {
         self.period
+    }
+
+    /// The flat backing layout plans are compiled against.
+    #[inline]
+    pub fn layout(&self) -> BankLayout {
+        self.layout
     }
 
     /// Look up the plan for `access`'s residue class without compiling.
@@ -356,7 +376,7 @@ impl PlanCache {
             }
             Entry::Vacant(v) => {
                 self.misses.inc();
-                let plan = AccessPlan::compile(access, agu, maf, afn, self.depth)?;
+                let plan = AccessPlan::compile(access, agu, maf, afn, self.depth, self.layout)?;
                 Ok(v.insert(Arc::new(plan)))
             }
         }
@@ -402,6 +422,7 @@ impl Clone for PlanCache {
         Self {
             period: self.period,
             depth: self.depth,
+            layout: self.layout,
             map: self.map.clone(),
             hits: StatCounter::from_value(self.hits.get()),
             misses: StatCounter::from_value(self.misses.get()),
@@ -433,7 +454,8 @@ mod tests {
         let (agu, maf, afn) = blocks(AccessScheme::ReRo, 2, 4, 16, 16);
         let depth = (16 / 2) * (16 / 4);
         let access = PA::row(3, 5);
-        let plan = AccessPlan::compile(access, &agu, &maf, &afn, depth).unwrap();
+        let plan =
+            AccessPlan::compile(access, &agu, &maf, &afn, depth, BankLayout::BankMajor).unwrap();
         let base = afn.address(3, 5) as isize;
         for (k, &(i, j)) in agu.expand(access).unwrap().iter().enumerate() {
             let bank = maf.assign_linear(i, j);
@@ -456,7 +478,8 @@ mod tests {
         // address floor((j0%q - k)/q) < 0 relative to the origin tile.
         let (agu, maf, afn) = blocks(AccessScheme::ReRo, 4, 2, 16, 16);
         let access = PA::new(0, 9, AccessPattern::SecondaryDiagonal);
-        let plan = AccessPlan::compile(access, &agu, &maf, &afn, 32).unwrap();
+        let plan =
+            AccessPlan::compile(access, &agu, &maf, &afn, 32, BankLayout::BankMajor).unwrap();
         assert!(
             plan.deltas.iter().any(|&d| d < 0),
             "leftward walk must produce negative address deltas: {:?}",
@@ -469,8 +492,24 @@ mod tests {
         // Origins congruent mod p*q compile to the identical plan.
         let (agu, maf, afn) = blocks(AccessScheme::RoCo, 2, 4, 32, 32);
         let depth = (32 / 2) * (32 / 4);
-        let a = AccessPlan::compile(PA::row(3, 5), &agu, &maf, &afn, depth).unwrap();
-        let b = AccessPlan::compile(PA::row(3 + 8, 5 + 16), &agu, &maf, &afn, depth).unwrap();
+        let a = AccessPlan::compile(
+            PA::row(3, 5),
+            &agu,
+            &maf,
+            &afn,
+            depth,
+            BankLayout::BankMajor,
+        )
+        .unwrap();
+        let b = AccessPlan::compile(
+            PA::row(3 + 8, 5 + 16),
+            &agu,
+            &maf,
+            &afn,
+            depth,
+            BankLayout::BankMajor,
+        )
+        .unwrap();
         assert_eq!(a.banks, b.banks);
         assert_eq!(a.deltas, b.deltas);
         assert_eq!(a.fold, b.fold);
@@ -481,7 +520,8 @@ mod tests {
         // RoCo unaligned rectangle conflicts (the scheme's documented gap);
         // compiling it must surface BankConflict, like the crossbar would.
         let (agu, maf, afn) = blocks(AccessScheme::RoCo, 2, 2, 8, 8);
-        let err = AccessPlan::compile(PA::rect(1, 1), &agu, &maf, &afn, 16).unwrap_err();
+        let err = AccessPlan::compile(PA::rect(1, 1), &agu, &maf, &afn, 16, BankLayout::BankMajor)
+            .unwrap_err();
         assert!(matches!(err, PolyMemError::BankConflict { .. }));
     }
 
@@ -512,7 +552,15 @@ mod tests {
     fn validate_accepts_compiled_plans_and_catches_corruption() {
         let (agu, maf, afn) = blocks(AccessScheme::ReRo, 2, 4, 16, 16);
         let depth = (16 / 2) * (16 / 4);
-        let plan = AccessPlan::compile(PA::row(3, 5), &agu, &maf, &afn, depth).unwrap();
+        let plan = AccessPlan::compile(
+            PA::row(3, 5),
+            &agu,
+            &maf,
+            &afn,
+            depth,
+            BankLayout::BankMajor,
+        )
+        .unwrap();
         plan.validate(depth).unwrap();
 
         let mut dup = plan.clone();

@@ -329,6 +329,21 @@ impl Region {
             RegionShape::SecondaryDiag { len } => (len.saturating_sub(1), 0, len.saturating_sub(1)),
         }
     }
+
+    /// Conservative bounding-box overlap test (via [`Self::extents`]): may
+    /// report overlap for disjoint diagonal strips whose boxes intersect. A
+    /// false positive only steers copies onto the exact interleaved path,
+    /// never breaking correctness.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        let (ad, ar, al) = self.extents();
+        let (bd, br, bl) = other.extents();
+        let (ai, aj) = (self.i as isize, self.j as isize);
+        let (bi, bj) = (other.i as isize, other.j as isize);
+        let rows_meet = ai <= bi + bd as isize && bi <= ai + ad as isize;
+        let cols_meet =
+            aj - al as isize <= bj + br as isize && bj - bl as isize <= aj + ar as isize;
+        rows_meet && cols_meet
+    }
 }
 
 /// The ten-region example of Fig. 2, scaled to fit an `8 x 9`-ish logical

@@ -26,16 +26,120 @@
 
 use crate::addressing::AddressingFunction;
 use crate::agu::Agu;
+use crate::banks::BankLayout;
 use crate::error::{PolyMemError, Result};
 use crate::maf::ModuleAssignment;
 use crate::plan::{PlanCache, PlanKeyHasher};
 use crate::region::{Region, RegionShape};
 use crate::scheme::AccessScheme;
-use crate::telemetry::{Label, StatCounter, TelemetryRegistry};
+use crate::telemetry::{Histogram, Label, StatCounter, TelemetryRegistry};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Fixed width of the strided-replay inner loop. Runs whose stride is not
+/// 1 are replayed in chunks of this many elements with a fully unrolled
+/// body of independent loads/stores — a shape LLVM's autovectorizer turns
+/// into gather/scatter vector code on every release target we build. The
+/// `chunk_shape` golden test pins the decomposition so the loop shape
+/// cannot silently drift back to one-element-at-a-time.
+pub const STRIDE_CHUNK: usize = 4;
+
+/// How a strided run of `len` elements decomposes into the fixed-width
+/// replay loop: `(full_chunks, tail_elems)`.
+#[inline]
+pub const fn chunk_shape(len: usize) -> (usize, usize) {
+    (len / STRIDE_CHUNK, len % STRIDE_CHUNK)
+}
+
+/// Strided gather inner loop: `out[t] = flat[src0 + t * stride]`,
+/// executed as [`STRIDE_CHUNK`]-wide chunks with an unrolled body of
+/// independent loads (the autovectorizable shape) plus a scalar tail.
+#[inline]
+pub(crate) fn gather_strided<T: Copy>(flat: &[T], src0: isize, stride: isize, out: &mut [T]) {
+    let (chunks, _tail) = chunk_shape(out.len());
+    let mut src = src0;
+    let step = stride * STRIDE_CHUNK as isize;
+    for chunk in out.chunks_exact_mut(STRIDE_CHUNK) {
+        chunk[0] = flat[src as usize];
+        chunk[1] = flat[(src + stride) as usize];
+        chunk[2] = flat[(src + 2 * stride) as usize];
+        chunk[3] = flat[(src + 3 * stride) as usize];
+        src += step;
+    }
+    for (t, o) in out[chunks * STRIDE_CHUNK..].iter_mut().enumerate() {
+        *o = flat[(src + t as isize * stride) as usize];
+    }
+}
+
+/// Strided scatter inner loop: the write mirror of [`gather_strided`].
+#[inline]
+pub(crate) fn scatter_strided<T: Copy>(flat: &mut [T], dst0: isize, stride: isize, values: &[T]) {
+    let (chunks, _tail) = chunk_shape(values.len());
+    let mut dst = dst0;
+    let step = stride * STRIDE_CHUNK as isize;
+    for chunk in values.chunks_exact(STRIDE_CHUNK) {
+        flat[dst as usize] = chunk[0];
+        flat[(dst + stride) as usize] = chunk[1];
+        flat[(dst + 2 * stride) as usize] = chunk[2];
+        flat[(dst + 3 * stride) as usize] = chunk[3];
+        dst += step;
+    }
+    for (t, &v) in values[chunks * STRIDE_CHUNK..].iter().enumerate() {
+        flat[(dst + t as isize * stride) as usize] = v;
+    }
+}
+
+/// One maximal constant-stride segment of the canonical gather map: for
+/// `i < len`, `fold[start + i] == offset + i * stride`. `stride == 1`
+/// segments replay as a single `copy_from_slice` block move; all others
+/// as the fixed-width chunked strided loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionRun {
+    /// First canonical element of the run.
+    pub start: u32,
+    /// Elements covered (>= 1).
+    pub len: u32,
+    /// Flat-storage offset of the first element, relative to the base.
+    pub offset: isize,
+    /// Flat-slot distance between consecutive elements (1 for a
+    /// degenerate single-element run).
+    pub stride: isize,
+}
+
+/// One maximal unit-stride interval of the *sorted* storage image: the
+/// region touches exactly the flat slots `offset .. offset + len`
+/// (relative to the base), with no other interval adjacent to it. A
+/// same-plan `copy_region` is a pure `copy_within` per interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRun {
+    /// First flat offset (relative to the base) of the interval.
+    pub offset: isize,
+    /// Contiguous flat slots covered (>= 1).
+    pub len: u32,
+}
+
+/// One maximal dual-constant-stride segment of a bank's element list
+/// (bank-major view, independent of the flat layout): for `t < len`, the
+/// segment covers canonical element `c0 + t * c_stride` at intra-bank
+/// address delta `d0 + t * d_stride`. Lets per-bank-locked replay move a
+/// whole segment under one guard, as a block move when both strides are 1
+/// and as the chunked strided loop otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankRun {
+    /// First canonical element of the segment.
+    pub c0: u32,
+    /// Elements covered (>= 1).
+    pub len: u32,
+    /// Intra-bank address delta of the first element.
+    pub d0: isize,
+    /// Canonical-index distance between consecutive elements (bank
+    /// element lists ascend, so this is positive).
+    pub c_stride: u32,
+    /// Intra-bank address distance between consecutive elements.
+    pub d_stride: isize,
+}
 
 /// One cached plan plus its recency stamp. The stamp is atomic so shared
 /// `&self` lookups can refresh it without a write lock on the map.
@@ -90,9 +194,13 @@ impl RegionPlanKey {
 pub struct RegionPlan {
     /// The shape this plan serves (for diagnostics).
     pub shape: RegionShape,
-    /// Per canonical element `c`: flat bank-major storage offset
-    /// (`bank * depth + addr_delta`) relative to `A(origin)`. The gather map
-    /// of reads and, read right-to-left, the scatter map of writes.
+    /// The flat backing layout `fold`/`afold` were compiled against. All
+    /// flat offsets below are relative to `A(origin) * layout.base_scale`.
+    pub layout: BankLayout,
+    /// Per canonical element `c`: flat storage offset
+    /// (`layout.fold(bank, addr_delta)`) relative to the scaled origin
+    /// address. The gather map of reads and, read right-to-left, the
+    /// scatter map of writes.
     pub fold: Vec<isize>,
     /// Per canonical element: owning bank (for per-bank-locked storage that
     /// has no flat view, i.e. [`crate::concurrent::ConcurrentPolyMem`]).
@@ -111,6 +219,27 @@ pub struct RegionPlan {
     /// access touches each bank exactly once, so the grouping is rectangular).
     /// Lets a concurrent write take each bank lock once per region.
     pub bank_elems: Vec<u32>,
+    /// Run table of [`Self::fold`]: maximal constant-stride segments in
+    /// canonical order, tiling `0..len` exactly (proven by
+    /// [`Self::validate`]). The replay loop of the coalescing pass.
+    pub runs: Vec<RegionRun>,
+    /// Maximal unit-stride intervals of the sorted storage image (the
+    /// flat slots the region touches, merged). Same-plan copies replay
+    /// these as pure block moves.
+    pub store_runs: Vec<StoreRun>,
+    /// Per-bank run table over [`Self::bank_elems`]: bank `b` owns
+    /// `bank_runs[bank_run_index[b] .. bank_run_index[b + 1]]`.
+    pub bank_runs: Vec<BankRun>,
+    /// CSR index into [`Self::bank_runs`], `lanes + 1` entries.
+    pub bank_run_index: Vec<u32>,
+    /// Elements covered by unit-stride canonical runs (block moves); the
+    /// remaining `len - contiguous_elems` replay through the chunked
+    /// strided loop. Cached for the coalesced-bytes telemetry counters.
+    pub contiguous_elems: usize,
+    /// Elements covered by bank runs whose intra-bank stride is 1 — the
+    /// per-bank-locked replay's block-move share (the concurrent façade's
+    /// counterpart of [`Self::contiguous_elems`]).
+    pub bank_contiguous_elems: usize,
     /// Number of parallel accesses the region decomposes into.
     pub accesses: usize,
     /// Lanes per access (`p * q`).
@@ -118,6 +247,109 @@ pub struct RegionPlan {
     max_down: usize,
     max_right: usize,
     max_left: usize,
+}
+
+/// Greedy maximal constant-stride segmentation of the canonical gather
+/// map. Every element lands in exactly one run; a lone trailing element
+/// gets a degenerate `len == 1, stride == 1` run.
+fn build_runs(fold: &[isize]) -> Vec<RegionRun> {
+    let n = fold.len();
+    let mut runs = Vec::new();
+    let mut c = 0usize;
+    while c < n {
+        if c + 1 == n {
+            runs.push(RegionRun {
+                start: c as u32,
+                len: 1,
+                offset: fold[c],
+                stride: 1,
+            });
+            break;
+        }
+        let stride = fold[c + 1] - fold[c];
+        let mut last = c + 1;
+        while last + 1 < n && fold[last + 1] - fold[last] == stride {
+            last += 1;
+        }
+        runs.push(RegionRun {
+            start: c as u32,
+            len: (last - c + 1) as u32,
+            offset: fold[c],
+            stride,
+        });
+        c = last + 1;
+    }
+    runs
+}
+
+/// Merge the sorted storage image into maximal unit-stride intervals.
+fn build_store_runs(fold: &[isize]) -> Vec<StoreRun> {
+    let mut sorted = fold.to_vec();
+    sorted.sort_unstable();
+    let mut runs = Vec::new();
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let mut last = i;
+        while last + 1 < sorted.len() && sorted[last + 1] == sorted[last] + 1 {
+            last += 1;
+        }
+        runs.push(StoreRun {
+            offset: sorted[i],
+            len: (last - i + 1) as u32,
+        });
+        i = last + 1;
+    }
+    runs
+}
+
+/// Greedy maximal dual-stride segmentation of each bank's element list.
+/// Returns the flat run table plus its `lanes + 1`-entry CSR index.
+fn build_bank_runs(
+    bank_elems: &[u32],
+    deltas: &[isize],
+    lanes: usize,
+    accesses: usize,
+) -> (Vec<BankRun>, Vec<u32>) {
+    let mut runs = Vec::new();
+    let mut index = Vec::with_capacity(lanes + 1);
+    index.push(0u32);
+    for b in 0..lanes {
+        let elems = &bank_elems[b * accesses..(b + 1) * accesses];
+        let mut t = 0usize;
+        while t < elems.len() {
+            let c0 = elems[t];
+            let d0 = deltas[c0 as usize];
+            if t + 1 == elems.len() {
+                runs.push(BankRun {
+                    c0,
+                    len: 1,
+                    d0,
+                    c_stride: 1,
+                    d_stride: 1,
+                });
+                break;
+            }
+            let c_stride = elems[t + 1] - elems[t];
+            let d_stride = deltas[elems[t + 1] as usize] - d0;
+            let mut last = t + 1;
+            while last + 1 < elems.len()
+                && elems[last + 1] - elems[last] == c_stride
+                && deltas[elems[last + 1] as usize] - deltas[elems[last] as usize] == d_stride
+            {
+                last += 1;
+            }
+            runs.push(BankRun {
+                c0,
+                len: (last - t + 1) as u32,
+                d0,
+                c_stride,
+                d_stride,
+            });
+            t = last + 1;
+        }
+        index.push(runs.len() as u32);
+    }
+    (runs, index)
 }
 
 impl RegionPlan {
@@ -141,6 +373,10 @@ impl RegionPlan {
         let lanes = agu.lanes();
         let len = region.len();
         let base0 = afn.address(region.i, region.j) as isize;
+        let layout = cache.layout();
+        // Under an interleaved layout one intra-bank address step moves
+        // `lanes` flat slots, so access-base offsets scale before folding.
+        let scale = layout.base_scale(lanes);
 
         let mut fold = vec![0isize; len];
         let mut banks = vec![0u32; len];
@@ -174,10 +410,10 @@ impl RegionPlan {
                     });
                 }
                 seen[c] = true;
-                fold[c] = plan.fold[k] + abase;
+                fold[c] = plan.fold[k] + abase * scale;
                 banks[c] = plan.banks[k];
                 deltas[c] = plan.deltas[k] + abase;
-                afold[a * lanes + k] = plan.fold[k] + abase;
+                afold[a * lanes + k] = plan.fold[k] + abase * scale;
             }
         }
         if let Some(c) = seen.iter().position(|&s| !s) {
@@ -199,14 +435,37 @@ impl RegionPlan {
             filled[b] += 1;
         }
 
+        // The layout/coalescing pass: segment the gather map into maximal
+        // runs once, so every replay moves blocks instead of elements.
+        let runs = build_runs(&fold);
+        let store_runs = build_store_runs(&fold);
+        let (bank_runs, bank_run_index) = build_bank_runs(&bank_elems, &deltas, lanes, n_acc);
+        let contiguous_elems = runs
+            .iter()
+            .filter(|r| r.stride == 1)
+            .map(|r| r.len as usize)
+            .sum();
+        let bank_contiguous_elems = bank_runs
+            .iter()
+            .filter(|r| r.d_stride == 1)
+            .map(|r| r.len as usize)
+            .sum();
+
         let (max_down, max_right, max_left) = region.extents();
         Ok(Self {
             shape: region.shape,
+            layout,
             fold,
             banks,
             deltas,
             afold,
             bank_elems,
+            runs,
+            store_runs,
+            bank_runs,
+            bank_run_index,
+            contiguous_elems,
+            bank_contiguous_elems,
             accesses: n_acc,
             lanes,
             max_down,
@@ -252,6 +511,69 @@ impl RegionPlan {
         Ok(())
     }
 
+    /// Flat slot of logical base address `base` under this plan's layout —
+    /// the origin every `fold`/`afold`/`store_runs` offset is relative to.
+    #[inline]
+    pub fn flat_base(&self, base: isize) -> isize {
+        base * self.layout.base_scale(self.lanes)
+    }
+
+    /// Run-coalesced gather: replay the whole region out of `flat` (at
+    /// logical base address `base`) into `out` in canonical order.
+    /// Unit-stride runs are single block moves; the rest go through the
+    /// fixed-width chunked strided loop. Equivalent to the per-element
+    /// `out[c] = flat[base + fold[c]]` oracle, element for element.
+    #[inline]
+    pub fn gather_into<T: Copy>(&self, flat: &[T], base: isize, out: &mut [T]) {
+        let fbase = self.flat_base(base);
+        for run in &self.runs {
+            let start = run.start as usize;
+            let len = run.len as usize;
+            let src0 = (fbase + run.offset) as usize;
+            let dst = &mut out[start..start + len];
+            if run.stride == 1 {
+                dst.copy_from_slice(&flat[src0..src0 + len]);
+            } else {
+                gather_strided(flat, src0 as isize, run.stride, dst);
+            }
+        }
+    }
+
+    /// Run-coalesced scatter: the write mirror of [`Self::gather_into`].
+    #[inline]
+    pub fn scatter_from<T: Copy>(&self, flat: &mut [T], base: isize, values: &[T]) {
+        let fbase = self.flat_base(base);
+        for run in &self.runs {
+            let start = run.start as usize;
+            let len = run.len as usize;
+            let dst0 = (fbase + run.offset) as usize;
+            let src = &values[start..start + len];
+            if run.stride == 1 {
+                flat[dst0..dst0 + len].copy_from_slice(src);
+            } else {
+                scatter_strided(flat, dst0 as isize, run.stride, src);
+            }
+        }
+    }
+
+    /// Same-plan region copy as pure block moves: for a source replay at
+    /// logical base `sbase` and a destination replay of the *same plan* at
+    /// `dbase`, every touched flat slot shifts by the same amount, so the
+    /// copy is one `copy_within` per merged storage interval. Only valid
+    /// when the two replays do not overlap (callers check; overlapping
+    /// copies keep the access-interleaved path for its ordering
+    /// semantics).
+    #[inline]
+    pub fn copy_store_runs_within<T: Copy>(&self, flat: &mut [T], sbase: isize, dbase: isize) {
+        let sflat = self.flat_base(sbase);
+        let dflat = self.flat_base(dbase);
+        for run in &self.store_runs {
+            let s = (sflat + run.offset) as usize;
+            let d = (dflat + run.offset) as usize;
+            flat.copy_within(s..s + run.len as usize, d);
+        }
+    }
+
     /// Structural soundness check: prove this plan is a true permutation of
     /// the region for a replay at flat base address `base` (`A(origin)`)
     /// into banks of `depth` elements.
@@ -265,7 +587,14 @@ impl RegionPlan {
     /// * `afold` is a bijective rearrangement of `fold` whose `lanes` slots
     ///   are bank-disjoint within every access — each replayed cycle still
     ///   hits `p*q` distinct banks;
-    /// * `bank_elems` partitions the canonical range rectangularly by bank.
+    /// * `bank_elems` partitions the canonical range rectangularly by bank;
+    /// * the run table exactly tiles the fold map — `runs` covers
+    ///   `0..len` contiguously with no overlap and no gap, and every run
+    ///   expands to precisely the fold offsets it claims;
+    /// * `store_runs` exactly tiles the sorted storage image (maximal
+    ///   intervals: adjacent intervals never merge);
+    /// * `bank_runs` (+ its CSR index) expands positionally to exactly
+    ///   each bank's `bank_elems` list with matching address deltas.
     ///
     /// Compiled plans satisfy this by construction; the `polymem-verify`
     /// static analyzer re-proves it per cached class and trips it on
@@ -285,24 +614,25 @@ impl RegionPlan {
             )));
         }
         let total = (self.lanes * depth) as isize;
+        let fbase = self.flat_base(base);
         for c in 0..len {
-            let abs = base + self.fold[c];
+            let abs = fbase + self.fold[c];
             if abs < 0 || abs >= total {
                 return Err(structural(nm(&format!(
                     "element {c} gathers from flat slot {abs} outside storage of {total}"
                 ))));
             }
-            let bank = abs / depth as isize;
-            if bank != self.banks[c] as isize {
+            let bank = self.layout.bank_of(abs as usize, self.lanes, depth);
+            if bank != self.banks[c] as usize {
                 return Err(structural(nm(&format!(
                     "element {c} gathers from bank {bank} but records bank {}",
                     self.banks[c]
                 ))));
             }
-            if abs - bank * depth as isize != base + self.deltas[c] {
+            let addr = self.layout.addr_of(abs as usize, self.lanes, depth) as isize;
+            if addr != base + self.deltas[c] {
                 return Err(structural(nm(&format!(
-                    "element {c}: intra-bank address {} disagrees with delta view {}",
-                    abs - bank * depth as isize,
+                    "element {c}: intra-bank address {addr} disagrees with delta view {}",
                     base + self.deltas[c]
                 ))));
             }
@@ -326,7 +656,11 @@ impl RegionPlan {
         for a in 0..self.accesses {
             let mut seen = vec![false; self.lanes];
             for k in 0..self.lanes {
-                let bank = ((base + self.afold[a * self.lanes + k]) / depth as isize) as usize;
+                let bank = self.layout.bank_of(
+                    (fbase + self.afold[a * self.lanes + k]) as usize,
+                    self.lanes,
+                    depth,
+                );
                 if seen[bank] {
                     return Err(PolyMemError::BankConflict {
                         bank,
@@ -357,6 +691,115 @@ impl RegionPlan {
                 }
             }
         }
+        // Run table tiles the fold map: contiguous cover of 0..len, no
+        // overlap, no gap, and every run expands to exactly the fold
+        // offsets it claims.
+        let mut next = 0usize;
+        for (r, run) in self.runs.iter().enumerate() {
+            if run.len == 0 {
+                return Err(structural(nm(&format!("run {r} is empty"))));
+            }
+            if run.start as usize != next {
+                return Err(structural(nm(&format!(
+                    "run {r} starts at element {} but the previous run ended at {next} \
+                     (mis-tiled run table)",
+                    run.start
+                ))));
+            }
+            for t in 0..run.len as usize {
+                let want = run.offset + t as isize * run.stride;
+                if self.fold[next + t] != want {
+                    return Err(structural(nm(&format!(
+                        "run {r} claims element {} gathers from offset {want} but the fold \
+                         map says {}",
+                        next + t,
+                        self.fold[next + t]
+                    ))));
+                }
+            }
+            next += run.len as usize;
+        }
+        if next != len {
+            return Err(structural(nm(&format!(
+                "run table covers {next} of {len} elements (mis-tiled run table)"
+            ))));
+        }
+        // store_runs tile the sorted storage image exactly, as maximal
+        // (non-mergeable) intervals.
+        let mut expanded = 0usize;
+        for (r, run) in self.store_runs.iter().enumerate() {
+            if run.len == 0 {
+                return Err(structural(nm(&format!("storage interval {r} is empty"))));
+            }
+            if r > 0 {
+                let prev = self.store_runs[r - 1];
+                if run.offset <= prev.offset + prev.len as isize {
+                    return Err(structural(nm(&format!(
+                        "storage intervals {} and {r} overlap or fail to merge",
+                        r - 1
+                    ))));
+                }
+            }
+            for t in 0..run.len as usize {
+                let slot = run.offset + t as isize;
+                if expanded + t >= len || sorted_fold[expanded + t] != slot {
+                    return Err(structural(nm(&format!(
+                        "storage interval {r} claims flat offset {slot} the region does \
+                         not gather from"
+                    ))));
+                }
+            }
+            expanded += run.len as usize;
+        }
+        if expanded != len {
+            return Err(structural(nm(&format!(
+                "storage intervals cover {expanded} of {len} touched slots"
+            ))));
+        }
+        // bank_runs expand positionally to each bank's element list with
+        // matching deltas.
+        if self.bank_run_index.len() != self.lanes + 1
+            || self.bank_run_index.first() != Some(&0)
+            || self.bank_run_index.last().copied() != Some(self.bank_runs.len() as u32)
+        {
+            return Err(structural(nm("bank run index is not a CSR over the banks")));
+        }
+        for b in 0..self.lanes {
+            let (lo, hi) = (
+                self.bank_run_index[b] as usize,
+                self.bank_run_index[b + 1] as usize,
+            );
+            if lo > hi || hi > self.bank_runs.len() {
+                return Err(structural(nm(&format!(
+                    "bank run index for bank {b} is out of order"
+                ))));
+            }
+            let elems = &self.bank_elems[b * self.accesses..(b + 1) * self.accesses];
+            let mut pos = 0usize;
+            for run in &self.bank_runs[lo..hi] {
+                if run.len == 0 {
+                    return Err(structural(nm(&format!("bank {b} has an empty run"))));
+                }
+                for t in 0..run.len as usize {
+                    let c = run.c0 as usize + t * run.c_stride as usize;
+                    let d = run.d0 + t as isize * run.d_stride;
+                    if pos + t >= elems.len() || elems[pos + t] as usize != c || self.deltas[c] != d
+                    {
+                        return Err(structural(nm(&format!(
+                            "bank {b} run expands to element {c} delta {d}, disagreeing \
+                             with the bank element list"
+                        ))));
+                    }
+                }
+                pos += run.len as usize;
+            }
+            if pos != elems.len() {
+                return Err(structural(nm(&format!(
+                    "bank {b} runs cover {pos} of {} elements",
+                    elems.len()
+                ))));
+            }
+        }
         Ok(())
     }
 
@@ -367,6 +810,10 @@ impl RegionPlan {
             + self.deltas.len() * size_of::<isize>()
             + self.afold.len() * size_of::<isize>()
             + self.bank_elems.len() * size_of::<u32>()
+            + self.runs.len() * size_of::<RegionRun>()
+            + self.store_runs.len() * size_of::<StoreRun>()
+            + self.bank_runs.len() * size_of::<BankRun>()
+            + self.bank_run_index.len() * size_of::<u32>()
     }
 }
 
@@ -407,12 +854,20 @@ pub struct RegionPlanCache {
     misses: StatCounter,
     evictions: StatCounter,
     bytes: AtomicU64,
+    /// When telemetry is attached: the length of every run the coalescing
+    /// pass emits, observed once per compilation (plans are immutable, so
+    /// compile time is the one place run shapes are decided).
+    run_hist: Option<Histogram>,
 }
 
 impl RegionPlanCache {
     /// Default capacity cap: far above any realistic working set of region
     /// shape classes, but finite.
     pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Histogram bucket bounds for run lengths (powers of two up to a
+    /// full STREAM-sized row; the overflow bucket catches the rest).
+    pub const RUN_LENGTH_BOUNDS: &'static [u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
     /// Empty cache for a memory with `p*q == period` lanes, holding at most
     /// [`Self::DEFAULT_CAPACITY`] plans.
@@ -432,6 +887,16 @@ impl RegionPlanCache {
             misses: StatCounter::new(),
             evictions: StatCounter::new(),
             bytes: AtomicU64::new(0),
+            run_hist: None,
+        }
+    }
+
+    /// Record a freshly compiled plan's run lengths, if telemetry is on.
+    fn observe_runs(&self, plan: &RegionPlan) {
+        if let Some(h) = &self.run_hist {
+            for run in &plan.runs {
+                h.observe(run.len as u64);
+            }
         }
     }
 
@@ -508,6 +973,7 @@ impl RegionPlanCache {
         }
         self.misses.inc();
         let plan = Arc::new(RegionPlan::compile(region, scheme, agu, maf, afn, cache)?);
+        self.observe_runs(&plan);
         self.make_room();
         self.bytes
             .fetch_add(plan.heap_bytes() as u64, Ordering::Relaxed);
@@ -526,6 +992,7 @@ impl RegionPlanCache {
     /// plan when full.
     pub fn insert(&mut self, key: RegionPlanKey, plan: Arc<RegionPlan>) {
         self.misses.inc();
+        self.observe_runs(&plan);
         self.make_room();
         self.bytes
             .fetch_add(plan.heap_bytes() as u64, Ordering::Relaxed);
@@ -560,10 +1027,12 @@ impl RegionPlanCache {
 
     /// Export the hit/miss/eviction counters through `registry` as
     /// `polymem_plan_cache_{hits,misses,evictions}_total` with the given
-    /// labels. The registry holds live handles to the same atomics
-    /// [`Self::stats`] reads, so exported values track lookups with no
-    /// extra work on the lookup path.
-    pub fn register_telemetry(&self, registry: &TelemetryRegistry, labels: Vec<Label>) {
+    /// labels, and start recording the coalescing pass's run lengths into
+    /// `polymem_region_run_length`. The registry holds live handles to
+    /// the same atomics [`Self::stats`] reads, so exported values track
+    /// lookups with no extra work on the lookup path; the histogram costs
+    /// one observation per run per *compilation* (never per replay).
+    pub fn register_telemetry(&mut self, registry: &TelemetryRegistry, labels: Vec<Label>) {
         registry.register_stat("polymem_plan_cache_hits_total", labels.clone(), &self.hits);
         registry.register_stat(
             "polymem_plan_cache_misses_total",
@@ -572,9 +1041,19 @@ impl RegionPlanCache {
         );
         registry.register_stat(
             "polymem_plan_cache_evictions_total",
-            labels,
+            labels.clone(),
             &self.evictions,
         );
+        let hist = registry.histogram("polymem_region_run_length", labels, Self::RUN_LENGTH_BOUNDS);
+        // Plans compiled before attachment are already resident; record
+        // them so the histogram reflects the cache, not just future
+        // compiles.
+        for slot in self.map.values() {
+            for run in &slot.plan.runs {
+                hist.observe(run.len as u64);
+            }
+        }
+        self.run_hist = Some(hist);
     }
 }
 
@@ -592,6 +1071,9 @@ impl Clone for RegionPlanCache {
             misses: StatCounter::from_value(self.misses.get()),
             evictions: StatCounter::from_value(self.evictions.get()),
             bytes: AtomicU64::new(self.bytes.load(Ordering::Relaxed)),
+            // Histogram handles are registry-owned; the clone re-attaches
+            // if it wants its own recording (same policy as PolyMem).
+            run_hist: None,
         }
     }
 }
@@ -835,9 +1317,215 @@ mod tests {
             RegionPlan::compile(&r, AccessScheme::ReO, &agu, &maf, &afn, &mut cache).unwrap();
         assert!(plan.is_empty());
         assert_eq!(plan.accesses, 0);
+        assert!(plan.runs.is_empty());
+        assert!(plan.store_runs.is_empty());
+        assert!(plan.bank_runs.is_empty());
+        assert_eq!(plan.bank_run_index, vec![0u32; plan.lanes + 1]);
         // An empty region is in bounds anywhere (no access is issued).
         assert!(plan
             .check_bounds(&Region::new("e", 999, 999, r.shape), 16, 16)
             .is_ok());
+    }
+
+    #[test]
+    fn strided_chunk_shape_golden() {
+        // The vectorization contract: strided runs replay as 4-wide
+        // chunks with an unrolled body plus a scalar tail. Changing the
+        // width or the decomposition breaks this golden on purpose.
+        assert_eq!(STRIDE_CHUNK, 4);
+        assert_eq!(chunk_shape(0), (0, 0));
+        assert_eq!(chunk_shape(1), (0, 1));
+        assert_eq!(chunk_shape(3), (0, 3));
+        assert_eq!(chunk_shape(4), (1, 0));
+        assert_eq!(chunk_shape(7), (1, 3));
+        assert_eq!(chunk_shape(64), (16, 0));
+        assert_eq!(chunk_shape(1023), (255, 3));
+    }
+
+    fn compile_on(
+        scheme: AccessScheme,
+        layout: BankLayout,
+        region: &Region,
+    ) -> (RegionPlan, isize, usize) {
+        let (rows, cols, p, q) = (32usize, 32usize, 2usize, 4usize);
+        let agu = Agu::new(p, q, rows, cols);
+        let maf = ModuleAssignment::new(scheme, p, q);
+        let afn = AddressingFunction::new(p, q, rows, cols);
+        let depth = (rows / p) * (cols / q);
+        let mut cache = PlanCache::with_layout(p * q, depth, layout);
+        let plan = RegionPlan::compile(region, scheme, &agu, &maf, &afn, &mut cache).unwrap();
+        (plan, afn.address(region.i, region.j) as isize, depth)
+    }
+
+    #[test]
+    fn runs_tile_fold_and_coalesced_replay_matches_oracle() {
+        for layout in [BankLayout::BankMajor, BankLayout::AddrInterleaved] {
+            for (scheme, region) in [
+                (
+                    AccessScheme::RoCo,
+                    Region::new("b", 2, 4, RegionShape::Block { rows: 4, cols: 8 }),
+                ),
+                (
+                    AccessScheme::ReRo,
+                    Region::new("r", 3, 8, RegionShape::Row { len: 16 }),
+                ),
+                (
+                    AccessScheme::ReRo,
+                    Region::new("d", 2, 15, RegionShape::SecondaryDiag { len: 16 }),
+                ),
+            ] {
+                let (plan, base, depth) = compile_on(scheme, layout, &region);
+                plan.validate(base, depth).unwrap();
+                // Run table tiles the canonical range and mirrors fold.
+                let mut covered = 0usize;
+                for run in &plan.runs {
+                    assert_eq!(run.start as usize, covered);
+                    for t in 0..run.len as usize {
+                        assert_eq!(plan.fold[covered + t], run.offset + t as isize * run.stride);
+                    }
+                    covered += run.len as usize;
+                }
+                assert_eq!(covered, plan.len());
+                // Coalesced gather == per-element oracle.
+                let total = plan.lanes * depth;
+                let flat: Vec<u64> = (0..total as u64).map(|x| x * 7 + 3).collect();
+                let mut out = vec![0u64; plan.len()];
+                plan.gather_into(&flat, base, &mut out);
+                let fbase = plan.flat_base(base);
+                let oracle: Vec<u64> = plan
+                    .fold
+                    .iter()
+                    .map(|&f| flat[(fbase + f) as usize])
+                    .collect();
+                assert_eq!(out, oracle, "{scheme} {layout:?}");
+                // Coalesced scatter == per-element oracle.
+                let values: Vec<u64> = (0..plan.len() as u64).map(|x| x + 1000).collect();
+                let mut flat_a = flat.clone();
+                plan.scatter_from(&mut flat_a, base, &values);
+                let mut flat_b = flat;
+                for (c, &f) in plan.fold.iter().enumerate() {
+                    flat_b[(fbase + f) as usize] = values[c];
+                }
+                assert_eq!(flat_a, flat_b, "{scheme} {layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_plan_copy_store_runs_matches_element_copy() {
+        // Two origins in the same residue class: the store-run copy must
+        // equal the per-element dst[fold] = src[fold] oracle.
+        let region = Region::new("b", 0, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let shifted = Region::new("b2", 16, 8, region.shape);
+        for layout in [BankLayout::BankMajor, BankLayout::AddrInterleaved] {
+            let (plan, sbase, depth) = compile_on(AccessScheme::RoCo, layout, &region);
+            let (_, dbase, _) = compile_on(AccessScheme::RoCo, layout, &shifted);
+            let total = plan.lanes * depth;
+            let mut flat_a: Vec<u64> = (0..total as u64).map(|x| x * 13 + 1).collect();
+            let mut flat_b = flat_a.clone();
+            plan.copy_store_runs_within(&mut flat_a, sbase, dbase);
+            let (sf, df) = (plan.flat_base(sbase), plan.flat_base(dbase));
+            for &f in &plan.fold {
+                flat_b[(df + f) as usize] = flat_b[(sf + f) as usize];
+            }
+            assert_eq!(flat_a, flat_b, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_layout_lengthens_unit_stride_runs() {
+        // The point of the knob: under RoCo block decomposition the
+        // bank-major layout yields stride-`depth` runs, the interleaved
+        // layout turns the same segments into unit-stride block moves.
+        let region = Region::new("b", 0, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let (bm, base_bm, depth_bm) =
+            compile_on(AccessScheme::RoCo, BankLayout::BankMajor, &region);
+        let (il, base_il, depth_il) =
+            compile_on(AccessScheme::RoCo, BankLayout::AddrInterleaved, &region);
+        bm.validate(base_bm, depth_bm).unwrap();
+        il.validate(base_il, depth_il).unwrap();
+        assert!(
+            il.contiguous_elems > bm.contiguous_elems,
+            "interleaved {} vs bank-major {}",
+            il.contiguous_elems,
+            bm.contiguous_elems
+        );
+        // The majority of the block coalesces (the `i/p` rotation in RoCo's
+        // `h` component keeps some rows strided), and the longest block
+        // move grows well past anything bank-major can offer.
+        assert!(
+            il.contiguous_elems * 2 > il.len(),
+            "interleaved coalesces a majority: {} of {}",
+            il.contiguous_elems,
+            il.len()
+        );
+        let longest = |p: &RegionPlan| {
+            p.runs
+                .iter()
+                .filter(|r| r.stride == 1)
+                .map(|r| r.len)
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            longest(&il) >= 4 * longest(&bm).max(1),
+            "interleaved longest {} vs bank-major {}",
+            longest(&il),
+            longest(&bm)
+        );
+    }
+
+    #[test]
+    fn validate_catches_mistiled_run_tables() {
+        let region = Region::new("b", 2, 4, RegionShape::Block { rows: 4, cols: 8 });
+        let (plan, base, depth) = compile_on(AccessScheme::RoCo, BankLayout::BankMajor, &region);
+        plan.validate(base, depth).unwrap();
+
+        // A run that starts early (overlap with its predecessor).
+        let mut overlap = plan.clone();
+        assert!(overlap.runs.len() >= 2, "block plan has multiple runs");
+        overlap.runs[1].start -= 1;
+        assert!(overlap.validate(base, depth).is_err());
+
+        // A run whose expansion disagrees with the fold map.
+        let mut skew = plan.clone();
+        let long = skew.runs.iter().position(|r| r.len >= 2).unwrap();
+        skew.runs[long].stride += 1;
+        assert!(skew.validate(base, depth).is_err());
+
+        // A dropped run (gap: table covers too few elements).
+        let mut gap = plan.clone();
+        gap.runs.pop();
+        assert!(gap.validate(base, depth).is_err());
+
+        // A storage interval claiming a slot the region never touches.
+        let mut ghost = plan.clone();
+        ghost.store_runs[0].offset -= 1;
+        assert!(ghost.validate(base, depth).is_err());
+
+        // Mergeable (non-maximal) storage intervals.
+        let mut split = plan.clone();
+        let first = split.store_runs[0];
+        assert!(first.len >= 2, "block plan has a real interval");
+        split.store_runs[0].len = 1;
+        split.store_runs.insert(
+            1,
+            StoreRun {
+                offset: first.offset + 1,
+                len: first.len - 1,
+            },
+        );
+        assert!(split.validate(base, depth).is_err());
+
+        // A bank run expanding to the wrong delta.
+        let mut bad_bank = plan.clone();
+        let wide = bad_bank.bank_runs.iter().position(|r| r.len >= 2).unwrap();
+        bad_bank.bank_runs[wide].d_stride += 1;
+        assert!(bad_bank.validate(base, depth).is_err());
+
+        // A broken CSR index over the bank runs.
+        let mut bad_index = plan.clone();
+        bad_index.bank_run_index[1] = bad_index.bank_run_index[plan.lanes];
+        assert!(bad_index.validate(base, depth).is_err());
     }
 }

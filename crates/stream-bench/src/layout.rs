@@ -10,7 +10,7 @@
 //! array, ~2 MB total — "the storage effectively available" for the 2-port
 //! STREAM design).
 
-use polymem::{AccessScheme, ParallelAccess, PolyMemConfig};
+use polymem::{AccessScheme, BankLayout, ParallelAccess, PolyMemConfig};
 use serde::{Deserialize, Serialize};
 
 /// Placement of one vector inside the 2D logical space.
@@ -120,6 +120,15 @@ impl StreamLayout {
 
     /// Maximum vector elements under the paper geometry.
     pub const PAPER_MAX_LEN: usize = 170 * 512;
+
+    /// The same layout over a different flat backing layout. With
+    /// `AddrInterleaved` the banks of one parallel access sit adjacent in
+    /// host memory, so the region-copy replay's unit-stride runs span whole
+    /// rows instead of per-bank segments.
+    pub fn with_layout(mut self, layout: BankLayout) -> Self {
+        self.config = self.config.with_layout(layout);
+        self
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,19 @@ mod tests {
     }
 
     #[test]
+    fn region_copy_matches_under_interleaved_layout() {
+        use polymem::BankLayout;
+        for rows in [3usize, 4] {
+            let l = layout(rows * 64, 64).with_layout(BankLayout::AddrInterleaved);
+            let vals = a_vals(rows * 64);
+            let mut rc = RegionCopy::new(l).unwrap();
+            rc.load_a(&vals).unwrap();
+            rc.copy_via_regions().unwrap();
+            assert_eq!(rc.read_c(), vals, "rows={rows}");
+        }
+    }
+
+    #[test]
     fn bytes_per_pass_is_stream_counting() {
         let l = layout(256, 64);
         let rc = RegionCopy::new(l).unwrap();

@@ -3,8 +3,9 @@
 //! A static analyzer that never fires is indistinguishable from one that
 //! proves things. This module seeds one representative violation per
 //! hazard class — a false support claim, a corrupted access plan, a
-//! corrupted region plan, a reversed lock nesting, a writing read-port
-//! thread, and a panicking hot path — and checks that the corresponding
+//! corrupted region plan, a mis-tiled run table, a reversed lock nesting,
+//! a writing read-port thread, and a panicking hot path — and checks
+//! that the corresponding
 //! analysis reports the expected finding code. The real sources on disk
 //! are never modified; lock/lint mutations run on in-memory copies.
 
@@ -110,6 +111,42 @@ fn corrupt_region_plan() -> Mutation {
     record("corrupt-region-plan", "plan-corrupt", &findings)
 }
 
+/// Mutation 3b: mis-tile a compiled region plan's run table (stretch one
+/// coalesced run's stride) and feed it to the structural validator. The
+/// run-tiling proof must notice the run no longer expands to the fold
+/// offsets it claims.
+fn mistiled_run_table() -> Mutation {
+    let (p, q) = (2usize, 4usize);
+    let n = p * q;
+    let agu = Agu::new(p, q, 4 * n, 4 * n);
+    let maf = ModuleAssignment::new(AccessScheme::ReRo, p, q);
+    let afn = AddressingFunction::new(p, q, 4 * n, 4 * n);
+    let depth = (4 * n / p) * (4 * n / q);
+    let mut acc = PlanCache::new(n, depth);
+    let region = Region::new("inject", 1, 2, RegionShape::Row { len: 2 * n });
+    let plan = RegionPlan::compile(&region, AccessScheme::ReRo, &agu, &maf, &afn, &mut acc)
+        .expect("supported region compiles");
+    let base = afn.address(region.i, region.j) as isize;
+    let mut bad = plan.clone();
+    let victim = bad
+        .runs
+        .iter()
+        .position(|r| r.len >= 2)
+        .expect("a row region coalesces into at least one multi-element run");
+    bad.runs[victim].stride += 1;
+    let mut findings = Vec::new();
+    if let Err(e) = bad.validate(base, depth) {
+        findings.push(Finding::new(
+            "plans",
+            Severity::Error,
+            "plan-corrupt",
+            "injected run table",
+            format!("{e}"),
+        ));
+    }
+    record("mistiled-run-table", "plan-corrupt", &findings)
+}
+
 /// Mutation 4: append a function that nests region-plans -> pattern-shard
 /// (the reverse of the documented order); the lock graph must go cyclic.
 fn reversed_lock_order(concurrent_src: &str) -> Mutation {
@@ -184,6 +221,7 @@ pub fn run(root: &Path, findings: &mut Vec<Finding>) -> Vec<Mutation> {
         false_support_claim(),
         corrupt_access_plan(),
         corrupt_region_plan(),
+        mistiled_run_table(),
         reversed_lock_order(&concurrent_src),
         writing_read_port(&concurrent_src),
         locked_telemetry_in_guard(&concurrent_src),
@@ -215,7 +253,7 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let mut findings = Vec::new();
         let mutations = run(&root, &mut findings);
-        assert_eq!(mutations.len(), 7);
+        assert_eq!(mutations.len(), 8);
         for m in &mutations {
             assert!(m.caught, "{} survived: {}", m.name, m.detail);
         }

@@ -35,10 +35,12 @@ const HOT: &[(&str, &[&str])] = &[
             "read_region",
             "write_region",
             "gather_range",
+            "spread_range",
             "read_ports",
             "copy_region",
             "copy_region_with",
             "copy_interleaved",
+            "copy_bank_runs",
             "scatter_range",
         ],
     ),
@@ -48,7 +50,15 @@ const HOT: &[(&str, &[&str])] = &[
     ),
     ("crates/polymem/src/banded.rs", &["band", "spmv"]),
     ("crates/polymem/src/region.rs", &["plan_accesses"]),
-    ("crates/polymem/src/region_plan.rs", &["check_bounds"]),
+    (
+        "crates/polymem/src/region_plan.rs",
+        &[
+            "check_bounds",
+            "gather_into",
+            "scatter_from",
+            "copy_store_runs_within",
+        ],
+    ),
 ];
 
 /// Panicking constructs rejected in hot functions.

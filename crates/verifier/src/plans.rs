@@ -25,8 +25,9 @@ use crate::findings::{Finding, Severity};
 use crate::schemes::GEOMETRIES;
 use polymem::plan::PlanKeyHasher;
 use polymem::{
-    AccessPattern, AccessScheme, AddressingFunction, Agu, ModuleAssignment, ParallelAccess,
-    PlanCache, PlanKey, PolyMemError, Region, RegionPlanCache, RegionPlanCacheStats, RegionShape,
+    AccessPattern, AccessScheme, AddressingFunction, Agu, BankLayout, ModuleAssignment,
+    ParallelAccess, PlanCache, PlanKey, PolyMemError, Region, RegionPlanCache,
+    RegionPlanCacheStats, RegionShape,
 };
 use std::collections::HashMap;
 use std::hash::Hasher;
@@ -328,6 +329,83 @@ fn check_region_plans(
     }
 }
 
+/// The plan proof under the alternate backing layout: compile every region
+/// class of one geometry against `AddrInterleaved` storage and re-prove
+/// the full structural invariant set — including that the run table still
+/// exactly tiles the (re-segmented) fold map. The main sweep covers
+/// `BankMajor`; this keeps the other layout's coalescing pass honest
+/// without doubling the lint's runtime across all geometries.
+fn check_interleaved_layout(out: &mut PlansOutput, findings: &mut Vec<Finding>) {
+    let (p, q) = (2usize, 4usize);
+    let n = p * q;
+    let (rows, cols) = (4 * n, 4 * n);
+    let depth = (rows / p) * (cols / q);
+    let agu = Agu::new(p, q, rows, cols);
+    let afn = AddressingFunction::new(p, q, rows, cols);
+    for scheme in AccessScheme::ALL {
+        let Ok(maf) = ModuleAssignment::try_new(scheme, p, q) else {
+            continue;
+        };
+        let mut acc_cache = PlanCache::with_layout(n, depth, BankLayout::AddrInterleaved);
+        let mut cache = RegionPlanCache::new(n);
+        for pattern in scheme.supported_patterns(p, q) {
+            for shape in shapes_for(pattern, p, q) {
+                for ri in 0..n {
+                    for rj in 0..n {
+                        if scheme.requires_alignment(pattern) && (ri % p != 0 || rj % q != 0) {
+                            continue;
+                        }
+                        let j0 = if pattern == AccessPattern::SecondaryDiagonal {
+                            rj + 2 * n
+                        } else {
+                            rj
+                        };
+                        let region = Region::new("il", ri, j0, shape);
+                        let at = format!(
+                            "interleaved {scheme} {pattern} {p}x{q} shape {shape:?} ({ri},{rj})"
+                        );
+                        match cache.get_or_compile(
+                            &region,
+                            scheme,
+                            &agu,
+                            &maf,
+                            &afn,
+                            &mut acc_cache,
+                        ) {
+                            Ok(plan) => {
+                                out.region_plans += 1;
+                                let base = afn.address(region.i, region.j) as isize;
+                                if let Err(e) = plan.validate(base, depth) {
+                                    findings.push(Finding::new(
+                                        "plans",
+                                        Severity::Error,
+                                        "plan-corrupt",
+                                        at,
+                                        format!(
+                                            "interleaved-layout plan failed structural \
+                                             validation: {e}"
+                                        ),
+                                    ));
+                                }
+                            }
+                            Err(e) => findings.push(Finding::new(
+                                "plans",
+                                Severity::Error,
+                                "compile-failed",
+                                at,
+                                format!(
+                                    "claimed class failed to compile under the \
+                                         interleaved layout: {e}"
+                                ),
+                            )),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Smallest origin column at which `shape` is representable (secondary
 /// diagonals need room to walk left).
 fn shape_min_j(shape: RegionShape) -> usize {
@@ -436,6 +514,7 @@ pub fn run(findings: &mut Vec<Finding>) -> PlansOutput {
             check_region_plans(scheme, p, q, &agu, &maf, &afn, depth, &mut out, findings);
         }
     }
+    check_interleaved_layout(&mut out, findings);
     out.lru_stats = Some(check_lru_cap(findings));
     out
 }
