@@ -26,6 +26,7 @@ const GATED_BENCHES: &[(&str, &str)] = &[
     ("region", "BENCH_region.json"),
     ("stream_region", "BENCH_stream_region.json"),
     ("layout", "BENCH_layout.json"),
+    ("sim_events", "BENCH_sim_events.json"),
 ];
 
 /// Extra quick-mode reruns allowed per bench target before a violation is

@@ -17,7 +17,7 @@
 //! the committed metric-ID schema (the CI telemetry step) and exits 1 on a
 //! missing or kind-drifted metric.
 
-use polymem::telemetry::{SampleValue, TelemetrySnapshot};
+use polymem::telemetry::{HistogramSample, SampleValue, TelemetrySnapshot};
 use polymem::{AccessScheme, TelemetryRegistry};
 use polymem_bench::render_table;
 use polymem_bench::telemetry_gate::{check, parse_schema};
@@ -64,6 +64,30 @@ fn counter_rows(snap: &TelemetrySnapshot, name: &str, label: &str) -> Vec<(Strin
         .collect();
     rows.sort_by_key(|(k, _)| k.parse::<u64>().unwrap_or(u64::MAX));
     rows
+}
+
+/// First histogram sample with the given name (each histogram in this
+/// design is registered once per op, so name lookup is unambiguous).
+fn histogram_sample<'a>(snap: &'a TelemetrySnapshot, name: &str) -> Option<&'a HistogramSample> {
+    snap.metrics
+        .iter()
+        .filter(|m| m.name == name)
+        .find_map(|m| match &m.value {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        })
+}
+
+/// Render a quantile bound: fixed buckets give an upper bound ("≤ b"), and
+/// a quantile past the last finite bound can only be reported as "> b".
+fn quantile_cell(h: &HistogramSample, q: f64) -> String {
+    match h.quantile(q) {
+        Some(bound) => format!("<= {bound}"),
+        None => match h.bounds.last() {
+            Some(last) if h.count > 0 => format!("> {last}"),
+            _ => "-".to_string(),
+        },
+    }
 }
 
 fn pct(part: u64, whole: u64) -> String {
@@ -271,6 +295,34 @@ fn main() {
                 "misses".into(),
                 "hit rate".into()
             ],
+            &rows
+        )
+    );
+    println!();
+
+    println!("Distribution quantiles (fixed-bucket upper bounds):");
+    let quantile_metrics = [
+        ("stream_pass_cycles", "cycles"),
+        ("stream_pass_bandwidth_mbps", "MB/s"),
+        ("stream_burst_outstanding", "bursts"),
+        ("polymem_region_run_length", "elements"),
+    ];
+    let rows: Vec<Vec<String>> = quantile_metrics
+        .iter()
+        .filter_map(|(name, unit)| {
+            let h = histogram_sample(&snap, name)?;
+            Some(vec![
+                format!("{name} ({unit})"),
+                h.count.to_string(),
+                quantile_cell(h, 0.50),
+                quantile_cell(h, 0.99),
+            ])
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["metric".into(), "n".into(), "p50".into(), "p99".into()],
             &rows
         )
     );

@@ -51,6 +51,16 @@ impl<T: Copy> Kernel for Generator<T> {
     fn is_idle(&self) -> bool {
         self.pos >= self.data.len()
     }
+
+    fn next_event(&self) -> Option<u64> {
+        // Done, or blocked on a full output: only an external pop can
+        // unblock us, so there is no self-scheduled wake.
+        if self.pos >= self.data.len() || !self.out.borrow().can_push() {
+            None
+        } else {
+            Some(0)
+        }
+    }
 }
 
 /// Collects everything arriving on a stream.
@@ -94,6 +104,16 @@ impl<T> Kernel for Sink<T> {
 
     fn is_idle(&self) -> bool {
         self.input.borrow().is_empty()
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        // Anything queued can be drained immediately; an empty input is a
+        // pure wait on upstream.
+        if self.input.borrow().is_empty() {
+            None
+        } else {
+            Some(0)
+        }
     }
 }
 
@@ -148,6 +168,17 @@ impl<T> Kernel for Mux<T> {
             }
         }
     }
+
+    fn next_event(&self) -> Option<u64> {
+        // Can forward only when the selected input has data and the output
+        // has room; both are external conditions, so no future self-wake.
+        let s = self.sel.get();
+        match self.inputs.get(s) {
+            Some(input) if !input.borrow().is_empty() && self.out.borrow().can_push() => Some(0),
+            Some(_) => None,
+            None => Some(0), // out-of-range select: let tick() report it
+        }
+    }
 }
 
 /// 1-to-N demultiplexer: routes one element per cycle from the input to the
@@ -190,6 +221,15 @@ impl<T> Kernel for Demux<T> {
             if let Some(v) = self.input.borrow_mut().pop() {
                 self.outputs[s].borrow_mut().push(v);
             }
+        }
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        let s = self.sel.get();
+        match self.outputs.get(s) {
+            Some(out) if out.borrow().can_push() && !self.input.borrow().is_empty() => Some(0),
+            Some(_) => None,
+            None => Some(0), // out-of-range select: let tick() report it
         }
     }
 }
@@ -245,6 +285,16 @@ impl<T> Kernel for Batcher<T> {
     fn is_idle(&self) -> bool {
         self.buf.is_empty() && self.input.borrow().is_empty()
     }
+
+    fn next_event(&self) -> Option<u64> {
+        let can_fill = self.buf.len() < self.n && !self.input.borrow().is_empty();
+        let can_emit = self.buf.len() == self.n && self.out.borrow().can_push();
+        if can_fill || can_emit {
+            Some(0)
+        } else {
+            None
+        }
+    }
 }
 
 /// 1-to-N burst deframer: pops one burst and streams it out one element
@@ -288,6 +338,16 @@ impl<T> Kernel for Unbatcher<T> {
 
     fn is_idle(&self) -> bool {
         self.pending.is_empty() && self.input.borrow().is_empty()
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        let can_fill = self.pending.is_empty() && !self.input.borrow().is_empty();
+        let can_emit = !self.pending.is_empty() && self.out.borrow().can_push();
+        if can_fill || can_emit {
+            Some(0)
+        } else {
+            None
+        }
     }
 }
 

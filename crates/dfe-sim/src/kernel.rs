@@ -24,6 +24,43 @@ pub trait Kernel {
     fn busy_reason(&self) -> Option<String> {
         None
     }
+
+    /// The next cycle at which ticking this kernel could change state —
+    /// the event-driven scheduler's fast-forward contract
+    /// ([`crate::sched`]).
+    ///
+    /// * `Some(c)` with `c` less than or equal to the current cycle means
+    ///   "tick me now" (the kernel can act this cycle).
+    /// * `Some(c)` in the future is a **self-scheduled wake-up**: absent any
+    ///   external input, ticking this kernel before cycle `c` is a no-op
+    ///   (no state change). Reporting a wake *earlier* than necessary is
+    ///   always safe (it degenerates toward per-cycle ticking); reporting
+    ///   one *later* than the first cycle the kernel would act is a
+    ///   correctness bug.
+    /// * `None` means the kernel has no self-scheduled wake: it is either
+    ///   idle or waiting purely on external input (another kernel pushing
+    ///   to / popping from a shared stream). Since the scheduler only
+    ///   fast-forwards when **no** kernel can act, nothing changes during a
+    ///   skipped span, so `None` is safe for externally-blocked kernels.
+    ///
+    /// The default is maximally conservative — always "tick me now" — so
+    /// any kernel that does not opt in keeps bit-identical per-cycle
+    /// semantics under the event-driven scheduler.
+    fn next_event(&self) -> Option<u64> {
+        Some(0)
+    }
+
+    /// Observe a fast-forwarded span: the scheduler skipped cycles
+    /// `from..to` (exclusive of `to`) because no kernel could act. Kernels
+    /// that account per-cycle state (stall-attribution counters, pacing
+    /// flags read by downstream kernels) reproduce here, in bulk, exactly
+    /// what `to - from` no-op ticks would have recorded. Called in
+    /// registration order, so upstream kernels (e.g. paced loaders setting
+    /// a PCIe-wait flag) run before downstream ones that read their flags.
+    /// Default: nothing to account.
+    fn skip_to(&mut self, from: u64, to: u64) {
+        let _ = (from, to);
+    }
 }
 
 /// A simple function-backed kernel, convenient for tests and small designs.
@@ -96,6 +133,13 @@ impl<T> DelayLine<T> {
         self.slots.len()
     }
 
+    /// The cycle at which the oldest in-flight value becomes ready — the
+    /// delay line's contribution to [`Kernel::next_event`]. `None` when
+    /// drained.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.slots.front().map(|&(ready, _)| ready)
+    }
+
     /// Whether the pipeline is drained.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
@@ -152,6 +196,17 @@ mod tests {
         let mut d = DelayLine::new(0);
         d.push(7, 99);
         assert_eq!(d.pop_ready(7), Some(99));
+    }
+
+    #[test]
+    fn next_ready_tracks_oldest_slot() {
+        let mut d = DelayLine::new(14);
+        assert_eq!(d.next_ready(), None);
+        d.push(3, "a");
+        d.push(5, "b");
+        assert_eq!(d.next_ready(), Some(17));
+        let _ = d.pop_ready(17);
+        assert_eq!(d.next_ready(), Some(19));
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   pipeline registers;
 //! * [`manager`] — wires kernels together and drives the clock
 //!   deterministically;
+//! * [`sched`] — the event-driven scheduling engine: kernels declare their
+//!   next-interesting cycle and quiescent spans are fast-forwarded in O(1),
+//!   with bulk stall attribution keeping cycle semantics bit-identical;
 //! * [`pcie`] — the host link with the ~300 ns per-call overhead the paper
 //!   measured (§V) and bulk-transfer bandwidth;
 //! * [`dram`] — the off-chip LMem model PolyMem is designed to shield
@@ -30,6 +33,7 @@ pub mod lmem_stream;
 pub mod manager;
 pub mod pcie;
 pub mod polymem_kernel;
+pub mod sched;
 pub mod stream;
 pub mod trace;
 pub mod vcd;
@@ -39,11 +43,12 @@ pub use components::{select, Demux, Generator, Mux, Select, Sink};
 pub use dram::{Dram, DramParams};
 pub use kernel::{DelayLine, FnKernel, Kernel};
 pub use lmem_stream::{AccessCostModel, DramLoader};
-pub use manager::Manager;
+pub use manager::{Manager, StallReport};
 pub use pcie::{Host, HostStats, PcieLink};
 pub use polymem_kernel::{
     PolyMemKernel, ReadRequest, ReadResponse, WriteRequest, PAPER_READ_LATENCY,
 };
+pub use sched::{SchedulerMode, SchedulerStats};
 pub use stream::{stream, Fifo, StreamRef};
 pub use trace::{stream_report, stream_stats, StreamStats, TraceEvent, Tracer};
 pub use vcd::VcdRecorder;

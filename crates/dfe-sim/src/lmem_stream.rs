@@ -109,6 +109,19 @@ impl Kernel for DramLoader {
     fn is_idle(&self) -> bool {
         self.remaining() == 0
     }
+
+    fn next_event(&self) -> Option<u64> {
+        if self.next_chunk >= self.dst.len() {
+            return None;
+        }
+        // Paced: the next issue cycle is self-scheduled. A wake in the past
+        // (pacing satisfied, possibly blocked on a full write FIFO) means
+        // per-cycle ticking — exactly the ticked loop's behaviour.
+        match self.last_issue {
+            Some(last) => Some(last + self.interval),
+            None => Some(0),
+        }
+    }
 }
 
 /// Per-access cost comparison: a kernel reading operands directly from

@@ -40,6 +40,18 @@ impl PcieLink {
     pub fn calls_time_ns(&self, calls: usize, bytes: usize) -> f64 {
         calls as f64 * self.call_time_ns(bytes)
     }
+
+    /// Cycles between `chunk_bytes`-sized arrivals when streaming at the
+    /// link's bulk bandwidth on a `freq_mhz` kernel clock — the pacing
+    /// interval a PCIe-fed loader self-schedules. This is also exactly the
+    /// loader's [`crate::kernel::Kernel::next_event`] stride, which is what
+    /// lets the event scheduler fast-forward the wire-wait spans between
+    /// chunk arrivals instead of ticking through them.
+    pub fn chunk_interval_cycles(&self, chunk_bytes: usize, freq_mhz: f64) -> u64 {
+        let period_ns = 1000.0 / freq_mhz;
+        let bytes_per_cycle = self.bandwidth_gbps * period_ns;
+        (chunk_bytes as f64 / bytes_per_cycle).ceil().max(1.0) as u64
+    }
 }
 
 /// Accumulating host-side activity record.
@@ -127,6 +139,15 @@ mod tests {
         let link = PcieLink::vectis();
         // 2 GB/s = 2 bytes/ns: 2000 bytes = 1000 ns + 300 ns overhead.
         assert!((link.call_time_ns(2000) - 1300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_interval_matches_bandwidth() {
+        let link = PcieLink::vectis();
+        // 64 B chunks at 120 MHz: 2 B/ns * 8.33 ns = 16.7 B/cycle -> 4 cycles.
+        assert_eq!(link.chunk_interval_cycles(64, 120.0), 4);
+        // Faster clock -> fewer bytes per cycle -> longer interval.
+        assert!(link.chunk_interval_cycles(64, 240.0) >= 8);
     }
 
     #[test]

@@ -219,23 +219,32 @@ impl PolyMemKernel {
             || self.copy_inflight.is_some()
     }
 
-    /// Land this tick in exactly one attribution bucket (see
-    /// [`CycleAttribution`] for the priority order).
-    fn attribute_cycle(&self, progress: bool) {
+    /// Land `n` cycles in exactly one attribution bucket (see
+    /// [`CycleAttribution`] for the priority order). `n > 1` is the
+    /// fast-forward path: during a skipped span no kernel acts, so the
+    /// classification the ticked loop would compute is constant across the
+    /// span and one bulk add is exact.
+    fn attribute_cycles(&self, progress: bool, n: u64) {
         let Some(att) = &self.attribution else {
             return;
         };
-        if progress {
-            att.active.inc();
+        let bucket = if progress {
+            &att.active
         } else if self.has_queued_requests() {
-            att.contention.inc();
+            &att.contention
         } else if self.has_inflight() {
-            att.pipeline.inc();
+            &att.pipeline
         } else if self.pcie_waiting.as_ref().is_some_and(|f| f.get()) {
-            att.pcie.inc();
+            &att.pcie
         } else {
-            att.idle.inc();
-        }
+            &att.idle
+        };
+        bucket.add(n);
+    }
+
+    /// Land this tick in exactly one attribution bucket.
+    fn attribute_cycle(&self, progress: bool) {
+        self.attribute_cycles(progress, 1);
     }
 
     /// The configured read latency in cycles.
@@ -547,6 +556,94 @@ impl Kernel for PolyMemKernel {
 
     fn is_idle(&self) -> bool {
         self.pipelines_empty()
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        fn merge(wake: &mut Option<u64>, c: u64) {
+            *wake = Some(wake.map_or(c, |w| w.min(c)));
+        }
+        let mut wake: Option<u64> = None;
+        // Pending deliveries are self-scheduled only while their response
+        // FIFO has room; a full FIFO means the wake comes from a consumer's
+        // pop (external), and the consumer's own next_event covers it.
+        for (pipe, resp) in self.pipelines.iter().zip(&self.read_resp) {
+            if let Some(ready) = pipe.next_ready() {
+                if resp.borrow().can_push() {
+                    merge(&mut wake, ready);
+                }
+            }
+        }
+        if let Some((ready, _)) = &self.region_inflight {
+            if self
+                .region_resp
+                .as_ref()
+                .is_some_and(|s| s.borrow().can_push())
+            {
+                merge(&mut wake, *ready);
+            }
+        }
+        if let Some((ready, _)) = &self.copy_inflight {
+            if self
+                .region_copy_resp
+                .as_ref()
+                .is_some_and(|s| s.borrow().can_push())
+            {
+                merge(&mut wake, *ready);
+            }
+        }
+        // Queued requests wake when the engine that serves them frees up.
+        // These wakes may be early (another gate can still hold the request
+        // back), which safely degenerates to per-cycle ticking — only a
+        // *late* wake would break cycle parity.
+        let region_busy_end = self
+            .region_inflight
+            .as_ref()
+            .map_or(0, |(ready, _)| ready.saturating_sub(self.read_latency))
+            .max(self.copy_busy_until);
+        for (port, req) in self.read_req.iter().enumerate() {
+            if req.borrow().is_empty() {
+                continue;
+            }
+            let room = self.read_resp[port].borrow().can_push();
+            if !room && self.pipelines[port].in_flight() as u64 >= self.read_latency {
+                continue; // fully backed up: only a consumer pop unblocks
+            }
+            merge(&mut wake, if port == 0 { region_busy_end } else { 0 });
+        }
+        if !self.write_req.borrow().is_empty() {
+            merge(&mut wake, self.write_busy_until);
+        }
+        if self
+            .region_req
+            .as_ref()
+            .is_some_and(|s| !s.borrow().is_empty())
+            && self.region_inflight.is_none()
+        {
+            merge(&mut wake, self.copy_busy_until);
+        }
+        if self
+            .region_write_req
+            .as_ref()
+            .is_some_and(|s| !s.borrow().is_empty())
+        {
+            merge(&mut wake, self.write_busy_until);
+        }
+        if self
+            .region_copy_req
+            .as_ref()
+            .is_some_and(|s| !s.borrow().is_empty())
+            && self.copy_inflight.is_none()
+        {
+            merge(&mut wake, region_busy_end.max(self.write_busy_until));
+        }
+        wake
+    }
+
+    fn skip_to(&mut self, from: u64, to: u64) {
+        // The scheduler only fast-forwards when no kernel can act, so the
+        // ticked loop would have recorded `to - from` identical no-progress
+        // cycles here; account them in one bulk add.
+        self.attribute_cycles(false, to - from);
     }
 
     fn busy_reason(&self) -> Option<String> {

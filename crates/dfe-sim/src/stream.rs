@@ -57,6 +57,16 @@ impl<T> Fifo<T> {
         self.queue.len() >= self.capacity
     }
 
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots available before backpressure kicks in.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
     /// Whether a push would be accepted.
     pub fn can_push(&self) -> bool {
         !self.is_full()
@@ -150,6 +160,18 @@ mod tests {
         assert_eq!(f.total_pushed(), 5);
         assert_eq!(f.total_popped(), 2);
         assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn capacity_and_free_slots() {
+        let mut f = Fifo::new("s", 3);
+        assert_eq!(f.capacity(), 3);
+        assert_eq!(f.free_slots(), 3);
+        f.push(1);
+        f.push(2);
+        assert_eq!(f.free_slots(), 1);
+        f.pop();
+        assert_eq!(f.free_slots(), 2);
     }
 
     #[test]

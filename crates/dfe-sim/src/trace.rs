@@ -110,6 +110,15 @@ impl Tracer {
         self.record(cycle, source.to_string(), event());
     }
 
+    /// Record a fast-forward jump: the event-driven scheduler
+    /// ([`crate::sched`]) skipped the quiescent span `from..to` in one
+    /// step. Recorded at `from`, the last cycle anything happened.
+    pub fn record_jump(&self, from: u64, to: u64, source: &str) {
+        self.record_with(from, source, || {
+            format!("fast-forward to cycle {to} (skipped {} cycles)", to - from)
+        });
+    }
+
     /// Whether recording is currently enabled (the fast check
     /// [`Self::record_with`] performs before building an event).
     #[inline]
@@ -361,6 +370,17 @@ mod tests {
         let evs = t.events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].event, "visible");
+    }
+
+    #[test]
+    fn record_jump_formats_span() {
+        let t = Tracer::new(8);
+        t.record_jump(10, 150, "sched");
+        let evs = t.events_of("sched");
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].cycle, 10);
+        assert!(evs[0].event.contains("fast-forward to cycle 150"));
+        assert!(evs[0].event.contains("skipped 140"));
     }
 
     #[test]

@@ -581,6 +581,32 @@ pub struct HistogramSample {
     pub count: u64,
 }
 
+impl HistogramSample {
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the inclusive
+    /// bound of the first bucket whose cumulative count reaches rank
+    /// `ceil(q * count)`. Fixed-bucket histograms cannot interpolate, so
+    /// this is the tightest bound the data supports — a p99 of `Some(512)`
+    /// reads "99% of observations were ≤ 512".
+    ///
+    /// Returns `None` when the histogram is empty, `q` is out of range, or
+    /// the quantile lands in the overflow (`+Inf`) bucket, where no finite
+    /// bound exists (render those as `> last_bound`).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return self.bounds.get(k).copied();
+            }
+        }
+        None
+    }
+}
+
 /// One sampled metric.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricSample {
@@ -1202,6 +1228,45 @@ mod tests {
             }
             other => panic!("expected histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let hs = HistogramSample {
+            bounds: vec![10, 100, 1000],
+            // 10 observations ≤ 10, 85 in (10, 100], 4 in (100, 1000],
+            // 1 overflow.
+            buckets: vec![10, 85, 4, 1],
+            sum: 0,
+            count: 100,
+        };
+        assert_eq!(hs.quantile(0.05), Some(10));
+        assert_eq!(hs.quantile(0.10), Some(10), "rank 10 still in bucket 0");
+        assert_eq!(hs.quantile(0.50), Some(100));
+        assert_eq!(hs.quantile(0.95), Some(100));
+        assert_eq!(hs.quantile(0.99), Some(1000));
+        assert_eq!(hs.quantile(1.0), None, "max landed in the +Inf bucket");
+        assert_eq!(hs.quantile(0.0), Some(10), "q=0 is the minimum's bound");
+    }
+
+    #[test]
+    fn quantile_rejects_empty_and_out_of_range() {
+        let empty = HistogramSample {
+            bounds: vec![10],
+            buckets: vec![0, 0],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
+        let hs = HistogramSample {
+            bounds: vec![10],
+            buckets: vec![1, 0],
+            sum: 3,
+            count: 1,
+        };
+        assert_eq!(hs.quantile(-0.1), None);
+        assert_eq!(hs.quantile(1.5), None);
+        assert_eq!(hs.quantile(0.5), Some(10));
     }
 
     #[cfg(not(feature = "telemetry-off"))]

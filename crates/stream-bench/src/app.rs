@@ -23,6 +23,7 @@ use dfe_sim::clock::SimClock;
 use dfe_sim::kernel::Kernel;
 use dfe_sim::pcie::{Host, PcieLink};
 use dfe_sim::polymem_kernel::{PolyMemKernel, PAPER_READ_LATENCY};
+use dfe_sim::sched::{self, SchedulerMode, SchedulerStats};
 use dfe_sim::stream::stream;
 use polymem::telemetry::{Counter, Histogram, TelemetryRegistry};
 use std::cell::RefCell;
@@ -82,13 +83,6 @@ enum Driver {
 }
 
 impl Driver {
-    fn tick(&mut self, cycle: u64) {
-        match self {
-            Driver::PerChunk(c) => c.tick(cycle),
-            Driver::Burst(b) => b.tick(cycle),
-        }
-    }
-
     fn pass_done(&self) -> bool {
         match self {
             Driver::PerChunk(c) => c.pass_done(),
@@ -111,6 +105,50 @@ impl Driver {
     }
 }
 
+/// Both controller flavours are kernels, so the driver is one too — this is
+/// what lets [`StreamApp::run_pass`] hand the whole design to the shared
+/// [`sched::advance`] engine.
+impl Kernel for Driver {
+    fn name(&self) -> &str {
+        match self {
+            Driver::PerChunk(c) => c.name(),
+            Driver::Burst(b) => b.name(),
+        }
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        match self {
+            Driver::PerChunk(c) => c.tick(cycle),
+            Driver::Burst(b) => b.tick(cycle),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pass_done()
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        match self {
+            Driver::PerChunk(c) => c.next_event(),
+            Driver::Burst(b) => b.next_event(),
+        }
+    }
+
+    fn skip_to(&mut self, from: u64, to: u64) {
+        match self {
+            Driver::PerChunk(c) => c.skip_to(from, to),
+            Driver::Burst(b) => b.skip_to(from, to),
+        }
+    }
+
+    fn busy_reason(&self) -> Option<String> {
+        match self {
+            Driver::PerChunk(c) => c.busy_reason(),
+            Driver::Burst(b) => b.busy_reason(),
+        }
+    }
+}
+
 /// The assembled design: PolyMem kernel + Controller + host endpoint.
 pub struct StreamApp {
     op: StreamOp,
@@ -120,6 +158,8 @@ pub struct StreamApp {
     polymem: PolyMemKernel,
     state: StateRef,
     host: Host,
+    mode: SchedulerMode,
+    sched_stats: SchedulerStats,
     tlm: Option<AppTelemetry>,
 }
 
@@ -213,8 +253,28 @@ impl StreamApp {
             polymem,
             state,
             host: Host::new(PcieLink::vectis()),
+            mode: SchedulerMode::default(),
+            sched_stats: SchedulerStats::default(),
             tlm: None,
         })
+    }
+
+    /// Select the driving loop for [`Self::run_pass`]: the event-driven
+    /// scheduler (default) or the legacy per-cycle ticked loop. Cycle counts
+    /// are identical in both modes; only host time differs.
+    pub fn set_scheduler_mode(&mut self, mode: SchedulerMode) {
+        self.mode = mode;
+    }
+
+    /// The active scheduling mode.
+    pub fn scheduler_mode(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    /// What the event-driven loop actually did (ticks vs fast-forward jumps),
+    /// accumulated across passes.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.sched_stats
     }
 
     /// Wire the whole design into `registry`: the PolyMem kernel's cycle
@@ -288,10 +348,24 @@ impl StreamApp {
         let start = self.clock.cycle();
         let max = 4 * self.layout.a.chunks() as u64 + 1000;
         while !(self.driver.pass_done() && self.polymem.pipelines_empty()) {
-            let c = self.clock.cycle();
-            self.driver.tick(c);
-            self.polymem.tick(c);
-            self.clock.tick();
+            match self.mode {
+                SchedulerMode::Ticked => {
+                    let c = self.clock.cycle();
+                    self.driver.tick(c);
+                    self.polymem.tick(c);
+                    self.clock.tick();
+                }
+                SchedulerMode::EventDriven => {
+                    let mut kernels: [&mut dyn Kernel; 2] =
+                        [&mut self.driver, &mut self.polymem];
+                    sched::advance(
+                        &mut self.clock,
+                        &mut kernels,
+                        start + max + 1,
+                        &mut self.sched_stats,
+                    );
+                }
+            }
             if self.clock.cycle() - start > max {
                 panic!(
                     "STREAM pass wedged after {} cycles ({} of {} units written)",
@@ -598,6 +672,47 @@ mod tests {
         let prom = reg.snapshot().to_prometheus();
         assert!(prom.contains("stream_pass_cycles"), "{prom}");
         assert!(prom.contains("stream_pass_bandwidth_mbps"), "{prom}");
+    }
+
+    #[test]
+    fn ticked_and_event_modes_agree_cycle_for_cycle() {
+        // The tentpole invariant: the event scheduler is a host-time
+        // optimisation, never a semantic change. Both driver flavours must
+        // produce identical per-pass cycle counts in both modes.
+        for burst in [false, true] {
+            let mk = |mode| {
+                let layout = StreamLayout::new(512, 64, 2, 4, AccessScheme::RoCo, 2).unwrap();
+                let mut app = if burst {
+                    StreamApp::new_burst(StreamOp::Triad(1.5), layout, 120.0).unwrap()
+                } else {
+                    StreamApp::new(StreamOp::Triad(1.5), layout, 120.0).unwrap()
+                };
+                app.set_scheduler_mode(mode);
+                let (a, b, c) = vectors(512);
+                app.load(&a, &b, &c).unwrap();
+                let cycles = app.run_pass();
+                let (out, _) = app.offload();
+                (cycles, out, app.scheduler_stats())
+            };
+            let (ticked_cycles, ticked_out, ticked_stats) = mk(SchedulerMode::Ticked);
+            let (event_cycles, event_out, event_stats) = mk(SchedulerMode::EventDriven);
+            assert_eq!(ticked_cycles, event_cycles, "cycle parity (burst={burst})");
+            assert_eq!(ticked_out, event_out, "result parity (burst={burst})");
+            assert_eq!(ticked_stats, SchedulerStats::default(), "ticked loop bypasses sched");
+            assert_eq!(
+                event_stats.total_cycles(),
+                event_cycles,
+                "scheduler accounts every simulated cycle (burst={burst})"
+            );
+            if burst {
+                // Burst mode has real quiescent spans (engine-busy windows)
+                // for the scheduler to fast-forward.
+                assert!(
+                    event_stats.jumps > 0 && event_stats.skipped_cycles > 0,
+                    "burst pass should fast-forward, stats {event_stats:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -289,6 +289,35 @@ impl Kernel for BurstController {
         self.pass_done()
     }
 
+    fn next_event(&self) -> Option<u64> {
+        // Mirror `tick`'s can-act conditions exactly: the controller wakes
+        // only on external input (a burst completion or freed FIFO slot),
+        // and every such change is bounded by the PolyMem kernel's own
+        // `next_event`, so returning `None` here lets the scheduler
+        // fast-forward engine-busy spans without perturbing cycle counts.
+        let st = self.state.borrow();
+        if !st.running {
+            return None;
+        }
+        let can_act = match self.op {
+            StreamOp::Copy => {
+                (st.issued < self.bursts() && self.copy_req.borrow().can_push())
+                    || !self.copy_resp.borrow().is_empty()
+            }
+            _ => {
+                let total_reads = self.bursts() * self.op.reads();
+                (self.reads_issued < total_reads && self.region_req.borrow().can_push())
+                    || (self.pending_write.is_none() && !self.region_resp.borrow().is_empty())
+                    || (self.pending_write.is_some() && self.write_req.borrow().can_push())
+            }
+        };
+        if can_act {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
     fn busy_reason(&self) -> Option<String> {
         let s = self.state.borrow();
         if !s.running || s.written >= self.bursts() {

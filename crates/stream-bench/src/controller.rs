@@ -155,6 +155,18 @@ impl Kernel for Controller {
     fn is_idle(&self) -> bool {
         self.pass_done()
     }
+
+    fn next_event(&self) -> Option<u64> {
+        // The per-chunk FSM re-evaluates its issue/collect conditions every
+        // cycle while a pass is live — dense passes stay on the ticked path
+        // by construction, so the event scheduler cannot change their cycle
+        // counts. A finished pass never needs another tick.
+        if self.pass_done() {
+            None
+        } else {
+            Some(0)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,116 @@
+//! The STREAM designs' stream wiring, as data.
+//!
+//! [`crate::app::StreamApp`] wires its kernels together with bounded
+//! streams. This module states the same wiring declaratively — each edge
+//! names its producer kernel, its consumer kernel, and whether the path is
+//! **latency-registered**: PolyMem's read pipeline puts a [`DelayLine`] of
+//! at least one cycle between a response's computation and its arrival, so
+//! a consumer waiting on a registered stream can never be waiting on
+//! combinational work it must itself unblock.
+//!
+//! `polymem-verify` runs a static deadlock-freedom pass over this graph: a
+//! wait-cycle composed entirely of *unregistered* edges can wedge the
+//! design, while any cycle crossing a registered edge drains on its own.
+//! Keeping the declaration next to the wiring code it mirrors
+//! ([`crate::app`]'s `build`) is what makes drift between the two a
+//! reviewable one-file diff.
+//!
+//! [`DelayLine`]: dfe_sim::kernel::DelayLine
+
+/// Node name of the pass controller (per-chunk or burst flavour).
+pub const CONTROLLER: &str = "stream-controller";
+/// Node name of the PolyMem memory kernel.
+pub const POLYMEM: &str = "polymem";
+
+/// One declared stream: `producer` pushes, `consumer` pops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamEdge {
+    /// Stream name as created by the app builder.
+    pub stream: String,
+    /// Kernel that pushes into the stream.
+    pub producer: &'static str,
+    /// Kernel that pops from the stream.
+    pub consumer: &'static str,
+    /// Whether at least one pipeline register sits between push and pop
+    /// (PolyMem's read [`DelayLine`](dfe_sim::kernel::DelayLine)), breaking
+    /// any combinational wait-cycle through this edge.
+    pub registered: bool,
+}
+
+impl StreamEdge {
+    fn new(
+        stream: impl Into<String>,
+        producer: &'static str,
+        consumer: &'static str,
+        registered: bool,
+    ) -> Self {
+        Self {
+            stream: stream.into(),
+            producer,
+            consumer,
+            registered,
+        }
+    }
+}
+
+/// The declared wiring of one STREAM design flavour, mirroring
+/// `StreamApp::build`: per-chunk drives the scalar read/write ports, burst
+/// drives the region ports. Response paths are registered (they cross
+/// PolyMem's read delay line); request paths are not.
+pub fn declared_graph(burst: bool, read_ports: usize) -> Vec<StreamEdge> {
+    let mut edges = Vec::new();
+    if burst {
+        edges.push(StreamEdge::new("region-req", CONTROLLER, POLYMEM, false));
+        edges.push(StreamEdge::new("region-resp", POLYMEM, CONTROLLER, true));
+        edges.push(StreamEdge::new("copy-req", CONTROLLER, POLYMEM, false));
+        edges.push(StreamEdge::new("copy-resp", POLYMEM, CONTROLLER, true));
+        edges.push(StreamEdge::new(
+            "region-write-req",
+            CONTROLLER,
+            POLYMEM,
+            false,
+        ));
+    } else {
+        for p in 0..read_ports {
+            edges.push(StreamEdge::new(
+                format!("read-req-{p}"),
+                CONTROLLER,
+                POLYMEM,
+                false,
+            ));
+            edges.push(StreamEdge::new(
+                format!("read-resp-{p}"),
+                POLYMEM,
+                CONTROLLER,
+                true,
+            ));
+        }
+        edges.push(StreamEdge::new("write-req", CONTROLLER, POLYMEM, false));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_chunk_graph_matches_builder_wiring() {
+        let g = declared_graph(false, 2);
+        assert_eq!(g.len(), 5); // 2 req + 2 resp + write
+        assert!(g.iter().any(|e| e.stream == "read-req-1" && !e.registered));
+        assert!(g.iter().any(|e| e.stream == "read-resp-0" && e.registered));
+        assert!(g
+            .iter()
+            .all(|e| e.producer != e.consumer && !e.stream.is_empty()));
+    }
+
+    #[test]
+    fn burst_graph_registers_every_response() {
+        let g = declared_graph(true, 2);
+        assert_eq!(g.len(), 5);
+        for e in &g {
+            assert_eq!(e.registered, e.stream.ends_with("-resp"));
+        }
+    }
+}

@@ -26,6 +26,7 @@
 pub mod app;
 pub mod burst;
 pub mod controller;
+pub mod graph;
 pub mod layout;
 pub mod modular;
 pub mod op;

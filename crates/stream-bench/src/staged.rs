@@ -22,10 +22,7 @@ use std::rc::Rc;
 /// Cycles between host chunks at the PCIe bulk rate: one `lanes * 8`-byte
 /// chunk every `ceil(chunk_bytes / (link_Bns * period_ns))` cycles.
 pub fn pcie_chunk_interval(link: &PcieLink, lanes: usize, freq_mhz: f64) -> u64 {
-    let chunk_bytes = (lanes * 8) as f64;
-    let period_ns = 1000.0 / freq_mhz;
-    let bytes_per_cycle = link.bandwidth_gbps * period_ns;
-    (chunk_bytes / bytes_per_cycle).ceil().max(1.0) as u64
+    link.chunk_interval_cycles(lanes * 8, freq_mhz)
 }
 
 /// Streams one vector from the host into PolyMem through the write port,
@@ -117,6 +114,28 @@ impl Kernel for LoadKernel {
     fn is_idle(&self) -> bool {
         self.remaining() == 0
     }
+
+    fn next_event(&self) -> Option<u64> {
+        if self.next_chunk >= self.layout.chunks() {
+            return None;
+        }
+        // The next issue cycle is self-scheduled by the PCIe pacing; a wake
+        // in the past (pacing satisfied, possibly blocked on a full write
+        // FIFO) keeps the design on per-cycle ticks, as the ticked loop would.
+        match self.last_issue {
+            Some(last) => Some(last + self.interval),
+            None => Some(0),
+        }
+    }
+
+    fn skip_to(&mut self, _from: u64, _to: u64) {
+        // A quiescent span can only fall inside this loader's own pacing
+        // window (its wake bounds the jump), where the ticked loop holds the
+        // PCIe flag high on every cycle; once the vector is sent, it holds
+        // it low. Runs before the downstream PolyMem kernel's `skip_to` in
+        // registration order, so the bulk attribution sees the right flag.
+        self.set_pacing(self.next_chunk < self.layout.chunks());
+    }
 }
 
 /// Streams one vector out of PolyMem through a read port into a host
@@ -183,6 +202,17 @@ impl Kernel for OffloadKernel {
 
     fn is_idle(&self) -> bool {
         self.done()
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        // Wakes only on external input: room to issue or a response to
+        // collect. The memory's pipeline wake bounds every in-flight span.
+        let can_issue = self.issued < self.layout.chunks() && self.read_req.borrow().can_push();
+        if can_issue || !self.read_resp.borrow().is_empty() {
+            Some(0)
+        } else {
+            None
+        }
     }
 }
 
@@ -288,6 +318,23 @@ impl Kernel for BurstLoadKernel {
         self.remaining() == 0
     }
 
+    fn next_event(&self) -> Option<u64> {
+        if self.next >= self.regions.len() {
+            return None;
+        }
+        // Store-and-forward: the next burst is releasable exactly when its
+        // tail chunk lands, a cycle known at construction time. An arrival
+        // in the past (burst ready, blocked on FIFO room) degenerates to
+        // per-cycle ticking.
+        Some(self.arrival[self.next])
+    }
+
+    fn skip_to(&mut self, _from: u64, _to: u64) {
+        // A skipped span sits strictly before the next burst's arrival
+        // cycle — the ticked loop would have flagged PCIe pacing throughout.
+        self.set_pacing(self.next < self.regions.len());
+    }
+
     fn busy_reason(&self) -> Option<String> {
         if self.is_idle() {
             None
@@ -367,6 +414,15 @@ impl Kernel for BurstOffloadKernel {
 
     fn is_idle(&self) -> bool {
         self.done()
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        let can_issue = self.issued < self.regions.len() && self.region_req.borrow().can_push();
+        if can_issue || !self.region_resp.borrow().is_empty() {
+            Some(0)
+        } else {
+            None
+        }
     }
 }
 

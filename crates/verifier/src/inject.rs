@@ -4,14 +4,15 @@
 //! proves things. This module seeds one representative violation per
 //! hazard class — a false support claim, a corrupted access plan, a
 //! corrupted region plan, a mis-tiled run table, a reversed lock nesting,
-//! a writing read-port thread, and a panicking hot path — and checks
+//! a writing read-port thread, a panicking hot path, and a deregistered
+//! stream feedback loop — and checks
 //! that the corresponding
 //! analysis reports the expected finding code. The real sources on disk
 //! are never modified; lock/lint mutations run on in-memory copies.
 
 use crate::findings::{Finding, Severity};
 use crate::locks;
-use crate::{lint, schemes, telemetry};
+use crate::{lint, schemes, streams, telemetry};
 use polymem::{
     AccessPattern, AccessScheme, AddressingFunction, Agu, ModuleAssignment, ParallelAccess,
     PlanCache, Region, RegionPlan, RegionShape,
@@ -212,6 +213,21 @@ fn panicking_hot_path() -> Mutation {
     record("panicking-hot-path", "panic-in-hot-path", &findings)
 }
 
+/// Mutation 8: strip the delay-line register off the burst design's
+/// response paths in its declared stream graph. The controller then waits
+/// on PolyMem for a response PolyMem can only compute after the controller
+/// unblocks — the deadlock pass must close the wait graph and report the
+/// cycle.
+fn cyclic_stream_wait() -> Mutation {
+    let mut graph = stream_bench::graph::declared_graph(true, 2);
+    for e in &mut graph {
+        e.registered = false;
+    }
+    let mut findings = Vec::new();
+    streams::check_graph("burst graph[injected]", &graph, &mut findings);
+    record("cyclic-stream-wait", "cyclic-wait", &findings)
+}
+
 /// Run every seeded mutation. Reads `concurrent.rs` under `root` for the
 /// lock mutations (mutated in memory only).
 pub fn run(root: &Path, findings: &mut Vec<Finding>) -> Vec<Mutation> {
@@ -226,6 +242,7 @@ pub fn run(root: &Path, findings: &mut Vec<Finding>) -> Vec<Mutation> {
         writing_read_port(&concurrent_src),
         locked_telemetry_in_guard(&concurrent_src),
         panicking_hot_path(),
+        cyclic_stream_wait(),
     ];
     for m in &mutations {
         if !m.caught {
@@ -253,7 +270,7 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let mut findings = Vec::new();
         let mutations = run(&root, &mut findings);
-        assert_eq!(mutations.len(), 8);
+        assert_eq!(mutations.len(), 9);
         for m in &mutations {
             assert!(m.caught, "{} survived: {}", m.name, m.detail);
         }

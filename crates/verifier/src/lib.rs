@@ -20,6 +20,10 @@
 //!   `ConcurrentPolyMem` from source, proves the lock-order graph acyclic
 //!   with no same-class nesting, and flags read-port threads that could
 //!   reach a bank write (same-cycle port aliasing);
+//! * [`streams`] — proves the declared STREAM wiring graphs deadlock-free:
+//!   no wait-cycle over unregistered (non-delay-line) stream edges, the
+//!   static-graph complement to the event scheduler's runtime `Stuck`
+//!   detection;
 //! * [`lint`] — rejects panicking constructs in plan-replay hot paths,
 //!   modulo a tracked allowlist;
 //! * [`telemetry`] — proves instrumentation inside held bank-guard scopes
@@ -41,4 +45,5 @@ pub mod lint;
 pub mod locks;
 pub mod plans;
 pub mod schemes;
+pub mod streams;
 pub mod telemetry;

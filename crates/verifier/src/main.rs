@@ -4,7 +4,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use verifier::findings::{findings_json, Finding, Json, Severity};
-use verifier::{inject, lint, locks, plans, schemes, telemetry};
+use verifier::{inject, lint, locks, plans, schemes, streams, telemetry};
 
 struct Options {
     root: PathBuf,
@@ -155,6 +155,23 @@ fn locks_json(graph: &locks::LockGraph) -> Json {
     ])
 }
 
+fn streams_json(reports: &[streams::GraphReport]) -> Json {
+    Json::Arr(
+        reports
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("design".into(), Json::s(r.label)),
+                    ("kernels".into(), Json::UInt(r.kernels as u64)),
+                    ("streams".into(), Json::UInt(r.streams as u64)),
+                    ("registered".into(), Json::UInt(r.registered as u64)),
+                    ("cyclic".into(), Json::Bool(r.cyclic)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn telemetry_json(out: &telemetry::TelemetryGuardReport) -> Json {
     Json::Obj(vec![
         (
@@ -259,6 +276,18 @@ fn main() -> ExitCode {
             graph.spawns
         );
         sections.push(("locks".into(), locks_json(&graph)));
+
+        let stream_reports = streams::check_all(&mut findings);
+        let total_streams: usize = stream_reports.iter().map(|r| r.streams).sum();
+        let total_registered: usize = stream_reports.iter().map(|r| r.registered).sum();
+        println!(
+            "  streams: {} declared design graph(s), {} stream(s) ({} register-backed), \
+             wait graphs acyclic — no static deadlock",
+            stream_reports.len(),
+            total_streams,
+            total_registered
+        );
+        sections.push(("streams".into(), streams_json(&stream_reports)));
 
         let tlm_out = telemetry::run(&opts.root, &graph, &mut findings);
         println!(

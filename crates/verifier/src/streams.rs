@@ -1,0 +1,237 @@
+//! Static stream-graph deadlock-freedom pass.
+//!
+//! The STREAM designs declare their wiring as data
+//! ([`stream_bench::graph::declared_graph`]): every bounded stream names
+//! its producer kernel, its consumer kernel, and whether the path is
+//! latency-registered (PolyMem's read delay line sits between push and
+//! pop). A kernel blocked popping an empty stream is waiting on the
+//! stream's producer, so each *unregistered* edge contributes a
+//! consumer→producer wait edge; a cycle in that wait graph is a design
+//! that can wedge with every queue empty and every kernel waiting —
+//! the event scheduler's `Stuck` fast-path, forever. Registered edges are
+//! excluded because the register drains on its own: whatever is already
+//! in flight arrives without the waiting kernel doing anything.
+//!
+//! The pass is the same shape as the lock-order analysis
+//! ([`crate::locks`]): build a small adjacency matrix, close it with
+//! Floyd–Warshall, and read deadlocks off the diagonal. It hard-fails
+//! (`scanner-blind`) if a declared graph is empty, so an accidental
+//! decoupling of the declaration from the builder cannot silently pass.
+
+use crate::findings::{Finding, Severity};
+use stream_bench::graph::{declared_graph, StreamEdge};
+use stream_bench::layout::StreamLayout;
+
+/// Per-design summary for the report.
+#[derive(Debug, Clone)]
+pub struct GraphReport {
+    /// Which design flavour was checked.
+    pub label: &'static str,
+    /// Distinct kernels in the declared graph.
+    pub kernels: usize,
+    /// Declared streams.
+    pub streams: usize,
+    /// Streams whose path crosses a pipeline register.
+    pub registered: usize,
+    /// Whether a wait-cycle was found.
+    pub cyclic: bool,
+}
+
+/// Check one declared graph for wait-cycles and declaration drift.
+pub fn check_graph(
+    label: &'static str,
+    edges: &[StreamEdge],
+    findings: &mut Vec<Finding>,
+) -> GraphReport {
+    if edges.is_empty() {
+        findings.push(Finding::new(
+            "streams",
+            Severity::Error,
+            "scanner-blind",
+            label,
+            "declared stream graph is empty — the declaration has drifted from the builder \
+             wiring and the deadlock pass is proving nothing",
+        ));
+        return GraphReport {
+            label,
+            kernels: 0,
+            streams: 0,
+            registered: 0,
+            cyclic: false,
+        };
+    }
+
+    // Declaration drift checks: a stream declared twice aliases two wait
+    // edges under one name, and a response path that lost its register is
+    // exactly how a real cycle sneaks in.
+    for (n, e) in edges.iter().enumerate() {
+        if edges[..n].iter().any(|prev| prev.stream == e.stream) {
+            findings.push(Finding::new(
+                "streams",
+                Severity::Warning,
+                "stream-aliasing",
+                label,
+                format!("stream `{}` is declared more than once", e.stream),
+            ));
+        }
+        if e.stream.contains("-resp") && !e.registered {
+            findings.push(Finding::new(
+                "streams",
+                Severity::Warning,
+                "unregistered-response",
+                label,
+                format!(
+                    "response stream `{}` is declared unregistered — PolyMem response \
+                     paths cross its read delay line",
+                    e.stream
+                ),
+            ));
+        }
+    }
+
+    // Index the kernels and build the wait adjacency (consumer waits on
+    // producer) over unregistered edges only.
+    let mut kernels: Vec<&str> = Vec::new();
+    for e in edges {
+        for k in [e.producer, e.consumer] {
+            if !kernels.contains(&k) {
+                kernels.push(k);
+            }
+        }
+    }
+    let n = kernels.len();
+    let idx = |name: &str| kernels.iter().position(|k| *k == name).unwrap();
+    let mut reach = vec![vec![false; n]; n];
+    for e in edges.iter().filter(|e| !e.registered) {
+        reach[idx(e.consumer)][idx(e.producer)] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                reach[i][j] = reach[i][j] || (reach[i][k] && reach[k][j]);
+            }
+        }
+    }
+
+    let looped: Vec<&str> = (0..n).filter(|&i| reach[i][i]).map(|i| kernels[i]).collect();
+    let cyclic = !looped.is_empty();
+    if cyclic {
+        let culprits: Vec<&str> = edges
+            .iter()
+            .filter(|e| !e.registered && looped.contains(&e.producer) && looped.contains(&e.consumer))
+            .map(|e| e.stream.as_str())
+            .collect();
+        findings.push(Finding::new(
+            "streams",
+            Severity::Error,
+            "cyclic-wait",
+            label,
+            format!(
+                "kernels {{{}}} can each wait on themselves through unregistered streams \
+                 {{{}}}: with every queue empty nothing ever unblocks (static deadlock)",
+                looped.join(", "),
+                culprits.join(", "),
+            ),
+        ));
+    }
+
+    GraphReport {
+        label,
+        kernels: n,
+        streams: edges.len(),
+        registered: edges.iter().filter(|e| e.registered).count(),
+        cyclic,
+    }
+}
+
+/// Check both STREAM design flavours at the paper geometry.
+pub fn check_all(findings: &mut Vec<Finding>) -> Vec<GraphReport> {
+    let ports = StreamLayout::paper_geometry(StreamLayout::PAPER_MAX_LEN)
+        .map(|l| l.config.read_ports)
+        .unwrap_or(2);
+    vec![
+        check_graph(
+            "per-chunk STREAM design",
+            &declared_graph(false, ports),
+            findings,
+        ),
+        check_graph(
+            "region-burst STREAM design",
+            &declared_graph(true, ports),
+            findings,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stream_bench::graph::{CONTROLLER, POLYMEM};
+
+    fn edge(stream: &str, producer: &'static str, consumer: &'static str, reg: bool) -> StreamEdge {
+        StreamEdge {
+            stream: stream.to_string(),
+            producer,
+            consumer,
+            registered: reg,
+        }
+    }
+
+    #[test]
+    fn declared_designs_are_deadlock_free() {
+        let mut findings = Vec::new();
+        let reports = check_all(&mut findings);
+        assert_eq!(reports.len(), 2);
+        assert!(findings.is_empty(), "{findings:#?}");
+        for r in &reports {
+            assert!(!r.cyclic);
+            assert!(r.registered > 0, "{}: no registered feedback path", r.label);
+        }
+    }
+
+    #[test]
+    fn unregistered_feedback_is_a_cycle() {
+        // Strip the register off the response path: controller waits on
+        // polymem for the response, polymem waits on the controller for
+        // the request — a wedge.
+        let g = vec![
+            edge("req", CONTROLLER, POLYMEM, false),
+            edge("resp", POLYMEM, CONTROLLER, false),
+        ];
+        let mut findings = Vec::new();
+        let r = check_graph("injected", &g, &mut findings);
+        assert!(r.cyclic);
+        assert!(findings.iter().any(|f| f.code == "cyclic-wait"));
+    }
+
+    #[test]
+    fn registered_feedback_is_not_a_cycle() {
+        let g = vec![
+            edge("req", CONTROLLER, POLYMEM, false),
+            edge("resp", POLYMEM, CONTROLLER, true),
+        ];
+        let mut findings = Vec::new();
+        let r = check_graph("ok", &g, &mut findings);
+        assert!(!r.cyclic);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn empty_graph_is_scanner_blind() {
+        let mut findings = Vec::new();
+        check_graph("empty", &[], &mut findings);
+        assert!(findings.iter().any(|f| f.code == "scanner-blind"));
+    }
+
+    #[test]
+    fn drift_warnings_fire() {
+        let g = vec![
+            edge("x-resp", POLYMEM, CONTROLLER, false),
+            edge("x-resp", POLYMEM, CONTROLLER, true),
+        ];
+        let mut findings = Vec::new();
+        check_graph("drift", &g, &mut findings);
+        assert!(findings.iter().any(|f| f.code == "stream-aliasing"));
+        assert!(findings.iter().any(|f| f.code == "unregistered-response"));
+    }
+}
