@@ -129,8 +129,7 @@ impl Manager {
                 if let Some(t) = &self.tracer {
                     t.record_jump(before, before + span, "sched");
                 }
-                if matches!(step, Step::Stuck(_)) && self.stalled_at.is_none() && !self.all_idle()
-                {
+                if matches!(step, Step::Stuck(_)) && self.stalled_at.is_none() && !self.all_idle() {
                     self.stalled_at = Some(before);
                 }
             }

@@ -39,14 +39,25 @@ fn run_chain(
     cap_bursts: usize,
     batch: usize,
 ) -> (u64, Vec<u64>, SchedulerStats) {
-    let data: Vec<u64> = (0..len as u64).map(|x| x.wrapping_mul(2654435761)).collect();
+    let data: Vec<u64> = (0..len as u64)
+        .map(|x| x.wrapping_mul(2654435761))
+        .collect();
     let s_gen = stream("gen-out", cap_elems);
     let s_burst = stream("bursts", cap_bursts);
     let s_out: StreamRef<u64> = stream("terminal", len.max(1));
     let mut mgr = Manager::with_mode(120.0, mode);
     mgr.add_kernel(Box::new(Generator::new("gen", data, Rc::clone(&s_gen))));
-    mgr.add_kernel(Box::new(Batcher::new("frame", s_gen, Rc::clone(&s_burst), batch)));
-    mgr.add_kernel(Box::new(Unbatcher::new("deframe", s_burst, Rc::clone(&s_out))));
+    mgr.add_kernel(Box::new(Batcher::new(
+        "frame",
+        s_gen,
+        Rc::clone(&s_burst),
+        batch,
+    )));
+    mgr.add_kernel(Box::new(Unbatcher::new(
+        "deframe",
+        s_burst,
+        Rc::clone(&s_out),
+    )));
     let cycles = mgr.run_until_idle(50_000);
     let mut out = Vec::with_capacity(len);
     while let Some(v) = s_out.borrow_mut().pop() {

@@ -56,9 +56,8 @@ use crate::region_plan::{
     gather_strided, scatter_strided, RegionPlan, RegionPlanCache, RegionPlanCacheStats,
 };
 use crate::scheme::{AccessPattern, ParallelAccess};
+use crate::sync::{AtomicBool, Ordering, RwLock};
 use crate::telemetry::{Counter, TelemetryRegistry};
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Below this many elements a region read is gathered serially: spawning

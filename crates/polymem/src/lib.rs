@@ -70,6 +70,7 @@ pub mod region;
 pub mod region_plan;
 pub mod scheme;
 pub mod shuffle;
+pub mod sync;
 pub mod telemetry;
 pub mod theory;
 

@@ -32,10 +32,10 @@ use crate::maf::ModuleAssignment;
 use crate::plan::{PlanCache, PlanKeyHasher};
 use crate::region::{Region, RegionShape};
 use crate::scheme::AccessScheme;
+use crate::sync::{AtomicU64, Ordering};
 use crate::telemetry::{Histogram, Label, StatCounter, TelemetryRegistry};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Fixed width of the strided-replay inner loop. Runs whose stride is not

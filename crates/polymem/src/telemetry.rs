@@ -41,8 +41,7 @@
 //! and [`TelemetrySnapshot::to_prometheus`] renders the Prometheus text
 //! exposition format.
 
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::sync::{AtomicI64, AtomicU64, Ordering, RwLock};
 use std::sync::Arc;
 
 /// One metric label: static key, owned value fixed at registration.

@@ -356,8 +356,7 @@ impl StreamApp {
                     self.clock.tick();
                 }
                 SchedulerMode::EventDriven => {
-                    let mut kernels: [&mut dyn Kernel; 2] =
-                        [&mut self.driver, &mut self.polymem];
+                    let mut kernels: [&mut dyn Kernel; 2] = [&mut self.driver, &mut self.polymem];
                     sched::advance(
                         &mut self.clock,
                         &mut kernels,
@@ -698,7 +697,11 @@ mod tests {
             let (event_cycles, event_out, event_stats) = mk(SchedulerMode::EventDriven);
             assert_eq!(ticked_cycles, event_cycles, "cycle parity (burst={burst})");
             assert_eq!(ticked_out, event_out, "result parity (burst={burst})");
-            assert_eq!(ticked_stats, SchedulerStats::default(), "ticked loop bypasses sched");
+            assert_eq!(
+                ticked_stats,
+                SchedulerStats::default(),
+                "ticked loop bypasses sched"
+            );
             assert_eq!(
                 event_stats.total_cycles(),
                 event_cycles,

@@ -4,15 +4,18 @@
 //! proves things. This module seeds one representative violation per
 //! hazard class — a false support claim, a corrupted access plan, a
 //! corrupted region plan, a mis-tiled run table, a reversed lock nesting,
-//! a writing read-port thread, a panicking hot path, and a deregistered
-//! stream feedback loop — and checks
-//! that the corresponding
-//! analysis reports the expected finding code. The real sources on disk
-//! are never modified; lock/lint mutations run on in-memory copies.
+//! a writing read-port thread, a locked telemetry call under a bank
+//! guard, a panicking hot path, a deregistered stream feedback loop, a
+//! downgraded Acquire ordering, a bank guard dropped before the spread
+//! phase, and a base skipped at snapshot fold-in — and checks that the
+//! corresponding analysis reports the expected finding code. The real
+//! sources on disk are never modified; source mutations run on in-memory
+//! copies, and the concurrency mutations run on the `races` pass's
+//! interleaving models.
 
 use crate::findings::{Finding, Severity};
 use crate::locks;
-use crate::{lint, schemes, streams, telemetry};
+use crate::{lint, races, schemes, streams, telemetry};
 use polymem::{
     AccessPattern, AccessScheme, AddressingFunction, Agu, ModuleAssignment, ParallelAccess,
     PlanCache, Region, RegionPlan, RegionShape,
@@ -24,6 +27,10 @@ use std::path::Path;
 pub struct Mutation {
     /// Stable mutation name.
     pub name: &'static str,
+    /// Hazard class the mutation represents (DESIGN.md taxonomy row).
+    pub hazard: &'static str,
+    /// Analysis pass expected to catch it.
+    pub pass: &'static str,
     /// Finding code the analyzer is expected to raise.
     pub expected_code: &'static str,
     /// Whether the analyzer raised it.
@@ -32,10 +39,18 @@ pub struct Mutation {
     pub detail: String,
 }
 
-fn record(name: &'static str, expected_code: &'static str, raised: &[Finding]) -> Mutation {
+fn record(
+    name: &'static str,
+    hazard: &'static str,
+    pass: &'static str,
+    expected_code: &'static str,
+    raised: &[Finding],
+) -> Mutation {
     let hit = raised.iter().find(|f| f.code == expected_code);
     Mutation {
         name,
+        hazard,
+        pass,
         expected_code,
         caught: hit.is_some(),
         detail: hit
@@ -50,7 +65,13 @@ fn false_support_claim() -> Mutation {
     let mut findings = Vec::new();
     let maf = ModuleAssignment::new(AccessScheme::ReO, 2, 4);
     schemes::check_pair(&maf, AccessPattern::Row, true, &mut findings);
-    record("false-support-claim", "bank-conflict", &findings)
+    record(
+        "false-support-claim",
+        "bank-conflict",
+        "schemes",
+        "bank-conflict",
+        &findings,
+    )
 }
 
 /// Mutation 2: corrupt a compiled access plan (duplicate a bank) and feed
@@ -80,7 +101,13 @@ fn corrupt_access_plan() -> Mutation {
             format!("{e}"),
         ));
     }
-    record("corrupt-access-plan", "plan-corrupt", &findings)
+    record(
+        "corrupt-access-plan",
+        "plan-corruption",
+        "plans",
+        "plan-corrupt",
+        &findings,
+    )
 }
 
 /// Mutation 3: corrupt a compiled region plan (skew one fold slot) and
@@ -109,7 +136,13 @@ fn corrupt_region_plan() -> Mutation {
             format!("{e}"),
         ));
     }
-    record("corrupt-region-plan", "plan-corrupt", &findings)
+    record(
+        "corrupt-region-plan",
+        "plan-corruption",
+        "plans",
+        "plan-corrupt",
+        &findings,
+    )
 }
 
 /// Mutation 3b: mis-tile a compiled region plan's run table (stretch one
@@ -145,7 +178,13 @@ fn mistiled_run_table() -> Mutation {
             format!("{e}"),
         ));
     }
-    record("mistiled-run-table", "plan-corrupt", &findings)
+    record(
+        "mistiled-run-table",
+        "plan-corruption",
+        "plans",
+        "plan-corrupt",
+        &findings,
+    )
 }
 
 /// Mutation 4: append a function that nests region-plans -> pattern-shard
@@ -159,7 +198,13 @@ fn reversed_lock_order(concurrent_src: &str) -> Mutation {
     let mut findings = Vec::new();
     let graph = locks::analyze_source(&injected, "concurrent.rs[injected]", &mut findings);
     locks::check_graph(&graph, &mut findings);
-    record("reversed-lock-order", "lock-cycle", &findings)
+    record(
+        "reversed-lock-order",
+        "lock-order-inversion",
+        "locks",
+        "lock-cycle",
+        &findings,
+    )
 }
 
 /// Mutation 5: append a read-port spawn whose closure writes a bank; the
@@ -172,7 +217,13 @@ fn writing_read_port(concurrent_src: &str) -> Mutation {
     );
     let mut findings = Vec::new();
     let _ = locks::analyze_source(&injected, "concurrent.rs[injected]", &mut findings);
-    record("writing-read-port", "port-aliasing", &findings)
+    record(
+        "writing-read-port",
+        "port-aliasing",
+        "locks",
+        "port-aliasing",
+        &findings,
+    )
 }
 
 /// Mutation 6: append a function that snapshots the telemetry registry
@@ -191,6 +242,8 @@ fn locked_telemetry_in_guard(concurrent_src: &str) -> Mutation {
     let _ = telemetry::analyze_source(&injected, &graph, "concurrent.rs[injected]", &mut findings);
     record(
         "locked-telemetry-in-guard",
+        "guard-scope-violation",
+        "telemetry",
         "telemetry-lock-in-guard",
         &findings,
     )
@@ -210,7 +263,13 @@ fn panicking_hot_path() -> Mutation {
         &mut allow,
         &mut findings,
     );
-    record("panicking-hot-path", "panic-in-hot-path", &findings)
+    record(
+        "panicking-hot-path",
+        "hot-path-panic",
+        "lint",
+        "panic-in-hot-path",
+        &findings,
+    )
 }
 
 /// Mutation 8: strip the delay-line register off the burst design's
@@ -225,7 +284,63 @@ fn cyclic_stream_wait() -> Mutation {
     }
     let mut findings = Vec::new();
     streams::check_graph("burst graph[injected]", &graph, &mut findings);
-    record("cyclic-stream-wait", "cyclic-wait", &findings)
+    record(
+        "cyclic-stream-wait",
+        "stream-deadlock",
+        "streams",
+        "cyclic-wait",
+        &findings,
+    )
+}
+
+/// Mutation 10: downgrade every `Acquire` load in the telemetry layer to
+/// `Relaxed` (in memory) — the published-read rows of the memory-ordering
+/// contract table must refuse the new orderings.
+fn relaxed_acquire_downgrade(root: &Path) -> Mutation {
+    let src =
+        std::fs::read_to_string(root.join("crates/polymem/src/telemetry.rs")).unwrap_or_default();
+    let mutated = src.replace("Ordering::Acquire", "Ordering::Relaxed");
+    let sites = races::scan_source(&mutated, "telemetry.rs");
+    let mut findings = Vec::new();
+    races::check_contract(&sites, &mut findings);
+    record(
+        "relaxed-acquire-downgrade",
+        "memory-ordering-drift",
+        "races",
+        "ordering-contract",
+        &findings,
+    )
+}
+
+/// Mutation 11: the banded-read model's writer drops its bank guard
+/// before the spread-phase store — the interleaving explorer must find
+/// the happens-before race against the guarded reader.
+fn dropped_bank_guard() -> Mutation {
+    let report = races::explore_banded_read(races::BandedMode::DropGuardBeforeSpread);
+    let mut findings = Vec::new();
+    let _ = races::digest_report(&report, "oracle-violation", &mut findings);
+    record(
+        "dropped-bank-guard",
+        "unguarded-spread-store",
+        "races",
+        "hb-race",
+        &findings,
+    )
+}
+
+/// Mutation 12: the snapshot model skips one base at fold-in — the
+/// explorer's floor oracle must report the torn snapshot.
+fn skipped_fold_in_base() -> Mutation {
+    let report = races::explore_snapshot_fold_in(races::FoldMode::SkipBase);
+    let mut findings = Vec::new();
+    let _ = races::digest_report(&report, "torn-snapshot", &mut findings);
+    record(
+        "skipped-fold-in-base",
+        "torn-snapshot-fold",
+        "races",
+        "torn-snapshot",
+        &findings,
+    )
 }
 
 /// Run every seeded mutation. Reads `concurrent.rs` under `root` for the
@@ -243,6 +358,9 @@ pub fn run(root: &Path, findings: &mut Vec<Finding>) -> Vec<Mutation> {
         locked_telemetry_in_guard(&concurrent_src),
         panicking_hot_path(),
         cyclic_stream_wait(),
+        relaxed_acquire_downgrade(root),
+        dropped_bank_guard(),
+        skipped_fold_in_base(),
     ];
     for m in &mutations {
         if !m.caught {
@@ -270,7 +388,7 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let mut findings = Vec::new();
         let mutations = run(&root, &mut findings);
-        assert_eq!(mutations.len(), 9);
+        assert_eq!(mutations.len(), 12);
         for m in &mutations {
             assert!(m.caught, "{} survived: {}", m.name, m.detail);
         }

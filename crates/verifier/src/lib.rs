@@ -29,6 +29,11 @@
 //! * [`telemetry`] — proves instrumentation inside held bank-guard scopes
 //!   uses only lock-free atomic counter handles (no registry calls under
 //!   a bank lock, no single-writer `*_owned` ops in multi-writer code);
+//! * [`races`] — checks every atomic operation in the lock-free datapath
+//!   against a declared memory-ordering contract table, audits `unsafe`
+//!   blocks for held-guard scoping, and exhaustively explores the
+//!   taxonomy's three race scenarios on the vendored `interleave`
+//!   vector-clock checker;
 //! * [`inject`] — mutation-tests the analyzer itself by seeding one
 //!   violation per hazard class and requiring each to be caught.
 //!
@@ -44,6 +49,7 @@ pub mod inject;
 pub mod lint;
 pub mod locks;
 pub mod plans;
+pub mod races;
 pub mod schemes;
 pub mod streams;
 pub mod telemetry;

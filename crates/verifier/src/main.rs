@@ -4,26 +4,48 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use verifier::findings::{findings_json, Finding, Json, Severity};
-use verifier::{inject, lint, locks, plans, schemes, streams, telemetry};
+use verifier::{inject, lint, locks, plans, races, schemes, streams, telemetry};
+
+/// Analysis passes selectable as positional arguments.
+const PASSES: &[&str] = &[
+    "schemes",
+    "plans",
+    "locks",
+    "streams",
+    "telemetry",
+    "lint",
+    "races",
+];
 
 struct Options {
     root: PathBuf,
     report: Option<PathBuf>,
     deny_warnings: bool,
     inject: bool,
+    passes: Vec<String>,
+}
+
+impl Options {
+    /// Whether the named pass should run (no filter = run everything).
+    fn selected(&self, pass: &str) -> bool {
+        self.passes.is_empty() || self.passes.iter().any(|p| p == pass)
+    }
 }
 
 fn usage(code: u8) -> ExitCode {
     eprintln!(
         "polymem-verify: static conflict-freedom, plan-soundness and lock-order analyzer\n\
          \n\
-         USAGE: polymem-verify [--deny-warnings] [--inject] [--root <dir>] [--report <file>]\n\
+         USAGE: polymem-verify [--deny-warnings] [--inject] [--root <dir>] [--report <file>] [PASS..]\n\
          \n\
            --deny-warnings   exit non-zero on warnings as well as errors\n\
            --inject          run the mutation suite instead of the analyses;\n\
                              exits non-zero unless every seeded violation is caught\n\
          --root <dir>       repository root (default: auto-detected)\n\
-         --report <file>    report path (default: <root>/VERIFY_report.json)"
+         --report <file>    report path (default: <root>/VERIFY_report.json)\n\
+         PASS              run only the named pass(es): schemes, plans, locks,\n\
+                           streams, telemetry, lint, races. Filtered runs do not\n\
+                           write the default report (pass --report to get one)."
     );
     ExitCode::from(code)
 }
@@ -46,6 +68,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         report: None,
         deny_warnings: false,
         inject: false,
+        passes: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +84,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 None => return Err(usage(2)),
             },
             "--help" | "-h" => return Err(usage(0)),
+            other if PASSES.contains(&other) => opts.passes.push(other.to_string()),
             other => {
                 eprintln!("unknown argument `{other}`\n");
                 return Err(usage(2));
@@ -206,6 +230,8 @@ fn mutations_json(mutations: &[inject::Mutation]) -> Json {
             .map(|m| {
                 Json::Obj(vec![
                     ("name".into(), Json::s(m.name)),
+                    ("hazard".into(), Json::s(m.hazard)),
+                    ("pass".into(), Json::s(m.pass)),
                     ("expected_code".into(), Json::s(m.expected_code)),
                     ("caught".into(), Json::Bool(m.caught)),
                     ("detail".into(), Json::s(&m.detail)),
@@ -213,6 +239,37 @@ fn mutations_json(mutations: &[inject::Mutation]) -> Json {
             })
             .collect(),
     )
+}
+
+fn races_json(out: &races::RacesOutput) -> Json {
+    Json::Obj(vec![
+        ("files".into(), Json::UInt(out.files as u64)),
+        ("atomic_sites".into(), Json::UInt(out.atomic_sites as u64)),
+        (
+            "contract_rules".into(),
+            Json::UInt(out.contract_rules as u64),
+        ),
+        ("unsafe_blocks".into(), Json::UInt(out.unsafe_blocks as u64)),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                out.scenarios
+                    .iter()
+                    .map(|sc| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::s(&sc.name)),
+                            ("schedules".into(), Json::UInt(sc.schedules)),
+                            ("complete".into(), Json::Bool(sc.complete)),
+                            (
+                                "failures".into(),
+                                Json::Arr(sc.failure_codes.iter().map(|&c| Json::s(c)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn main() -> ExitCode {
@@ -234,81 +291,147 @@ fn main() -> ExitCode {
         let mutations = inject::run(&opts.root, &mut findings);
         for m in &mutations {
             println!(
-                "  [{}] {} (expects {}): {}",
+                "  [{}] {} hazard={} caught-by={} expects={}: {}",
                 if m.caught { "caught" } else { "MISSED" },
                 m.name,
+                m.hazard,
+                m.pass,
                 m.expected_code,
                 m.detail
+            );
+        }
+        let uncaught: Vec<&str> = mutations
+            .iter()
+            .filter(|m| !m.caught)
+            .map(|m| m.name)
+            .collect();
+        let caught = mutations.len() - uncaught.len();
+        if uncaught.is_empty() {
+            println!("  {caught}/{} seeded mutations caught", mutations.len());
+        } else {
+            println!(
+                "  {caught}/{} seeded mutations caught; UNCAUGHT: {}",
+                mutations.len(),
+                uncaught.join(", ")
             );
         }
         sections.push(("mutations".into(), mutations_json(&mutations)));
     } else {
         println!("polymem-verify: exhaustive static verification by residue-class periodicity");
+        if !opts.passes.is_empty() {
+            println!("  (pass filter: {})", opts.passes.join(", "));
+        }
 
-        let pairs = schemes::run(&mut findings);
-        let proven = pairs
-            .iter()
-            .filter(|r| r.supported && r.conflict_classes == 0)
-            .count();
-        let claimed = pairs.iter().filter(|r| r.supported).count();
-        let classes: u64 = pairs.iter().map(|r| r.classes as u64).sum();
-        println!(
-            "  schemes: {proven}/{claimed} claimed (scheme, pattern, geometry) pairs proven \
-             conflict-free over {classes} residue classes"
-        );
-        sections.push(("schemes".into(), pairs_json(&pairs)));
+        if opts.selected("schemes") {
+            let pairs = schemes::run(&mut findings);
+            let proven = pairs
+                .iter()
+                .filter(|r| r.supported && r.conflict_classes == 0)
+                .count();
+            let claimed = pairs.iter().filter(|r| r.supported).count();
+            let classes: u64 = pairs.iter().map(|r| r.classes as u64).sum();
+            println!(
+                "  schemes: {proven}/{claimed} claimed (scheme, pattern, geometry) pairs proven \
+                 conflict-free over {classes} residue classes"
+            );
+            sections.push(("schemes".into(), pairs_json(&pairs)));
+        }
 
-        let plan_out = plans::run(&mut findings);
-        println!(
-            "  plans:   {} access plans and {} region plans compiled, validated and \
-             cross-checked against the MAF/addressing model",
-            plan_out.access_plans, plan_out.region_plans
-        );
-        sections.push(("plans".into(), plans_json(&plan_out)));
+        if opts.selected("plans") {
+            let plan_out = plans::run(&mut findings);
+            println!(
+                "  plans:   {} access plans and {} region plans compiled, validated and \
+                 cross-checked against the MAF/addressing model",
+                plan_out.access_plans, plan_out.region_plans
+            );
+            sections.push(("plans".into(), plans_json(&plan_out)));
+        }
 
-        let graph = locks::run(&opts.root, &mut findings);
-        println!(
-            "  locks:   {} acquisitions in {} functions, {} nesting edge(s), graph acyclic, \
-             {} spawn site(s) checked for port aliasing",
-            graph.acquisitions.len(),
-            graph.functions,
-            graph.edges.len(),
-            graph.spawns
-        );
-        sections.push(("locks".into(), locks_json(&graph)));
+        // The telemetry guard-scope pass consumes the lock graph; build it
+        // quietly (no lock findings) when `locks` itself is filtered out.
+        let graph = if opts.selected("locks") {
+            let graph = locks::run(&opts.root, &mut findings);
+            println!(
+                "  locks:   {} acquisitions in {} functions, {} nesting edge(s), graph acyclic, \
+                 {} spawn site(s) checked for port aliasing",
+                graph.acquisitions.len(),
+                graph.functions,
+                graph.edges.len(),
+                graph.spawns
+            );
+            sections.push(("locks".into(), locks_json(&graph)));
+            Some(graph)
+        } else if opts.selected("telemetry") {
+            let mut scratch = Vec::new();
+            Some(locks::run(&opts.root, &mut scratch))
+        } else {
+            None
+        };
 
-        let stream_reports = streams::check_all(&mut findings);
-        let total_streams: usize = stream_reports.iter().map(|r| r.streams).sum();
-        let total_registered: usize = stream_reports.iter().map(|r| r.registered).sum();
-        println!(
-            "  streams: {} declared design graph(s), {} stream(s) ({} register-backed), \
-             wait graphs acyclic — no static deadlock",
-            stream_reports.len(),
-            total_streams,
-            total_registered
-        );
-        sections.push(("streams".into(), streams_json(&stream_reports)));
+        if opts.selected("streams") {
+            let stream_reports = streams::check_all(&mut findings);
+            let total_streams: usize = stream_reports.iter().map(|r| r.streams).sum();
+            let total_registered: usize = stream_reports.iter().map(|r| r.registered).sum();
+            println!(
+                "  streams: {} declared design graph(s), {} stream(s) ({} register-backed), \
+                 wait graphs acyclic — no static deadlock",
+                stream_reports.len(),
+                total_streams,
+                total_registered
+            );
+            sections.push(("streams".into(), streams_json(&stream_reports)));
+        }
 
-        let tlm_out = telemetry::run(&opts.root, &graph, &mut findings);
-        println!(
-            "  telemetry: {} bank-guard scope(s) scanned, {} atomic counter site(s) verified \
-             lock-free, {} registry call(s) under a guard, {} owned op(s)",
-            tlm_out.bank_guard_scopes,
-            tlm_out.atomic_sites,
-            tlm_out.locked_sites,
-            tlm_out.owned_ops
-        );
-        sections.push(("telemetry".into(), telemetry_json(&tlm_out)));
+        if opts.selected("telemetry") {
+            let graph = graph.as_ref().expect("lock graph built above");
+            let tlm_out = telemetry::run(&opts.root, graph, &mut findings);
+            println!(
+                "  telemetry: {} bank-guard scope(s) scanned, {} atomic counter site(s) verified \
+                 lock-free, {} registry call(s) under a guard, {} owned op(s)",
+                tlm_out.bank_guard_scopes,
+                tlm_out.atomic_sites,
+                tlm_out.locked_sites,
+                tlm_out.owned_ops
+            );
+            sections.push(("telemetry".into(), telemetry_json(&tlm_out)));
+        }
 
-        let lint_out = lint::run(&opts.root, &mut findings);
-        println!(
-            "  lint:    {} hot functions scanned, {} panicking token(s) found, {} allowed",
-            lint_out.functions_checked, lint_out.tokens_found, lint_out.allowed
-        );
-        sections.push(("lint".into(), lint_json(&lint_out)));
+        if opts.selected("lint") {
+            let lint_out = lint::run(&opts.root, &mut findings);
+            println!(
+                "  lint:    {} hot functions scanned, {} panicking token(s) found, {} allowed",
+                lint_out.functions_checked, lint_out.tokens_found, lint_out.allowed
+            );
+            sections.push(("lint".into(), lint_json(&lint_out)));
+        }
+
+        if opts.selected("races") {
+            let races_out = races::run(&opts.root, &mut findings);
+            let schedules: u64 = races_out.scenarios.iter().map(|sc| sc.schedules).sum();
+            println!(
+                "  races:   {} atomic site(s) in {} file(s) checked against {} contract rule(s), \
+                 {} unsafe block(s) audited, {} interleaving scenario(s) explored exhaustively \
+                 ({} schedules)",
+                races_out.atomic_sites,
+                races_out.files,
+                races_out.contract_rules,
+                races_out.unsafe_blocks,
+                races_out.scenarios.len(),
+                schedules
+            );
+            sections.push(("races".into(), races_json(&races_out)));
+        }
     }
 
-    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.analysis.cmp(b.analysis)));
+    // Deterministic report ordering: severity (desc), then every stable key.
+    findings.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.analysis.cmp(b.analysis))
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.location.cmp(&b.location))
+            .then_with(|| a.message.cmp(&b.message))
+    });
     let errors = findings
         .iter()
         .filter(|f| f.severity == Severity::Error)
@@ -344,20 +467,28 @@ fn main() -> ExitCode {
     ));
     sections.push(("findings".into(), findings_json(&findings)));
 
-    let report_path = opts
-        .report
-        .clone()
-        .unwrap_or_else(|| opts.root.join("VERIFY_report.json"));
-    let report = Json::Obj(sections).to_pretty();
-    if let Err(e) = std::fs::write(&report_path, report) {
-        eprintln!("cannot write report to {}: {e}", report_path.display());
-        return ExitCode::from(2);
+    // A filtered run covers only part of the surface: never clobber the
+    // committed full report with it unless a path was given explicitly.
+    let report_path = match (&opts.report, opts.passes.is_empty()) {
+        (Some(path), _) => Some(path.clone()),
+        (None, true) => Some(opts.root.join("VERIFY_report.json")),
+        (None, false) => None,
+    };
+    if let Some(path) = &report_path {
+        let report = Json::Obj(sections).to_pretty();
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("cannot write report to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
 
     println!(
-        "\n{}: {errors} error(s), {warnings} warning(s), {infos} info(s); report at {}",
+        "\n{}: {errors} error(s), {warnings} warning(s), {infos} info(s); {}",
         if failed { "FAIL" } else { "PASS" },
-        report_path.display()
+        match &report_path {
+            Some(path) => format!("report at {}", path.display()),
+            None => "no report written (filtered run; pass --report to write one)".into(),
+        }
     );
     ExitCode::from(u8::from(failed))
 }

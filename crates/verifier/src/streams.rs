@@ -113,12 +113,17 @@ pub fn check_graph(
         }
     }
 
-    let looped: Vec<&str> = (0..n).filter(|&i| reach[i][i]).map(|i| kernels[i]).collect();
+    let looped: Vec<&str> = (0..n)
+        .filter(|&i| reach[i][i])
+        .map(|i| kernels[i])
+        .collect();
     let cyclic = !looped.is_empty();
     if cyclic {
         let culprits: Vec<&str> = edges
             .iter()
-            .filter(|e| !e.registered && looped.contains(&e.producer) && looped.contains(&e.consumer))
+            .filter(|e| {
+                !e.registered && looped.contains(&e.producer) && looped.contains(&e.consumer)
+            })
             .map(|e| e.stream.as_str())
             .collect();
         findings.push(Finding::new(

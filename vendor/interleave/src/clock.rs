@@ -1,0 +1,77 @@
+//! Vector clocks: the partial order underlying the happens-before checker.
+//!
+//! Each managed thread `t` owns component `t` of every clock. A thread's own
+//! component (its *epoch*) advances on release-type operations (guard
+//! release, release store, spawn), so every memory access performed between
+//! two releases carries the same epoch — the classic FastTrack/TSan framing.
+//! Synchronization objects (locks, release sequences) carry a clock that
+//! acquire-type operations join into the acquiring thread's clock.
+
+/// A grow-on-demand vector clock. Missing components read as 0, and epoch 0
+/// means "never observed", so fresh clocks are trivially ordered before
+/// everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VecClock {
+    slots: Vec<u64>,
+}
+
+impl VecClock {
+    /// The empty clock (all components 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component `i` of the clock.
+    pub fn get(&self, i: usize) -> u64 {
+        self.slots.get(i).copied().unwrap_or(0)
+    }
+
+    /// Advance component `i` by one.
+    pub fn bump(&mut self, i: usize) {
+        if self.slots.len() <= i {
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] += 1;
+    }
+
+    /// Pointwise maximum: `self := self ⊔ other`.
+    pub fn join(&mut self, other: &VecClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self ≤ other` pointwise (self happens-before-or-equals other).
+    pub fn le(&self, other: &VecClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_order() {
+        let mut a = VecClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VecClock::new();
+        b.bump(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        assert_eq!(j.get(7), 0);
+    }
+}

@@ -1,0 +1,920 @@
+//! The execution engine: one deterministic schedule of a model run.
+//!
+//! Managed threads are real OS threads driven by a baton-passing protocol:
+//! exactly one thread is ever *granted* (running user code) at a time. Every
+//! instrumented operation is a *yield point* — the thread parks, the
+//! scheduler picks the next runnable thread (replaying the recorded decision
+//! path, or extending it with the first runnable choice), applies the
+//! operation's vector-clock effects, and grants it. Guard releases are
+//! clock-only updates, not scheduling points, which keeps the schedule space
+//! bounded without losing any acquire-side interleavings.
+
+use crate::clock::VecClock;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to unwind managed threads out of an aborted schedule.
+/// Never surfaces to user code: the thread wrappers swallow it.
+pub(crate) struct AbortToken;
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// One instrumented operation, declared at a yield point before it runs.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// First grant of a freshly spawned thread.
+    Start,
+    /// Atomic load; acquire-ish orderings join the location's release clock.
+    AtomicLoad { id: usize, ord: Ordering },
+    /// Atomic store; checked for lost updates against a prior load.
+    AtomicStore { id: usize, ord: Ordering },
+    /// Atomic read-modify-write (always reads the latest value).
+    AtomicRmw { id: usize, ord: Ordering },
+    /// Blocking lock acquisition (read or write).
+    LockAcquire { id: usize, write: bool },
+    /// Plain (non-atomic) read of a `RaceCell`.
+    CellRead { id: usize, label: &'static str },
+    /// Plain (non-atomic) write of a `RaceCell`.
+    CellWrite { id: usize, label: &'static str },
+    /// Join on a managed thread; runnable once the target finished.
+    Join { tid: usize },
+    /// Explicit scheduling point with no memory effect.
+    Yield,
+}
+
+/// What went wrong in one explored schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Two plain accesses to the same cell unordered by happens-before.
+    HbRace,
+    /// A store overwrote a value the thread never observed (load/store
+    /// interleaved with a foreign store).
+    LostUpdate,
+    /// No runnable thread while some thread is still live.
+    Deadlock,
+    /// A managed thread panicked (oracle assertion failure in the model).
+    Panic,
+    /// The schedule exceeded the step budget.
+    StepLimit,
+    /// Replay diverged from the recorded decision path (the model closure is
+    /// not deterministic).
+    Nondeterminism,
+}
+
+impl FailureKind {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::HbRace => "hb-race",
+            FailureKind::LostUpdate => "lost-update",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Panic => "panic",
+            FailureKind::StepLimit => "step-limit",
+            FailureKind::Nondeterminism => "nondeterminism",
+        }
+    }
+}
+
+/// A failure observed in one schedule, with the decision path that produced
+/// it (the sequence of thread ids granted at each choice point).
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What class of violation this is.
+    pub kind: FailureKind,
+    /// Human-readable description naming the location and threads.
+    pub detail: String,
+    /// Thread id granted at each choice point of the failing schedule.
+    pub schedule: Vec<usize>,
+}
+
+/// One decision point: the thread granted and the runnable alternatives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub taken: usize,
+    pub alts: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum TState {
+    /// Parked at a yield point, waiting to be granted `Op`.
+    Ready(Op),
+    /// Granted: executing user code until the next yield point.
+    Running,
+    /// The thread's closure returned (or unwound).
+    Finished,
+}
+
+struct ThreadSlot {
+    state: TState,
+    /// Last atomic version observed per location (for lost-update checks).
+    last_load: HashMap<usize, u64>,
+}
+
+#[derive(Default)]
+struct LockState {
+    readers: Vec<usize>,
+    writer: Option<usize>,
+    clock: VecClock,
+}
+
+#[derive(Default)]
+struct AtomicMeta {
+    /// Release clock: what an acquire-load of the current value synchronizes
+    /// with. Cleared when a foreign relaxed store breaks the release
+    /// sequence.
+    sync: VecClock,
+    /// Owner of the release sequence `sync` belongs to.
+    sync_writer: Option<usize>,
+    /// Monotone store counter (RMWs included).
+    version: u64,
+    last_writer: Option<usize>,
+}
+
+struct CellMeta {
+    label: &'static str,
+    writer: Option<usize>,
+    /// Writer's epoch at the last write.
+    write_epoch: u64,
+    /// Per-thread epoch of the last read (0 = never read).
+    read_epochs: Vec<u64>,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadSlot>,
+    clocks: Vec<VecClock>,
+    locks: HashMap<usize, LockState>,
+    atomics: HashMap<usize, AtomicMeta>,
+    cells: HashMap<usize, CellMeta>,
+    pub(crate) path: Vec<Choice>,
+    depth: usize,
+    steps: u64,
+    max_steps: u64,
+    pub(crate) failures: Vec<Failure>,
+    pub(crate) aborted: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+    /// Partial-order reduction: treat relaxed RMWs as transparent (checked
+    /// but not branch points). See [`Execution::apply_transparent`].
+    transparent_relaxed_rmw: bool,
+}
+
+impl Execution {
+    /// Fresh execution replaying `path` (extended as new choice points are
+    /// reached). Thread 0 is the caller, registered Running.
+    pub(crate) fn new(path: Vec<Choice>, max_steps: u64, transparent_relaxed_rmw: bool) -> Self {
+        let mut clock0 = VecClock::new();
+        clock0.bump(0);
+        Execution {
+            st: Mutex::new(ExecState {
+                threads: vec![ThreadSlot {
+                    state: TState::Running,
+                    last_load: HashMap::new(),
+                }],
+                clocks: vec![clock0],
+                locks: HashMap::new(),
+                atomics: HashMap::new(),
+                cells: HashMap::new(),
+                path,
+                depth: 0,
+                steps: 0,
+                max_steps,
+                failures: Vec::new(),
+                aborted: false,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            transparent_relaxed_rmw,
+        }
+    }
+
+    /// Block at a yield point until granted; applies the op's clock effects.
+    pub(crate) fn yield_op(&self, tid: usize, op: Op) {
+        let mut st = self.st.lock().unwrap();
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        st.threads[tid].state = TState::Ready(op);
+        advance(&mut st, &self.cv);
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if matches!(st.threads[tid].state, TState::Running) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Apply an op's clock effects *without* a scheduling point: the
+    /// calling thread keeps the baton. Used for relaxed RMWs, which commute
+    /// with every other op on the same location (the final value is
+    /// order-independent, no synchronization edges are carried), so
+    /// branching on them multiplies the schedule space without adding
+    /// distinguishable behaviors — provided their return values never steer
+    /// control flow, which the verifier's contract table asserts for every
+    /// declared counter site.
+    pub(crate) fn apply_transparent(&self, tid: usize, op: Op) {
+        let mut st = self.st.lock().unwrap();
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        apply(&mut st, tid, &op);
+        if !st.failures.is_empty() {
+            abort(&mut st, &self.cv);
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// Park a freshly spawned thread until its `Op::Start` is granted. Does
+    /// NOT call `advance` — the parent is still running; the child becomes
+    /// schedulable at the next choice point via its registered `Start` op.
+    pub(crate) fn wait_first_grant(&self, tid: usize) {
+        let mut st = self.st.lock().unwrap();
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if matches!(st.threads[tid].state, TState::Running) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Guard release: clock-only update, not a scheduling point.
+    pub(crate) fn lock_release(&self, tid: usize, id: usize, write: bool) {
+        let mut st = self.st.lock().unwrap();
+        let clock = st.clocks[tid].clone();
+        let lock = st.locks.entry(id).or_default();
+        if write {
+            debug_assert_eq!(lock.writer, Some(tid));
+            lock.writer = None;
+        } else {
+            lock.readers.retain(|&r| r != tid);
+        }
+        lock.clock.join(&clock);
+        st.clocks[tid].bump(tid);
+    }
+
+    /// Register a new managed thread; returns its id. The parent's epoch is
+    /// bumped (spawn is a release edge) and the child inherits the parent's
+    /// clock.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.st.lock().unwrap();
+        let tid = st.threads.len();
+        st.threads.push(ThreadSlot {
+            state: TState::Ready(Op::Start),
+            last_load: HashMap::new(),
+        });
+        let mut child = st.clocks[parent].clone();
+        child.bump(tid);
+        st.clocks.push(child);
+        st.clocks[parent].bump(parent);
+        tid
+    }
+
+    pub(crate) fn push_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.st.lock().unwrap().handles.push(h);
+    }
+
+    /// Mark `tid` finished and hand the baton on. `panic_msg` carries a user
+    /// panic (oracle failure); abort unwinds pass `None`.
+    pub(crate) fn finish_thread(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.st.lock().unwrap();
+        if let Some(msg) = panic_msg {
+            let schedule = taken(&st.path);
+            st.failures.push(Failure {
+                kind: FailureKind::Panic,
+                detail: format!("thread {tid} panicked: {msg}"),
+                schedule,
+            });
+            st.aborted = true;
+        }
+        st.threads[tid].state = TState::Finished;
+        advance(&mut st, &self.cv);
+    }
+
+    /// Block (on the caller's OS thread, outside the baton protocol) until
+    /// every managed thread finished, then return the run's outcome.
+    pub(crate) fn wait_all_finished(&self) -> (Vec<Choice>, Vec<Failure>) {
+        let mut st = self.st.lock().unwrap();
+        while !st
+            .threads
+            .iter()
+            .all(|t| matches!(t.state, TState::Finished))
+        {
+            st = self.cv.wait(st).unwrap();
+        }
+        let handles = std::mem::take(&mut st.handles);
+        let path = std::mem::take(&mut st.path);
+        let failures = std::mem::take(&mut st.failures);
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+        (path, failures)
+    }
+}
+
+fn taken(path: &[Choice]) -> Vec<usize> {
+    path.iter().map(|c| c.taken).collect()
+}
+
+fn fail(st: &mut ExecState, kind: FailureKind, detail: String) {
+    let schedule = taken(&st.path);
+    st.failures.push(Failure {
+        kind,
+        detail,
+        schedule,
+    });
+}
+
+fn abort(st: &mut ExecState, cv: &Condvar) {
+    st.aborted = true;
+    cv.notify_all();
+}
+
+fn satisfiable(st: &ExecState, op: &Op) -> bool {
+    match op {
+        Op::LockAcquire { id, write } => match st.locks.get(id) {
+            None => true,
+            Some(l) => {
+                if *write {
+                    l.readers.is_empty() && l.writer.is_none()
+                } else {
+                    l.writer.is_none()
+                }
+            }
+        },
+        Op::Join { tid } => matches!(st.threads[*tid].state, TState::Finished),
+        _ => true,
+    }
+}
+
+/// Pick and grant the next thread. Called with the state lock held, from
+/// whichever thread just parked or finished.
+fn advance(st: &mut ExecState, cv: &Condvar) {
+    if st.aborted {
+        cv.notify_all();
+        return;
+    }
+    let runnable: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| match &t.state {
+            TState::Ready(op) => satisfiable(st, op),
+            _ => false,
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if runnable.is_empty() {
+        if st
+            .threads
+            .iter()
+            .all(|t| matches!(t.state, TState::Finished))
+        {
+            cv.notify_all();
+            return;
+        }
+        if st
+            .threads
+            .iter()
+            .any(|t| matches!(t.state, TState::Running))
+        {
+            // A granted thread is still executing; it will call advance()
+            // again at its next yield point or on finish.
+            return;
+        }
+        let blocked: Vec<String> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match &t.state {
+                TState::Ready(op) => Some(format!("thread {i} blocked on {op:?}")),
+                _ => None,
+            })
+            .collect();
+        fail(st, FailureKind::Deadlock, blocked.join("; "));
+        abort(st, cv);
+        return;
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        let max = st.max_steps;
+        fail(
+            st,
+            FailureKind::StepLimit,
+            format!("schedule exceeded {max} steps"),
+        );
+        abort(st, cv);
+        return;
+    }
+    let chosen = if st.depth < st.path.len() {
+        let c = &st.path[st.depth];
+        if c.alts != runnable {
+            let (expected, taken) = (c.alts.clone(), c.taken);
+            fail(
+                st,
+                FailureKind::Nondeterminism,
+                format!(
+                    "replay divergence at depth {}: recorded alternatives {expected:?} \
+                     (taken {taken}), now runnable {runnable:?}",
+                    st.depth
+                ),
+            );
+            abort(st, cv);
+            return;
+        }
+        c.taken
+    } else {
+        st.path.push(Choice {
+            taken: runnable[0],
+            alts: runnable.clone(),
+        });
+        runnable[0]
+    };
+    st.depth += 1;
+    let op = match std::mem::replace(&mut st.threads[chosen].state, TState::Running) {
+        TState::Ready(op) => op,
+        other => unreachable!("granted thread in state {other:?}"),
+    };
+    apply(st, chosen, &op);
+    if st.failures.is_empty() {
+        cv.notify_all();
+    } else {
+        // Fail-stop: a detected violation poisons the rest of the schedule.
+        abort(st, cv);
+    }
+}
+
+/// Apply the granted operation's happens-before effects and race checks.
+fn apply(st: &mut ExecState, t: usize, op: &Op) {
+    match op {
+        Op::Start | Op::Yield => {}
+        Op::AtomicLoad { id, ord } => {
+            let meta = st.atomics.entry(*id).or_default();
+            let version = meta.version;
+            if is_acquire(*ord) {
+                let sync = meta.sync.clone();
+                st.clocks[t].join(&sync);
+            }
+            st.threads[t].last_load.insert(*id, version);
+        }
+        Op::AtomicStore { id, ord } => {
+            let clock = st.clocks[t].clone();
+            let meta = st.atomics.entry(*id).or_default();
+            if let Some(&seen) = st.threads[t].last_load.get(id) {
+                if meta.version > seen && meta.last_writer != Some(t) {
+                    let (cur, by) = (meta.version, meta.last_writer);
+                    fail(
+                        st,
+                        FailureKind::LostUpdate,
+                        format!(
+                            "thread {t} stores to atomic {id:#x} over version {cur} written \
+                             by thread {by:?}, but last observed version {seen} (lost update)"
+                        ),
+                    );
+                    return;
+                }
+            }
+            let meta = st.atomics.entry(*id).or_default();
+            meta.version += 1;
+            meta.last_writer = Some(t);
+            st.threads[t].last_load.remove(id);
+            if is_release(*ord) {
+                meta.sync.join(&clock);
+                meta.sync_writer = Some(t);
+                st.clocks[t].bump(t);
+            } else if meta.sync_writer != Some(t) {
+                // A foreign relaxed store breaks the release sequence: later
+                // acquire-loads no longer synchronize with the old release.
+                meta.sync = VecClock::new();
+                meta.sync_writer = None;
+            }
+        }
+        Op::AtomicRmw { id, ord } => {
+            let clock = st.clocks[t].clone();
+            let meta = st.atomics.entry(*id).or_default();
+            if is_acquire(*ord) {
+                let sync = meta.sync.clone();
+                st.clocks[t].join(&sync);
+            }
+            let meta = st.atomics.entry(*id).or_default();
+            meta.version += 1;
+            meta.last_writer = Some(t);
+            // An RMW always reads the latest value, so it is never a lost
+            // update, and per C++11 it continues an in-flight release
+            // sequence even when relaxed.
+            st.threads[t].last_load.remove(id);
+            if is_release(*ord) {
+                meta.sync.join(&clock);
+                meta.sync_writer = Some(t);
+                st.clocks[t].bump(t);
+            }
+        }
+        Op::LockAcquire { id, write } => {
+            let lock = st.locks.entry(*id).or_default();
+            if *write {
+                lock.writer = Some(t);
+            } else {
+                lock.readers.push(t);
+            }
+            let clock = lock.clock.clone();
+            st.clocks[t].join(&clock);
+        }
+        Op::CellRead { id, label } => {
+            let my_clock = st.clocks[t].clone();
+            let meta = st.cells.entry(*id).or_insert_with(|| CellMeta {
+                label,
+                writer: None,
+                write_epoch: 0,
+                read_epochs: Vec::new(),
+            });
+            if let Some(w) = meta.writer {
+                if w != t && meta.write_epoch > my_clock.get(w) {
+                    let (label, epoch) = (meta.label, meta.write_epoch);
+                    fail(
+                        st,
+                        FailureKind::HbRace,
+                        format!(
+                            "read of `{label}` by thread {t} races with write by thread {w} \
+                             (write epoch {epoch} not ordered before the read)"
+                        ),
+                    );
+                    return;
+                }
+            }
+            if meta.read_epochs.len() <= t {
+                meta.read_epochs.resize(t + 1, 0);
+            }
+            meta.read_epochs[t] = my_clock.get(t);
+        }
+        Op::CellWrite { id, label } => {
+            let my_clock = st.clocks[t].clone();
+            let meta = st.cells.entry(*id).or_insert_with(|| CellMeta {
+                label,
+                writer: None,
+                write_epoch: 0,
+                read_epochs: Vec::new(),
+            });
+            if let Some(w) = meta.writer {
+                if w != t && meta.write_epoch > my_clock.get(w) {
+                    let (label, epoch) = (meta.label, meta.write_epoch);
+                    fail(
+                        st,
+                        FailureKind::HbRace,
+                        format!(
+                            "write of `{label}` by thread {t} races with write by thread {w} \
+                             (write epoch {epoch} not ordered before it)"
+                        ),
+                    );
+                    return;
+                }
+            }
+            let racing_reader = meta
+                .read_epochs
+                .iter()
+                .enumerate()
+                .find(|&(u, &e)| u != t && e > 0 && e > my_clock.get(u));
+            if let Some((u, &e)) = racing_reader {
+                let label = meta.label;
+                fail(
+                    st,
+                    FailureKind::HbRace,
+                    format!(
+                        "write of `{label}` by thread {t} races with read by thread {u} \
+                         (read epoch {e} not ordered before the write)"
+                    ),
+                );
+                return;
+            }
+            meta.writer = Some(t);
+            meta.write_epoch = my_clock.get(t);
+        }
+        Op::Join { tid } => {
+            let child = st.clocks[*tid].clone();
+            st.clocks[t].join(&child);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context: which execution the current OS thread belongs to.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+    /// Set while a managed thread runs user code: suppresses the default
+    /// panic message for oracle failures (they are reported as findings).
+    static IN_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+    IN_MODEL.with(|f| f.set(true));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+    IN_MODEL.with(|f| f.set(false));
+}
+
+/// Install (once) a panic hook that stays quiet for managed-model panics —
+/// they are captured and reported as `Failure`s, so the default backtrace
+/// spew would only be noise.
+pub(crate) fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = IN_MODEL.with(|f| f.get());
+            if !quiet {
+                prev(info);
+            }
+        }));
+    });
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public model API used by lib.rs
+// ---------------------------------------------------------------------------
+
+/// Handle to a managed spawned thread. Unlike `std`, `join` participates in
+/// the schedule (it is a yield point, runnable once the child finished) and
+/// establishes the child-to-parent happens-before edge.
+pub struct JoinHandle<R> {
+    tid: usize,
+    result: Arc<Mutex<Option<R>>>,
+}
+
+impl<R> JoinHandle<R> {
+    /// Wait for the thread and take its result.
+    pub fn join(self) -> R {
+        let ctx = current_ctx().expect("interleave: join outside a model run");
+        ctx.exec.yield_op(ctx.tid, Op::Join { tid: self.tid });
+        let slot = self.result.lock().unwrap().take();
+        slot.expect("interleave: joined thread stored no result")
+    }
+}
+
+/// Spawn a managed thread inside a model run. Panics outside `model()`.
+pub fn spawn<F, R>(f: F) -> JoinHandle<R>
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let ctx = current_ctx().expect("interleave: spawn outside a model run");
+    let tid = ctx.exec.register_thread(ctx.tid);
+    let result: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    let exec = Arc::clone(&ctx.exec);
+    let handle = std::thread::spawn(move || {
+        set_ctx(Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+        }));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            // Wait for the first grant before touching user code.
+            exec.wait_first_grant(tid);
+            f()
+        }));
+        let panic_msg = match r {
+            Ok(v) => {
+                *result2.lock().unwrap() = Some(v);
+                None
+            }
+            Err(p) if p.is::<AbortToken>() => None,
+            Err(p) => Some(panic_message(p.as_ref())),
+        };
+        exec.finish_thread(tid, panic_msg);
+        clear_ctx();
+    });
+    ctx.exec.push_handle(handle);
+    JoinHandle { tid, result }
+}
+
+/// Explicit scheduling point with no memory effect.
+pub fn yield_now() {
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.yield_op(ctx.tid, Op::Yield);
+    }
+}
+
+/// Hook an instrumented op from `sync` types; no-op outside a model run.
+/// When the explorer opted into the reduction, relaxed RMWs are
+/// *transparent* (checked but not branch points) — see
+/// [`Execution::apply_transparent`].
+pub(crate) fn hook(op: Op) {
+    if let Some(ctx) = current_ctx() {
+        let transparent = ctx.exec.transparent_relaxed_rmw
+            && matches!(
+                op,
+                Op::AtomicRmw {
+                    ord: Ordering::Relaxed,
+                    ..
+                }
+            );
+        if transparent {
+            ctx.exec.apply_transparent(ctx.tid, op);
+        } else {
+            ctx.exec.yield_op(ctx.tid, op);
+        }
+    }
+}
+
+/// Hook a guard release; no-op outside a model run.
+pub(crate) fn hook_release(id: usize, write: bool) {
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.lock_release(ctx.tid, id, write);
+    }
+}
+
+/// Whether the calling thread is inside a model run (instrumented path).
+pub fn in_model() -> bool {
+    current_ctx().is_some()
+}
+
+// ---------------------------------------------------------------------------
+// The explorer driver
+// ---------------------------------------------------------------------------
+
+/// Outcome of exploring one scenario.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Scenario name, as passed to `explore`.
+    pub name: String,
+    /// Number of distinct schedules executed.
+    pub schedules: u64,
+    /// Whether the schedule space was exhausted (false when a bound or the
+    /// failure cap stopped exploration early).
+    pub complete: bool,
+    /// All violations observed, with their failing schedules.
+    pub failures: Vec<Failure>,
+    /// Longest decision path seen (scheduling depth of the scenario).
+    pub max_depth: usize,
+}
+
+impl Report {
+    /// True when exploration exhausted the space without any violation.
+    pub fn ok(&self) -> bool {
+        self.complete && self.failures.is_empty()
+    }
+}
+
+/// Bounded exhaustive DFS over thread interleavings of a model closure.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Stop after this many schedules (marks the report incomplete).
+    pub max_schedules: u64,
+    /// Per-schedule step budget (guards against livelock in the model).
+    pub max_steps: u64,
+    /// Stop exploring after this many recorded failures.
+    pub max_failures: usize,
+    /// Partial-order reduction: relaxed RMWs keep the baton (their clock
+    /// effects and checks still run). Sound whenever relaxed RMW return
+    /// values never steer control flow — they commute, so no distinct
+    /// outcome is lost. Off by default: enable it for scenarios whose
+    /// schedule space is dominated by commuting accounting counters.
+    pub transparent_relaxed_rmw: bool,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_schedules: 20_000,
+            max_steps: 100_000,
+            max_failures: 8,
+            transparent_relaxed_rmw: false,
+        }
+    }
+}
+
+impl Explorer {
+    /// Explorer with default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable the relaxed-RMW partial-order reduction (see the field docs).
+    pub fn with_transparent_relaxed_rmw(mut self) -> Self {
+        self.transparent_relaxed_rmw = true;
+        self
+    }
+
+    /// Run `f` under every schedule (depth-first over choice points) until
+    /// the space is exhausted or a bound trips. `f` must be deterministic
+    /// modulo scheduling: same instrumented ops given the same grants.
+    pub fn explore<F>(&self, name: &str, f: F) -> Report
+    where
+        F: Fn(),
+    {
+        assert!(
+            current_ctx().is_none(),
+            "interleave: nested model runs are not supported"
+        );
+        install_quiet_hook();
+        let mut path: Vec<Choice> = Vec::new();
+        let mut schedules = 0u64;
+        let mut failures: Vec<Failure> = Vec::new();
+        let mut complete = true;
+        let mut max_depth = 0usize;
+        loop {
+            if schedules >= self.max_schedules {
+                complete = false;
+                break;
+            }
+            let exec = Arc::new(Execution::new(
+                path.clone(),
+                self.max_steps,
+                self.transparent_relaxed_rmw,
+            ));
+            set_ctx(Some(Ctx {
+                exec: Arc::clone(&exec),
+                tid: 0,
+            }));
+            let r = catch_unwind(AssertUnwindSafe(&f));
+            let panic_msg = match r {
+                Ok(()) => None,
+                Err(p) if p.is::<AbortToken>() => None,
+                Err(p) => Some(panic_message(p.as_ref())),
+            };
+            exec.finish_thread(0, panic_msg);
+            let (run_path, run_failures) = exec.wait_all_finished();
+            clear_ctx();
+            schedules += 1;
+            max_depth = max_depth.max(run_path.len());
+            failures.extend(run_failures);
+            if failures.len() >= self.max_failures {
+                complete = false;
+                break;
+            }
+            // Backtrack: advance the deepest choice with an untried
+            // alternative, dropping everything below it.
+            path = run_path;
+            let mut exhausted = true;
+            while let Some(c) = path.last_mut() {
+                let pos = c
+                    .alts
+                    .iter()
+                    .position(|&x| x == c.taken)
+                    .expect("taken thread is among its alternatives");
+                if pos + 1 < c.alts.len() {
+                    c.taken = c.alts[pos + 1];
+                    exhausted = false;
+                    break;
+                }
+                path.pop();
+            }
+            if exhausted {
+                break;
+            }
+        }
+        Report {
+            name: name.to_string(),
+            schedules,
+            complete,
+            failures,
+            max_depth,
+        }
+    }
+}

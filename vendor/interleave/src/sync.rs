@@ -1,0 +1,384 @@
+//! Model synchronization types: drop-in atomics and an `RwLock` whose every
+//! operation is a scheduling point, plus `RaceCell` for plain (non-atomic)
+//! data whose accesses the vector-clock checker must prove ordered.
+//!
+//! Outside a model run every type degrades to the raw `std` operation with
+//! only a thread-local lookup of overhead, so code routed through this
+//! module behaves identically when the explorer is not driving it.
+
+use crate::exec::{self, Op};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{PoisonError, TryLockError};
+
+macro_rules! model_atomic {
+    ($name:ident, $raw:ty, $prim:ty) => {
+        /// Instrumented atomic: loads, stores and RMWs are scheduling points
+        /// inside a model run and feed the happens-before checker.
+        #[derive(Default)]
+        pub struct $name {
+            inner: $raw,
+        }
+
+        impl $name {
+            /// New atomic with the given initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    inner: <$raw>::new(v),
+                }
+            }
+
+            fn id(&self) -> usize {
+                &self.inner as *const $raw as usize
+            }
+
+            /// Atomic load; acquire-ish orderings join the location's
+            /// release clock into the calling thread's clock.
+            #[inline]
+            pub fn load(&self, ord: Ordering) -> $prim {
+                exec::hook(Op::AtomicLoad { id: self.id(), ord });
+                self.inner.load(ord)
+            }
+
+            /// Atomic store; checked against a prior load for lost updates.
+            #[inline]
+            pub fn store(&self, v: $prim, ord: Ordering) {
+                exec::hook(Op::AtomicStore { id: self.id(), ord });
+                self.inner.store(v, ord)
+            }
+
+            /// Atomic fetch-add (never a lost update: reads the latest).
+            #[inline]
+            pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                exec::hook(Op::AtomicRmw { id: self.id(), ord });
+                self.inner.fetch_add(v, ord)
+            }
+
+            /// Atomic fetch-sub.
+            #[inline]
+            pub fn fetch_sub(&self, v: $prim, ord: Ordering) -> $prim {
+                exec::hook(Op::AtomicRmw { id: self.id(), ord });
+                self.inner.fetch_sub(v, ord)
+            }
+
+            /// Non-instrumented read for single-threaded contexts.
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            /// Consume and return the value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.inner.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Instrumented `AtomicBool` (no fetch-add family).
+#[derive(Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// New flag with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn id(&self) -> usize {
+        &self.inner as *const std::sync::atomic::AtomicBool as usize
+    }
+
+    /// Atomic load (see [`AtomicU64::load`]).
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> bool {
+        exec::hook(Op::AtomicLoad { id: self.id(), ord });
+        self.inner.load(ord)
+    }
+
+    /// Atomic store (see [`AtomicU64::store`]).
+    #[inline]
+    pub fn store(&self, v: bool, ord: Ordering) {
+        exec::hook(Op::AtomicStore { id: self.id(), ord });
+        self.inner.store(v, ord)
+    }
+
+    /// Atomic swap (an RMW: reads the latest value).
+    #[inline]
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        exec::hook(Op::AtomicRmw { id: self.id(), ord });
+        self.inner.swap(v, ord)
+    }
+
+    /// Non-instrumented read for single-threaded contexts.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.inner.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Instrumented reader-writer lock with the `parking_lot` API shape
+/// (non-poisoning, guards returned directly). Acquisition is a blocking
+/// scheduling point; release is a clock-only happens-before edge.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// New lock owning `t`.
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    /// Consume the lock, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn id(&self) -> usize {
+        &self.inner as *const std::sync::RwLock<T> as *const () as usize
+    }
+
+    /// Acquire a shared guard (scheduling point inside a model run).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if exec::in_model() {
+            exec::hook(Op::LockAcquire {
+                id: self.id(),
+                write: false,
+            });
+            let inner = match self.inner.try_read() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("interleave: real lock state diverged from the model")
+                }
+            };
+            RwLockReadGuard {
+                inner,
+                id: self.id(),
+                hooked: true,
+            }
+        } else {
+            RwLockReadGuard {
+                inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+                id: 0,
+                hooked: false,
+            }
+        }
+    }
+
+    /// Acquire an exclusive guard (scheduling point inside a model run).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if exec::in_model() {
+            exec::hook(Op::LockAcquire {
+                id: self.id(),
+                write: true,
+            });
+            let inner = match self.inner.try_write() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("interleave: real lock state diverged from the model")
+                }
+            };
+            RwLockWriteGuard {
+                inner,
+                id: self.id(),
+                hooked: true,
+            }
+        } else {
+            RwLockWriteGuard {
+                inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+                id: 0,
+                hooked: false,
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Shared guard; dropping it records the release edge before unlocking.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    id: usize,
+    hooked: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // The logical release runs before the field drop unlocks for real;
+        // only the current thread runs, so the window is unobservable.
+        if self.hooked {
+            exec::hook_release(self.id, false);
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Exclusive guard; dropping it records the release edge before unlocking.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    id: usize,
+    hooked: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.hooked {
+            exec::hook_release(self.id, true);
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Plain-data cell for model scenarios: every access is declared to the
+/// happens-before checker, which fails the schedule if two accesses (at
+/// least one a write, from different threads) are unordered.
+///
+/// `Sync` is asserted so models can share it across managed threads; the
+/// explorer runs exactly one thread at a time, so even a schedule with a
+/// detected race never performs a physically concurrent access. Do not
+/// share a `RaceCell` across threads outside a model run.
+pub struct RaceCell<T> {
+    label: &'static str,
+    inner: UnsafeCell<T>,
+}
+
+// SAFETY: all cross-thread access happens inside a model run, where the
+// baton scheduler serializes every instrumented operation.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    /// New cell. `label` names the location in race reports.
+    pub fn new(label: &'static str, v: T) -> Self {
+        Self {
+            label,
+            inner: UnsafeCell::new(v),
+        }
+    }
+
+    fn id(&self) -> usize {
+        self.inner.get() as usize
+    }
+
+    /// Read the value (a checked plain load).
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        exec::hook(Op::CellRead {
+            id: self.id(),
+            label: self.label,
+        });
+        unsafe { *self.inner.get() }
+    }
+
+    /// Overwrite the value (a checked plain store).
+    pub fn set(&self, v: T) {
+        exec::hook(Op::CellWrite {
+            id: self.id(),
+            label: self.label,
+        });
+        unsafe { *self.inner.get() = v }
+    }
+
+    /// Read through a closure (a checked plain load; no `Copy` bound).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        exec::hook(Op::CellRead {
+            id: self.id(),
+            label: self.label,
+        });
+        f(unsafe { &*self.inner.get() })
+    }
+
+    /// Mutate through a closure (a checked plain store).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        exec::hook(Op::CellWrite {
+            id: self.id(),
+            label: self.label,
+        });
+        f(unsafe { &mut *self.inner.get() })
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RaceCell")
+            .field("label", &self.label)
+            .finish()
+    }
+}
