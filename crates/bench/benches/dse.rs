@@ -1,0 +1,33 @@
+//! Criterion: design-space sweep throughput.
+//!
+//! `dse/quick_sweep` times one full quick-grid sweep of the parallel
+//! two-axis engine (135 points: synthesis model everywhere, an event-driven
+//! simulation pass per feasible point). Gated against `BENCH_dse.json` by
+//! `bench-gate`, so an accidental serialization of the worker pool — or a
+//! per-point cost blow-up in either axis — fails CI like any other perf
+//! regression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymem::telemetry::TelemetryRegistry;
+use polymem_dse::engine::{default_workers, sweep, SweepConfig};
+
+fn bench_quick_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse");
+    g.sample_size(10);
+    let cfg = SweepConfig::quick().with_workers(default_workers());
+    g.bench_with_input(
+        BenchmarkId::from_parameter("quick_sweep"),
+        &cfg,
+        |b, cfg| {
+            b.iter(|| {
+                let r = sweep(cfg, &TelemetryRegistry::new());
+                assert!(r.points.len() + r.skipped.len() == cfg.grid.len());
+                r.points.len()
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_quick_sweep);
+criterion_main!(benches);

@@ -27,6 +27,7 @@ const GATED_BENCHES: &[(&str, &str)] = &[
     ("stream_region", "BENCH_stream_region.json"),
     ("layout", "BENCH_layout.json"),
     ("sim_events", "BENCH_sim_events.json"),
+    ("dse", "BENCH_dse.json"),
 ];
 
 /// Extra quick-mode reruns allowed per bench target before a violation is

@@ -1,27 +1,32 @@
-//! **Table III** — the full design-space exploration: enumerate the DSE
-//! grid, synthesize every point, and print feasibility plus the headline
-//! metrics. Pass `--extended` to add the 32-lane arm.
+//! **Table III** — the full design-space exploration, on the parallel
+//! two-axis engine (`polymem-dse`): every grid point is synthesized by the
+//! analytic model *and* measured through the event-driven simulator. Pass
+//! `--quick` for the reduced CI grid.
+//!
+//! This binary is the human-readable view; the machine-readable, drift-gated
+//! artifact is `DSE_report.json` (see the `polymem-dse` binary).
 
-use fpga_model::{best_by, explore, DseGrid, FpgaDevice};
+use polymem::telemetry::TelemetryRegistry;
 use polymem_bench::{grid_label, render_table};
+use polymem_dse::{claims, engine};
 
 fn main() {
-    let extended = std::env::args().any(|a| a == "--extended");
-    let grid = if extended {
-        DseGrid::extended()
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        engine::SweepConfig::quick()
     } else {
-        DseGrid::paper()
+        engine::SweepConfig::full()
     };
     println!(
         "Table III DSE: sizes {:?} KB x lanes {:?} x ports {:?} x {} schemes = {} points\n",
-        grid.sizes_kb,
-        grid.lanes,
-        grid.read_ports,
-        grid.schemes.len(),
-        grid.len()
+        cfg.grid.sizes_kb,
+        cfg.grid.lanes,
+        cfg.grid.read_ports,
+        cfg.grid.schemes.len(),
+        cfg.grid.len()
     );
 
-    let pts = explore(&grid, &FpgaDevice::VIRTEX6_SX475T);
+    let result = engine::sweep(&cfg, &TelemetryRegistry::new());
     let headers: Vec<String> = [
         "Config",
         "Scheme",
@@ -29,62 +34,46 @@ fn main() {
         "Fmax MHz",
         "Write GB/s",
         "Read GB/s",
+        "Meas GiB/s",
         "Logic %",
         "BRAM %",
     ]
     .iter()
     .map(|s| s.to_string())
     .collect();
-    let rows: Vec<Vec<String>> = pts
+    let rows: Vec<Vec<String>> = result
+        .points
         .iter()
         .map(|p| {
             vec![
                 grid_label(p.size_kb, p.lanes, p.read_ports),
                 p.scheme.name().to_string(),
-                if p.report.feasible { "yes" } else { "NO" }.to_string(),
-                format!("{:.0}", p.report.fmax_mhz),
-                format!("{:.1}", p.report.write_bandwidth_gbps()),
-                format!("{:.1}", p.report.read_bandwidth_gbps()),
-                format!("{:.1}", p.report.utilization.logic_pct),
-                format!("{:.1}", p.report.utilization.bram_pct),
+                if p.feasible() { "yes" } else { "NO" }.to_string(),
+                format!("{:.0}", p.synth.fmax_mhz),
+                format!("{:.1}", p.synth.write_bandwidth_gbps()),
+                format!("{:.1}", p.synth.read_bandwidth_gbps()),
+                p.measured_read_gibps()
+                    .map(|b| format!("{b:.1}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                format!("{:.1}", p.synth.utilization.logic_pct),
+                format!("{:.1}", p.synth.utilization.bram_pct),
             ]
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
 
-    let feasible = pts.iter().filter(|p| p.report.feasible).count();
-    println!("Feasible: {feasible} / {} points", pts.len());
-    if let Some(bw) = best_by(&pts, |p| p.report.read_bandwidth_mbps) {
-        println!(
-            "Peak aggregated read bandwidth: {:.1} GB/s ({} {} @ {:.0} MHz)",
-            bw.report.read_bandwidth_gbps(),
-            grid_label(bw.size_kb, bw.lanes, bw.read_ports),
-            bw.scheme,
-            bw.report.fmax_mhz
-        );
-    }
-    if let Some(w) = best_by(&pts, |p| p.report.write_bandwidth_mbps) {
-        println!(
-            "Peak write bandwidth:           {:.1} GB/s ({} {} @ {:.0} MHz)",
-            w.report.write_bandwidth_gbps(),
-            grid_label(w.size_kb, w.lanes, w.read_ports),
-            w.scheme,
-            w.report.fmax_mhz
-        );
-    }
-    if let Some(f) = best_by(&pts, |p| p.report.fmax_mhz) {
-        println!(
-            "Highest clock:                  {:.0} MHz ({} {})",
-            f.report.fmax_mhz,
-            grid_label(f.size_kb, f.lanes, f.read_ports),
-            f.scheme
-        );
-    }
-    if let Some(bw) = best_by(&pts, |p| p.report.read_bandwidth_mbps) {
-        println!("\nFull synthesis report of the bandwidth winner:\n");
-        println!(
-            "{}",
-            fpga_model::render_report(&bw.report, &FpgaDevice::VIRTEX6_SX475T)
-        );
+    println!(
+        "Feasible: {} / {} points ({} simulated passes, {} scheduler jumps)",
+        result.feasible().count(),
+        result.points.len(),
+        result.feasible().count(),
+        result.sched.jumps,
+    );
+
+    println!("\ntrend claims:");
+    for c in claims::evaluate(&result) {
+        let mark = if c.holds { "PASS" } else { "FAIL" };
+        println!("  [{mark}] {}: {}", c.id, c.details);
+        assert!(c.holds, "claim {} failed: {}", c.id, c.details);
     }
 }

@@ -1,79 +1,60 @@
-//! **Extension** — the DSE's Pareto frontier: which configurations are not
-//! dominated on (read bandwidth ↑, logic ↓, BRAM ↓)? The paper reports the
-//! whole grid; a user picking a configuration wants the efficient subset.
+//! **Extension** — the DSE's Pareto frontier on the two-axis engine: which
+//! configurations are not dominated on (measured read bandwidth ↑, BRAM ↓,
+//! Fmax ↑)? The paper reports the whole grid; a user picking a
+//! configuration wants the efficient subset.
 
-use fpga_model::{explore_paper, DsePoint};
+use polymem::telemetry::TelemetryRegistry;
 use polymem_bench::{grid_label, render_table};
-
-/// `a` dominates `b`: no worse on every axis, strictly better on one.
-fn dominates(a: &DsePoint, b: &DsePoint) -> bool {
-    let (abw, alogic, abram) = (
-        a.report.read_bandwidth_mbps,
-        a.report.utilization.logic_pct,
-        a.report.utilization.bram_pct,
-    );
-    let (bbw, blogic, bbram) = (
-        b.report.read_bandwidth_mbps,
-        b.report.utilization.logic_pct,
-        b.report.utilization.bram_pct,
-    );
-    let no_worse = abw >= bbw && alogic <= blogic && abram <= bbram;
-    let better = abw > bbw || alogic < blogic || abram < bbram;
-    no_worse && better
-}
+use polymem_dse::{engine, pareto};
 
 fn main() {
-    let pts: Vec<DsePoint> = explore_paper()
-        .into_iter()
-        .filter(|p| p.report.feasible)
-        .collect();
-    let mut frontier: Vec<&DsePoint> = pts
-        .iter()
-        .filter(|cand| !pts.iter().any(|other| dominates(other, cand)))
-        .collect();
-    frontier.sort_by(|x, y| {
-        y.report
-            .read_bandwidth_mbps
-            .partial_cmp(&x.report.read_bandwidth_mbps)
+    let result = engine::sweep(&engine::SweepConfig::full(), &TelemetryRegistry::new());
+    let front = pareto::front(&result.points);
+    let mut entries: Vec<_> = front.iter().map(|&i| &result.points[i]).collect();
+    entries.sort_by(|x, y| {
+        y.measured_read_gibps()
             .unwrap()
+            .total_cmp(&x.measured_read_gibps().unwrap())
     });
 
     println!(
-        "Pareto frontier of the paper DSE ({} of {} feasible points are efficient)\n",
-        frontier.len(),
-        pts.len()
+        "Pareto frontier of the full DSE ({} of {} feasible points are efficient)\n",
+        entries.len(),
+        result.feasible().count(),
     );
     let headers: Vec<String> = [
         "Config",
         "Scheme",
-        "Read GB/s",
-        "Logic %",
-        "BRAM %",
+        "Meas GiB/s",
+        "BRAM blocks",
         "Fmax MHz",
+        "Logic %",
     ]
     .iter()
     .map(|s| s.to_string())
     .collect();
-    let rows: Vec<Vec<String>> = frontier
+    let rows: Vec<Vec<String>> = entries
         .iter()
         .map(|p| {
             vec![
                 grid_label(p.size_kb, p.lanes, p.read_ports),
                 p.scheme.name().to_string(),
-                format!("{:.1}", p.report.read_bandwidth_gbps()),
-                format!("{:.1}", p.report.utilization.logic_pct),
-                format!("{:.1}", p.report.utilization.bram_pct),
-                format!("{:.0}", p.report.fmax_mhz),
+                format!("{:.1}", p.measured_read_gibps().unwrap()),
+                format!("{:.1}", p.synth.resources.bram_blocks),
+                format!("{:.0}", p.synth.fmax_mhz),
+                format!("{:.1}", p.synth.utilization.logic_pct),
             ]
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
 
-    // Sanity: the frontier must contain a 512 KB point (bandwidth champion)
-    // and the cheapest single-port ReO point (resource champion).
-    assert!(frontier.iter().any(|p| p.size_kb == 512));
-    assert!(frontier
+    // Sanity: the frontier must contain the bandwidth champion (a 512 KB
+    // point) and be all-RoCo — BRAM count is scheme-independent, so every
+    // non-RoCo point is dominated by its RoCo sibling (same blocks, higher
+    // Fmax, higher measured bandwidth).
+    assert!(entries.iter().any(|p| p.size_kb == 512));
+    assert!(entries
         .iter()
-        .any(|p| p.read_ports == 1 && p.scheme == polymem::AccessScheme::ReO));
-    println!("Every non-listed configuration is dominated: something on this list gives at\nleast its bandwidth for at most its area.");
+        .all(|p| p.scheme == polymem::AccessScheme::RoCo));
+    println!("Every non-listed configuration is dominated: something on this list gives at\nleast its bandwidth for at most its BRAM at at least its clock.");
 }

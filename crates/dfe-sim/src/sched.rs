@@ -57,6 +57,15 @@ impl SchedulerStats {
     pub fn total_cycles(&self) -> u64 {
         self.ticked_cycles + self.skipped_cycles
     }
+
+    /// Fold another scheduler's counters into this one. Sweeps that run many
+    /// independent simulations use this to report aggregate tick/jump
+    /// behaviour across the whole campaign.
+    pub fn merge(&mut self, other: &SchedulerStats) {
+        self.ticked_cycles += other.ticked_cycles;
+        self.jumps += other.jumps;
+        self.skipped_cycles += other.skipped_cycles;
+    }
 }
 
 /// What one scheduler step did.

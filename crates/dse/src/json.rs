@@ -1,0 +1,148 @@
+//! Deterministic JSON writer for `DSE_report.json`.
+//!
+//! The workspace's `serde` is an offline marker-trait stub, so the report is
+//! emitted through a tiny value tree — the same approach the `verifier`
+//! crate uses for `VERIFY_report.json`. One addition matters here: floats
+//! enter the tree *pre-formatted* ([`Json::num`]) with a fixed number of
+//! decimals, so the committed artifact is byte-identical across runs,
+//! worker counts, and float-formatting library changes.
+
+use std::fmt::Write as _;
+
+/// Minimal JSON value tree.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// Null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// A number pre-rendered to its exact byte representation.
+    Num(String),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Ordered object (insertion order is emission order).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn s(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// A float rendered with exactly `decimals` fraction digits. This is the
+    /// only way floats enter a report: the fixed precision pins the byte
+    /// representation.
+    pub fn num(v: f64, decimals: usize) -> Json {
+        Json::Num(format!("{v:.decimals$}"))
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => out.push_str(v),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (n, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.write(out, indent + 1);
+                    if n + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (n, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if n + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_pins_bytes() {
+        assert_eq!(Json::num(1.0, 3).to_pretty(), "1.000\n");
+        assert_eq!(Json::num(0.15625, 2).to_pretty(), "0.16\n");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::s("a\"b\\c\nd");
+        assert_eq!(j.to_pretty(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn nested_layout() {
+        let j = Json::Obj(vec![
+            ("k".into(), Json::Arr(vec![Json::UInt(1), Json::Bool(true)])),
+            ("e".into(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            j.to_pretty(),
+            "{\n  \"k\": [\n    1,\n    true\n  ],\n  \"e\": []\n}\n"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! `polymem-dse` — run the design-space sweep, print the Pareto front and
+//! trend claims, optionally write the committed `DSE_report.json`.
+//!
+//! ```text
+//! polymem-dse [--quick] [--workers N] [--chunks N] [--report FILE]
+//! ```
+//!
+//! * `--quick`   reduced CI grid (trend-complete; see `DseGrid::quick`)
+//! * `--workers` worker threads (default: available parallelism)
+//! * `--chunks`  simulation pass length in chunks (default per grid)
+//! * `--report`  write the deterministic JSON artifact to FILE
+//!
+//! Exits non-zero if any trend claim fails, so the CI drift gate also
+//! guards the claims themselves.
+
+use polymem::telemetry::TelemetryRegistry;
+use polymem_dse::{claims, engine, pareto, report};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg_quick = false;
+    let mut workers: Option<usize> = None;
+    let mut chunks: Option<usize> = None;
+    let mut report_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg_quick = true,
+            "--workers" => workers = args.next().and_then(|v| v.parse().ok()),
+            "--chunks" => chunks = args.next().and_then(|v| v.parse().ok()),
+            "--report" => report_path = args.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: polymem-dse [--quick] [--workers N] [--chunks N] [--report FILE]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut cfg = if cfg_quick {
+        engine::SweepConfig::quick()
+    } else {
+        engine::SweepConfig::full()
+    };
+    if let Some(w) = workers {
+        cfg = cfg.with_workers(w);
+    }
+    if let Some(c) = chunks {
+        cfg.sim_chunks = c;
+    }
+
+    let registry = TelemetryRegistry::new();
+    let result = engine::sweep(&cfg, &registry);
+    let claims = claims::evaluate(&result);
+
+    println!(
+        "swept {} cells ({} evaluated, {} feasible, {} skipped) on {}",
+        result.grid.len(),
+        result.points.len(),
+        result.feasible().count(),
+        result.skipped.len(),
+        result.device_name,
+    );
+    println!(
+        "scheduler: {} ticked, {} jumps covering {} cycles",
+        result.sched.ticked_cycles, result.sched.jumps, result.sched.skipped_cycles
+    );
+
+    println!("\npareto front (read GiB/s vs BRAM vs Fmax):");
+    for &i in &pareto::front(&result.points) {
+        let p = &result.points[i];
+        let o = pareto::objectives(p).unwrap();
+        println!(
+            "  {:>4}KB {:>2}L {}P {:<4}  {:>7.2} GiB/s  {:>6.1} BRAM  {:>6.2} MHz",
+            p.size_kb,
+            p.lanes,
+            p.read_ports,
+            p.scheme.name(),
+            o.read_gibps,
+            o.bram_blocks,
+            o.fmax_mhz
+        );
+    }
+
+    println!("\nclaims:");
+    let mut ok = true;
+    for c in &claims {
+        let mark = if c.holds { "PASS" } else { "FAIL" };
+        println!("  [{mark}] {}: {}", c.id, c.details);
+        ok &= c.holds;
+    }
+
+    if let Some(path) = report_path {
+        let text = report::render(&result, &claims);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {path}");
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nFAILED claims: {:?}", claims::failing(&claims));
+        ExitCode::FAILURE
+    }
+}

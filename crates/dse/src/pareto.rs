@@ -1,0 +1,123 @@
+//! Pareto-front extraction over the three axes of the paper's trade-off:
+//! measured read bandwidth (maximize), BRAM blocks (minimize), Fmax
+//! (maximize).
+//!
+//! Only feasible, simulated points compete. The front preserves grid order,
+//! so its JSON rendering is deterministic for free.
+
+use crate::engine::EvalPoint;
+
+/// The three objective values of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Measured aggregate read bandwidth, GiB/s (maximize).
+    pub read_gibps: f64,
+    /// BRAM36 blocks (minimize).
+    pub bram_blocks: f64,
+    /// Achieved clock, MHz (maximize).
+    pub fmax_mhz: f64,
+}
+
+/// The objectives of a point, if it competes (feasible and simulated).
+pub fn objectives(p: &EvalPoint) -> Option<Objectives> {
+    let sim = p.sim.as_ref()?;
+    if !p.feasible() {
+        return None;
+    }
+    Some(Objectives {
+        read_gibps: sim.read_gibps,
+        bram_blocks: p.synth.resources.bram_blocks,
+        fmax_mhz: p.synth.fmax_mhz,
+    })
+}
+
+/// Whether `a` dominates `b`: at least as good on every axis, strictly
+/// better on at least one.
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    let ge =
+        a.read_gibps >= b.read_gibps && a.bram_blocks <= b.bram_blocks && a.fmax_mhz >= b.fmax_mhz;
+    let gt =
+        a.read_gibps > b.read_gibps || a.bram_blocks < b.bram_blocks || a.fmax_mhz > b.fmax_mhz;
+    ge && gt
+}
+
+/// Indices of the non-dominated entries of a raw objective list, in input
+/// order. O(n²) — the full grid is 240 points; exhaustive comparison beats
+/// cleverness for auditability.
+pub fn front_of(objs: &[Objectives]) -> Vec<usize> {
+    objs.iter()
+        .enumerate()
+        .filter(|(_, o)| !objs.iter().any(|other| dominates(other, o)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices (into `points`, grid order) of the non-dominated feasible
+/// simulated points.
+pub fn front(points: &[EvalPoint]) -> Vec<usize> {
+    let cands: Vec<(usize, Objectives)> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| objectives(p).map(|o| (i, o)))
+        .collect();
+    let objs: Vec<Objectives> = cands.iter().map(|(_, o)| *o).collect();
+    front_of(&objs).into_iter().map(|k| cands[k].0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(r: f64, b: f64, f: f64) -> Objectives {
+        Objectives {
+            read_gibps: r,
+            bram_blocks: b,
+            fmax_mhz: f,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = obj(10.0, 100.0, 150.0);
+        assert!(!dominates(&a, &a), "no self-domination");
+        assert!(dominates(&obj(11.0, 100.0, 150.0), &a));
+        assert!(dominates(&obj(10.0, 90.0, 150.0), &a));
+        assert!(dominates(&obj(10.0, 100.0, 151.0), &a));
+        // Trade-offs don't dominate.
+        assert!(!dominates(&obj(11.0, 110.0, 150.0), &a));
+        assert!(!dominates(&a, &obj(11.0, 110.0, 150.0)));
+    }
+
+    #[test]
+    fn front_on_quick_sweep_is_nonempty_and_nondominated() {
+        let r = crate::engine::sweep(
+            &crate::engine::SweepConfig::quick(),
+            &polymem::telemetry::TelemetryRegistry::new(),
+        );
+        let f = front(&r.points);
+        assert!(!f.is_empty());
+        for &i in &f {
+            let oi = objectives(&r.points[i]).unwrap();
+            for (j, p) in r.points.iter().enumerate() {
+                if let Some(oj) = objectives(p) {
+                    assert!(!dominates(&oj, &oi), "front point {i} dominated by {j}");
+                }
+            }
+        }
+        // Completeness: every feasible point off the front is dominated by
+        // someone.
+        for (j, p) in r.points.iter().enumerate() {
+            if let Some(oj) = objectives(p) {
+                if !f.contains(&j) {
+                    assert!(
+                        r.points
+                            .iter()
+                            .filter_map(objectives)
+                            .any(|o| dominates(&o, &oj)),
+                        "non-front point {j} is non-dominated"
+                    );
+                }
+            }
+        }
+    }
+}

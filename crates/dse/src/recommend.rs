@@ -1,0 +1,192 @@
+//! The auto-configurator: from a described access mix to a concrete
+//! [`PolyMemConfig`].
+//!
+//! The paper's DSE answers "which configuration is best" for one workload
+//! (STREAM). [`recommend`] generalizes it: score every feasible, simulated
+//! point of the sweep against a [`WorkloadTrace`] — weighting each access
+//! pattern by whether the candidate scheme serves it conflict-free (full
+//! lanes) or falls back to element-serial access (one lane) — and return
+//! the highest-scoring configuration. Ties break toward fewer BRAM blocks,
+//! then grid order, so the answer is deterministic.
+
+use crate::engine::{sweep, EvalPoint, SweepConfig, SweepResult};
+use polymem::telemetry::TelemetryRegistry;
+use polymem::{AccessPattern, PolyMemConfig};
+use std::sync::OnceLock;
+
+/// A described workload: which parallel access patterns it issues, how
+/// often, and how read-heavy it is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    /// Access-pattern mix with relative weights (> 0).
+    pub pattern_mix: Vec<(AccessPattern, f64)>,
+    /// Whether the workload's rectangle accesses are bank-grid aligned
+    /// (RoCo serves rectangles *only* aligned).
+    pub aligned_rectangles: bool,
+    /// Fraction of accesses that are reads, in [0, 1].
+    pub read_fraction: f64,
+    /// Minimum memory capacity the working set needs, KB.
+    pub min_capacity_kb: usize,
+}
+
+impl WorkloadTrace {
+    /// Row-major streaming (e.g. STREAM, dense mat-vec row walks).
+    pub fn row_streaming() -> Self {
+        Self {
+            pattern_mix: vec![(AccessPattern::Row, 1.0)],
+            aligned_rectangles: false,
+            read_fraction: 0.67,
+            min_capacity_kb: 512,
+        }
+    }
+
+    /// Column-major streaming (transposed operand walks).
+    pub fn column_streaming() -> Self {
+        Self {
+            pattern_mix: vec![(AccessPattern::Column, 1.0)],
+            aligned_rectangles: false,
+            read_fraction: 0.67,
+            min_capacity_kb: 512,
+        }
+    }
+
+    /// Sliding-window 2D tiles at arbitrary offsets (stencils, convolution).
+    pub fn unaligned_tiles() -> Self {
+        Self {
+            pattern_mix: vec![(AccessPattern::Rectangle, 1.0)],
+            aligned_rectangles: false,
+            read_fraction: 0.8,
+            min_capacity_kb: 512,
+        }
+    }
+
+    /// In-place transposition: rectangles read, transposed rectangles
+    /// written (or vice versa).
+    pub fn transpose() -> Self {
+        Self {
+            pattern_mix: vec![
+                (AccessPattern::Rectangle, 0.5),
+                (AccessPattern::TransposedRectangle, 0.5),
+            ],
+            aligned_rectangles: false,
+            read_fraction: 0.5,
+            min_capacity_kb: 512,
+        }
+    }
+
+    /// Row streams mixed with unaligned tile reuse (blocked row-major
+    /// kernels) — the classic ReRo workload.
+    pub fn row_streaming_with_tiles() -> Self {
+        Self {
+            pattern_mix: vec![(AccessPattern::Row, 0.6), (AccessPattern::Rectangle, 0.4)],
+            aligned_rectangles: false,
+            read_fraction: 0.67,
+            min_capacity_kb: 512,
+        }
+    }
+}
+
+/// Average lanes-per-access the candidate sustains on the trace: patterns
+/// the scheme serves conflict-free run at full width; anything else falls
+/// back to one element per cycle.
+fn effective_lanes(p: &EvalPoint, trace: &WorkloadTrace) -> f64 {
+    let cfg = &p.synth.config;
+    let mut weight = 0.0;
+    let mut lanes = 0.0;
+    for &(pattern, w) in &trace.pattern_mix {
+        let conflict_free = cfg.scheme.supports(pattern, cfg.p, cfg.q)
+            && (!cfg.scheme.requires_alignment(pattern) || trace.aligned_rectangles);
+        lanes += w * if conflict_free {
+            cfg.lanes() as f64
+        } else {
+            1.0
+        };
+        weight += w;
+    }
+    if weight == 0.0 {
+        return 0.0;
+    }
+    lanes / weight
+}
+
+/// Score: achieved elements per second on the trace. Reads fan out over the
+/// read ports; writes have one port. The measured pass efficiency folds in
+/// fill/drain overhead.
+fn score(p: &EvalPoint, trace: &WorkloadTrace) -> Option<f64> {
+    if !p.feasible() || p.size_kb < trace.min_capacity_kb {
+        return None;
+    }
+    let sim = p.sim.as_ref()?;
+    let eff_lanes = effective_lanes(p, trace);
+    let ports = trace.read_fraction * p.read_ports as f64 + (1.0 - trace.read_fraction);
+    Some(p.synth.fmax_mhz * eff_lanes * ports * sim.efficiency)
+}
+
+/// Pick the best configuration for `trace` from an existing sweep.
+pub fn recommend_from(result: &SweepResult, trace: &WorkloadTrace) -> Option<PolyMemConfig> {
+    let mut best: Option<(f64, &EvalPoint)> = None;
+    for p in &result.points {
+        let Some(s) = score(p, trace) else { continue };
+        let better = match &best {
+            None => true,
+            Some((bs, bp)) => {
+                s > *bs
+                    || (s == *bs && p.synth.resources.bram_blocks < bp.synth.resources.bram_blocks)
+            }
+        };
+        if better {
+            best = Some((s, p));
+        }
+    }
+    best.map(|(_, p)| p.synth.config)
+}
+
+fn cached_quick_sweep() -> &'static SweepResult {
+    static SWEEP: OnceLock<SweepResult> = OnceLock::new();
+    SWEEP.get_or_init(|| sweep(&SweepConfig::quick(), &TelemetryRegistry::new()))
+}
+
+/// Pick the best configuration for `trace`, running (and caching) the quick
+/// sweep on first use.
+pub fn recommend(trace: &WorkloadTrace) -> Option<PolyMemConfig> {
+    recommend_from(cached_quick_sweep(), trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymem::AccessScheme;
+
+    #[test]
+    fn row_streaming_picks_a_row_capable_scheme() {
+        let cfg = recommend(&WorkloadTrace::row_streaming()).unwrap();
+        // "ReRo-class": the winner must serve rows conflict-free. Both ReRo
+        // and RoCo qualify; RoCo's shorter critical path makes it the
+        // deterministic winner.
+        assert!(
+            cfg.scheme.supports(AccessPattern::Row, cfg.p, cfg.q),
+            "{cfg:?}"
+        );
+        assert_eq!(cfg.scheme, AccessScheme::RoCo);
+    }
+
+    #[test]
+    fn min_capacity_is_respected() {
+        let mut trace = WorkloadTrace::row_streaming();
+        trace.min_capacity_kb = 2048;
+        let cfg = recommend(&trace).unwrap();
+        assert!(cfg.capacity_bytes() >= 2048 * 1024, "{cfg:?}");
+    }
+
+    #[test]
+    fn effective_lanes_penalizes_unsupported_patterns() {
+        let r = cached_quick_sweep();
+        let reo = r
+            .feasible()
+            .find(|p| p.scheme == AccessScheme::ReO && p.size_kb == 512)
+            .unwrap();
+        let trace = WorkloadTrace::row_streaming();
+        // ReO has no row pattern: every access serializes.
+        assert_eq!(effective_lanes(reo, &trace), 1.0);
+    }
+}

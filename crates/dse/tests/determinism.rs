@@ -1,0 +1,90 @@
+//! The determinism contract of the parallel sweep, end to end: the
+//! committed `DSE_report.json` must be byte-identical whatever the worker
+//! count, and the Pareto front must match a serial oracle on arbitrary
+//! objective sets.
+
+use polymem::telemetry::TelemetryRegistry;
+use polymem_dse::{claims, engine, pareto, report};
+use proptest::prelude::*;
+
+fn render_with_workers(workers: usize) -> String {
+    let cfg = engine::SweepConfig::quick().with_workers(workers);
+    let result = engine::sweep(&cfg, &TelemetryRegistry::new());
+    let claims = claims::evaluate(&result);
+    report::render(&result, &claims)
+}
+
+#[test]
+fn report_bytes_identical_across_worker_counts() {
+    let serial = render_with_workers(1);
+    let two = render_with_workers(2);
+    let many = render_with_workers(engine::default_workers().max(4));
+    assert_eq!(serial, two, "1-worker vs 2-worker report bytes differ");
+    assert_eq!(serial, many, "1-worker vs N-worker report bytes differ");
+}
+
+#[test]
+fn report_bytes_identical_across_reruns() {
+    let a = render_with_workers(2);
+    let b = render_with_workers(2);
+    assert_eq!(a, b, "same-configuration reruns drifted");
+}
+
+/// Independent serial oracle: a point is on the front iff no other point is
+/// at least as good on all three axes and strictly better on one.
+fn oracle_front(objs: &[pareto::Objectives]) -> Vec<usize> {
+    let mut keep = Vec::new();
+    'outer: for (i, a) in objs.iter().enumerate() {
+        for (j, b) in objs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let no_worse = b.read_gibps >= a.read_gibps
+                && b.bram_blocks <= a.bram_blocks
+                && b.fmax_mhz >= a.fmax_mhz;
+            let strictly = b.read_gibps > a.read_gibps
+                || b.bram_blocks < a.bram_blocks
+                || b.fmax_mhz > a.fmax_mhz;
+            if no_worse && strictly {
+                continue 'outer;
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn front_matches_serial_oracle(raw in prop::collection::vec((0u32..6, 0u32..6, 0u32..6), 0..40)) {
+        // Quantized coordinates force plenty of ties and duplicates — the
+        // regime where dominance logic errors (>= vs >) actually show.
+        let objs: Vec<pareto::Objectives> = raw
+            .iter()
+            .map(|&(r, b, f)| pareto::Objectives {
+                read_gibps: r as f64,
+                bram_blocks: b as f64,
+                fmax_mhz: f as f64,
+            })
+            .collect();
+        let fast = pareto::front_of(&objs);
+        let oracle = oracle_front(&objs);
+        prop_assert_eq!(&fast, &oracle);
+        // Non-domination: nothing on the front is dominated.
+        for &i in &fast {
+            for (j, o) in objs.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!pareto::dominates(o, &objs[i]), "front[{}] dominated by {}", i, j);
+                }
+            }
+        }
+        // Completeness: everything off the front is dominated by someone.
+        for (j, o) in objs.iter().enumerate() {
+            if !fast.contains(&j) {
+                prop_assert!(objs.iter().any(|other| pareto::dominates(other, o)), "{} missing from front", j);
+            }
+        }
+    }
+}

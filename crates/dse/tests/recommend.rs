@@ -1,0 +1,57 @@
+//! Known-answer workloads for the auto-configurator: each canonical access
+//! mix must map to the scheme class the paper's Table I predicts.
+
+use polymem::{AccessPattern, AccessScheme};
+use polymem_dse::recommend::{recommend, WorkloadTrace};
+
+#[test]
+fn row_streaming_gets_a_row_scheme() {
+    let cfg = recommend(&WorkloadTrace::row_streaming()).unwrap();
+    // The winner must serve rows conflict-free — the ReRo/RoCo class.
+    // RoCo's cheaper shuffle path makes it the deterministic pick.
+    assert!(cfg.scheme.supports(AccessPattern::Row, cfg.p, cfg.q));
+    assert_eq!(cfg.scheme, AccessScheme::RoCo);
+    // Streaming wants width: the widest feasible lane count wins.
+    assert_eq!(cfg.lanes(), 16);
+}
+
+#[test]
+fn column_streaming_gets_a_column_scheme() {
+    let cfg = recommend(&WorkloadTrace::column_streaming()).unwrap();
+    assert!(cfg.scheme.supports(AccessPattern::Column, cfg.p, cfg.q));
+    assert_eq!(cfg.scheme, AccessScheme::RoCo);
+}
+
+#[test]
+fn unaligned_tiles_get_reo() {
+    // RoCo only serves *aligned* rectangles, so the sliding-window workload
+    // excludes it; among the unaligned-rectangle schemes ReO has the
+    // shortest critical path (and the least logic).
+    let cfg = recommend(&WorkloadTrace::unaligned_tiles()).unwrap();
+    assert_eq!(cfg.scheme, AccessScheme::ReO);
+}
+
+#[test]
+fn transpose_workload_gets_retr() {
+    // Only ReTr serves both rectangles and transposed rectangles at full
+    // width; everyone else serializes half the mix.
+    let cfg = recommend(&WorkloadTrace::transpose()).unwrap();
+    assert_eq!(cfg.scheme, AccessScheme::ReTr);
+}
+
+#[test]
+fn row_streams_with_tile_reuse_get_rero() {
+    // The classic ReRo case: rows *and* unaligned rectangles in one kernel.
+    // RoCo loses its rectangles (alignment), ReO loses its rows; only ReRo
+    // runs the whole mix at full width.
+    let cfg = recommend(&WorkloadTrace::row_streaming_with_tiles()).unwrap();
+    assert_eq!(cfg.scheme, AccessScheme::ReRo);
+}
+
+#[test]
+fn recommendation_is_deterministic_and_valid() {
+    let a = recommend(&WorkloadTrace::row_streaming()).unwrap();
+    let b = recommend(&WorkloadTrace::row_streaming()).unwrap();
+    assert_eq!(a, b);
+    assert!(a.validate().is_ok());
+}

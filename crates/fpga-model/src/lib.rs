@@ -34,7 +34,10 @@ pub mod timing;
 
 pub use calibration::{fit_stats, FitStats, PAPER_TABLE4, TABLE4_COLUMNS};
 pub use device::FpgaDevice;
-pub use dse::{best_by, explore, explore_paper, DseGrid, DsePoint};
+pub use dse::{
+    best_by, evaluate_point, explore, explore_all, explore_paper, DseGrid, DsePoint, Exploration,
+    SkippedPoint,
+};
 pub use report::render as render_report;
 pub use resources::{estimate, estimate_with_style, DesignStyle, ResourceEstimate, Utilization};
 pub use synthesis::{synthesize, synthesize_vectis, SynthesisReport};

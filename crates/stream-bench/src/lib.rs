@@ -15,6 +15,8 @@
 //!   requests, with identical cycle accounting;
 //! * [`region_copy`] — STREAM-Copy as whole-vector region copies (compiled
 //!   region plans vs the per-access baseline);
+//! * [`probe`] — a headless one-call burst-Copy harness for design-space
+//!   sweeps (measured cycles per configuration, any scheme);
 //! * [`app`] — the assembled design with Load / Compute / Offload staging
 //!   and the paper's measurement methodology (1000 blocking runs, ~300 ns
 //!   host-call overhead, 14-cycle read latency);
@@ -30,6 +32,7 @@ pub mod graph;
 pub mod layout;
 pub mod modular;
 pub mod op;
+pub mod probe;
 pub mod region_copy;
 pub mod report;
 pub mod staged;
@@ -40,6 +43,7 @@ pub use controller::{Controller, ControllerState};
 pub use layout::{StreamLayout, VectorLayout};
 pub use modular::{run_modular, run_modular_burst, ModularRun};
 pub use op::StreamOp;
+pub use probe::{probe_burst_copy, ProbeResult};
 pub use region_copy::{vector_regions, RegionCopy};
 pub use report::{fig10_default_sizes, fig10_series, fig10_series_burst, Fig10Point, StreamRow};
 pub use staged::{
