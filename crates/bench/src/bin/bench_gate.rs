@@ -17,7 +17,10 @@
 //! copy of a baseline and watch it fail) and for wiring the gate into
 //! environments where the benches ran in an earlier step.
 
-use polymem_bench::gate::{best_of, compare, parse_baseline, resolve_tolerance, Violation};
+use polymem_bench::gate::{
+    best_of, compare, parse_baseline, resolve_tolerance, tracing_overhead, Violation,
+    TRACING_OVERHEAD_LIMIT,
+};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -28,6 +31,7 @@ const GATED_BENCHES: &[(&str, &str)] = &[
     ("layout", "BENCH_layout.json"),
     ("sim_events", "BENCH_sim_events.json"),
     ("dse", "BENCH_dse.json"),
+    ("tracing", "BENCH_tracing.json"),
 ];
 
 /// Extra quick-mode reruns allowed per bench target before a violation is
@@ -71,13 +75,14 @@ fn workspace_root() -> PathBuf {
 /// instrumented benches also dump a telemetry snapshot to `telemetry` (see
 /// `benches/region.rs`), which [`telemetry_context`] renders when the gate
 /// fails.
-fn rerun_bench(root: &Path, bench: &str, out: &Path, telemetry: &Path) {
+fn rerun_bench(root: &Path, bench: &str, out: &Path, telemetry: &Path, trace: &Path) {
     let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
         .current_dir(root)
         .args(["bench", "-p", "polymem-bench", "--bench", bench])
         .env("CRITERION_QUICK", "1")
         .env("CRITERION_JSON", out)
         .env("TELEMETRY_JSON", telemetry)
+        .env("TRACE_JSON", trace)
         .status()
         .unwrap_or_else(|e| fail(&format!("failed to spawn cargo bench --bench {bench}: {e}")));
     if !status.success() {
@@ -123,6 +128,31 @@ fn telemetry_context(path: &Path) -> Option<String> {
     Some(out)
 }
 
+/// Render the five longest spans from a trace an instrumented bench dumped
+/// (`TRACE_JSON`), so a FAIL shows *where the cycles went* — a regressed
+/// replay path usually announces itself as one span class ballooning.
+fn trace_context(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let snap = polymem::tracing::TraceSnapshot::from_chrome_json(&text).ok()?;
+    let mut spans = snap.spans();
+    if spans.is_empty() {
+        return None;
+    }
+    spans.sort_by_key(|s| std::cmp::Reverse(s.cycles()));
+    let mut out = String::new();
+    for s in spans.iter().take(5) {
+        out.push_str(&format!(
+            "  {:>10} cycles  {}::{} [{}..{}]\n",
+            s.cycles(),
+            s.track,
+            s.name,
+            s.begin,
+            s.end
+        ));
+    }
+    Some(out)
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut tolerance_cli: Option<f64> = None;
@@ -160,7 +190,9 @@ fn main() {
     );
 
     let mut violations: Vec<Violation> = Vec::new();
+    let mut overhead_failures: Vec<String> = Vec::new();
     let mut telemetry_files: Vec<PathBuf> = Vec::new();
+    let mut trace_files: Vec<PathBuf> = Vec::new();
     match (baseline_file, from_file) {
         (Some(base), Some(from)) => {
             let b = read_entries(&base);
@@ -173,19 +205,43 @@ fn main() {
                 b.len()
             );
             violations.extend(compare(&b, &f, tolerance));
+            if let Some(over) = tracing_overhead(&f) {
+                overhead_failures.push(format!(
+                    "TRACING   {}: {:.1}% overhead on the region-replay hot path \
+                     (limit {:.0}%)",
+                    from.display(),
+                    over * 100.0,
+                    TRACING_OVERHEAD_LIMIT * 100.0
+                ));
+            }
         }
         (None, None) => {
             let root = workspace_root();
             for (bench, baseline) in GATED_BENCHES {
                 let baseline_path = root.join(baseline);
                 let b = read_entries(&baseline_path);
+                // The tracing-overhead contract is a ratio *within* the
+                // committed baseline, so machine speed cancels out — this
+                // check is deterministic, no rerun involved.
+                if let Some(over) = tracing_overhead(&b) {
+                    overhead_failures.push(format!(
+                        "TRACING   {baseline}: committed baseline carries {:.1}% overhead \
+                         on the region-replay hot path (limit {:.0}%) — fix the tax, \
+                         don't re-pin it",
+                        over * 100.0,
+                        TRACING_OVERHEAD_LIMIT * 100.0
+                    ));
+                }
                 let fresh_path = std::env::temp_dir().join(format!("bench-gate-{bench}.json"));
                 let telemetry_path =
                     std::env::temp_dir().join(format!("bench-gate-{bench}-telemetry.json"));
+                let trace_path =
+                    std::env::temp_dir().join(format!("bench-gate-{bench}-trace.json"));
                 let _ = std::fs::remove_file(&fresh_path);
                 let _ = std::fs::remove_file(&telemetry_path);
+                let _ = std::fs::remove_file(&trace_path);
                 println!("re-running --bench {bench} (quick mode) ...");
-                rerun_bench(&root, bench, &fresh_path, &telemetry_path);
+                rerun_bench(&root, bench, &fresh_path, &telemetry_path, &trace_path);
                 let mut f = read_entries(&fresh_path);
                 println!(
                     "  {baseline}: {} baseline entries, {} fresh",
@@ -203,28 +259,41 @@ fn main() {
                         v.len()
                     );
                     let _ = std::fs::remove_file(&fresh_path);
-                    rerun_bench(&root, bench, &fresh_path, &telemetry_path);
+                    rerun_bench(&root, bench, &fresh_path, &telemetry_path, &trace_path);
                     f = best_of(&f, &read_entries(&fresh_path));
                     v = compare(&b, &f, tolerance);
                 }
                 telemetry_files.push(telemetry_path);
+                trace_files.push(trace_path);
                 violations.extend(v);
             }
         }
         _ => fail("--baseline and --from must be used together"),
     }
 
-    if violations.is_empty() {
+    if violations.is_empty() && overhead_failures.is_empty() {
         println!("bench-gate: PASS");
         return;
     }
-    eprintln!("bench-gate: FAIL ({} violation(s))", violations.len());
+    eprintln!(
+        "bench-gate: FAIL ({} violation(s))",
+        violations.len() + overhead_failures.len()
+    );
     for v in &violations {
         eprintln!("  {v}");
+    }
+    for o in &overhead_failures {
+        eprintln!("  {o}");
     }
     for path in &telemetry_files {
         if let Some(ctx) = telemetry_context(path) {
             eprintln!("telemetry from {}:", path.display());
+            eprint!("{ctx}");
+        }
+    }
+    for path in &trace_files {
+        if let Some(ctx) = trace_context(path) {
+            eprintln!("longest spans from {}:", path.display());
             eprint!("{ctx}");
         }
     }

@@ -1,0 +1,109 @@
+//! **polymem-scrape** — run an instrumented STREAM workload and expose its
+//! observability surface on a live HTTP scrape endpoint.
+//!
+//! ```text
+//! polymem-scrape [--addr 127.0.0.1:9184] [--op copy|scale|sum|triad]
+//!                [--passes N] [--small]
+//! ```
+//!
+//! Runs the region-burst STREAM design with the telemetry registry and the
+//! span-trace journal attached, publishes the resulting snapshots, prints
+//! the bound address on stderr, and serves until killed:
+//!
+//! * `GET /metrics` — Prometheus text exposition (point a scraper here);
+//! * `GET /telemetry.json` — the structured telemetry snapshot;
+//! * `GET /trace.json` — Chrome trace-event JSON (paste into
+//!   <https://ui.perfetto.dev>).
+//!
+//! Zero dependencies beyond `std::net` — see [`polymem_bench::scrape`].
+
+use polymem::tracing::TraceJournal;
+use polymem::{AccessScheme, TelemetryRegistry};
+use polymem_bench::scrape::{ScrapeServer, ScrapeState};
+use stream_bench::app::{StreamApp, PAPER_STREAM_FREQ_MHZ};
+use stream_bench::layout::StreamLayout;
+use stream_bench::op::StreamOp;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("polymem-scrape: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9184".to_string();
+    let mut op = StreamOp::Copy;
+    let mut passes = 3usize;
+    let mut small = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args.next().unwrap_or_else(|| fail("--addr needs a value"));
+            }
+            "--op" => {
+                let v = args.next().unwrap_or_else(|| fail("--op needs a value"));
+                op = match v.as_str() {
+                    "copy" => StreamOp::Copy,
+                    "scale" => StreamOp::Scale(3.0),
+                    "sum" => StreamOp::Sum,
+                    "triad" => StreamOp::Triad(3.0),
+                    other => fail(&format!("unknown op {other:?}")),
+                };
+            }
+            "--passes" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--passes needs a value"));
+                passes = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--passes {v:?} is not a number")));
+                if passes == 0 {
+                    fail("--passes must be at least 1");
+                }
+            }
+            "--small" => small = true,
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let layout = if small {
+        StreamLayout::new(8 * 64, 64, 2, 4, AccessScheme::RoCo, 2)
+    } else {
+        StreamLayout::paper_geometry(StreamLayout::PAPER_MAX_LEN)
+    }
+    .unwrap_or_else(|e| fail(&format!("layout: {e}")));
+
+    let mut app = StreamApp::new_burst(op, layout, PAPER_STREAM_FREQ_MHZ)
+        .unwrap_or_else(|e| fail(&format!("build: {e}")));
+    let registry = TelemetryRegistry::new();
+    app.attach_telemetry(&registry);
+    let journal = TraceJournal::new(1 << 16);
+    app.attach_tracing(&journal);
+
+    let n = layout.a.len;
+    let a: Vec<f64> = (0..n).map(|k| k as f64 + 0.5).collect();
+    let b: Vec<f64> = (0..n).map(|k| (k as f64) * 2.0).collect();
+    let c: Vec<f64> = (0..n).map(|k| 1000.0 - k as f64).collect();
+    app.load(&a, &b, &c)
+        .unwrap_or_else(|e| fail(&format!("load: {e}")));
+    for _ in 0..passes {
+        app.run_pass();
+    }
+    if !app.errors().is_empty() {
+        fail(&format!("memory errors: {:?}", app.errors()));
+    }
+
+    let state = ScrapeState::new();
+    state.publish_telemetry(&registry.snapshot());
+    state.publish_trace(&journal.snapshot());
+    let server = ScrapeServer::serve(&addr, state)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    eprintln!(
+        "polymem-scrape: STREAM-{} | {} pass(es) | serving /metrics /telemetry.json /trace.json \
+         on http://{}/",
+        op.name(),
+        passes,
+        server.addr()
+    );
+    server.block();
+}

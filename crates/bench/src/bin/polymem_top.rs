@@ -10,16 +10,24 @@
 //! ```text
 //! polymem-top [--op copy|scale|sum|triad] [--passes N] [--small]
 //!             [--json] [--prom] [--schema TELEMETRY_schema.json]
+//!             [--trace trace.json] [--serve 127.0.0.1:9184]
 //! ```
 //!
 //! `--json` prints the structured [`TelemetrySnapshot`]; `--prom` prints
 //! Prometheus text exposition; `--schema` validates the snapshot against
 //! the committed metric-ID schema (the CI telemetry step) and exits 1 on a
-//! missing or kind-drifted metric.
+//! missing or kind-drifted metric. `--trace FILE` writes the cycle-stamped
+//! span journal as Chrome trace-event JSON (open it in Perfetto), after
+//! checking span balance (exit 4 on an unbalanced trace) and reconciling
+//! per-state span sums against the attribution counters (exit 3 on drift).
+//! `--serve ADDR` publishes the snapshots on a live scrape endpoint
+//! (`/metrics`, `/telemetry.json`, `/trace.json`) and blocks.
 
 use polymem::telemetry::{HistogramSample, SampleValue, TelemetrySnapshot};
+use polymem::tracing::TraceJournal;
 use polymem::{AccessScheme, TelemetryRegistry};
 use polymem_bench::render_table;
+use polymem_bench::scrape::{ScrapeServer, ScrapeState};
 use polymem_bench::telemetry_gate::{check, parse_schema};
 use stream_bench::app::{StreamApp, PAPER_STREAM_FREQ_MHZ};
 use stream_bench::layout::StreamLayout;
@@ -107,6 +115,8 @@ fn main() {
     let mut json = false;
     let mut prom = false;
     let mut schema_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -137,6 +147,15 @@ fn main() {
             "--schema" => {
                 schema_path = Some(args.next().unwrap_or_else(|| fail("--schema needs a path")));
             }
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| fail("--trace needs a path")));
+            }
+            "--serve" => {
+                serve_addr = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--serve needs an address")),
+                );
+            }
             other => fail(&format!("unknown argument {other:?}")),
         }
     }
@@ -154,6 +173,10 @@ fn main() {
         .unwrap_or_else(|e| fail(&format!("build: {e}")));
     let registry = TelemetryRegistry::new();
     app.attach_telemetry(&registry);
+    // The span journal rides along on every run: in a `tracing-off` build
+    // this is a zero-sized no-op and the snapshot below is simply empty.
+    let journal = TraceJournal::new(1 << 16);
+    app.attach_tracing(&journal);
 
     let n = layout.a.len;
     let a: Vec<f64> = (0..n).map(|k| k as f64 + 0.5).collect();
@@ -169,6 +192,7 @@ fn main() {
     }
 
     let snap = registry.snapshot();
+    let trace = journal.snapshot();
 
     // The exact-sum invariant: the kernel ticks once per simulated cycle,
     // and attribute_cycle lands each tick in exactly one bucket.
@@ -183,6 +207,43 @@ fn main() {
              {attributed} attributed vs {total_cycles} simulated cycles"
         );
         std::process::exit(3);
+    }
+
+    if let Some(path) = &trace_path {
+        // A trace is only trustworthy if its spans balance and its
+        // per-state sums agree with the attribution counters it claims to
+        // explain — check both before writing anything.
+        let problems = trace.validate_spans();
+        if !problems.is_empty() {
+            eprintln!(
+                "polymem-top: trace span-balance FAIL ({} problem(s))",
+                problems.len()
+            );
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            std::process::exit(4);
+        }
+        if !trace.events.is_empty() {
+            let by_name = trace.span_cycles_by_name("polymem");
+            for state in STALL_STATES {
+                let spans = by_name.get(state).copied().unwrap_or(0);
+                let counter = counter_sum(&snap, "dfe_kernel_cycles_total", &[("state", state)]);
+                if spans != counter {
+                    eprintln!(
+                        "polymem-top: trace/telemetry drift: {state} spans sum to \
+                         {spans} cycles but dfe_kernel_cycles_total says {counter}"
+                    );
+                    std::process::exit(3);
+                }
+            }
+        }
+        std::fs::write(path, trace.to_chrome_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!(
+            "polymem-top: wrote {} trace event(s) to {path} (Perfetto-loadable)",
+            trace.events.len()
+        );
     }
 
     if let Some(path) = &schema_path {
@@ -204,6 +265,20 @@ fn main() {
             "polymem-top: schema check PASS ({} required metrics present)",
             schema.len()
         );
+    }
+
+    if let Some(addr) = &serve_addr {
+        let state = ScrapeState::new();
+        state.publish_telemetry(&snap);
+        state.publish_trace(&trace);
+        let server = ScrapeServer::serve(addr, state)
+            .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+        eprintln!(
+            "polymem-top: serving /metrics /telemetry.json /trace.json on http://{}/",
+            server.addr()
+        );
+        server.block();
+        return;
     }
 
     if json {
@@ -316,13 +391,20 @@ fn main() {
                 h.count.to_string(),
                 quantile_cell(h, 0.50),
                 quantile_cell(h, 0.99),
+                quantile_cell(h, 0.999),
             ])
         })
         .collect();
     print!(
         "{}",
         render_table(
-            &["metric".into(), "n".into(), "p50".into(), "p99".into()],
+            &[
+                "metric".into(),
+                "n".into(),
+                "p50".into(),
+                "p99".into(),
+                "p999".into()
+            ],
             &rows
         )
     );
@@ -331,4 +413,23 @@ fn main() {
     let conflicts = counter_sum(&snap, "polymem_conflicts_avoided_total", &[]);
     let bursts = counter_sum(&snap, "stream_bursts_issued_total", &[]);
     println!("{conflicts} bank conflicts avoided by the MAF; {bursts} region bursts issued.");
+
+    // Observability health: events the bounded journal/tracer could not
+    // keep — nonzero numbers here mean the trace undercounts reality.
+    let journal_dropped = counter_sum(&snap, "stream_trace_dropped_total", &[]);
+    println!(
+        "Trace journal: {} event(s) recorded, {} dropped, {} torn; \
+         stream_trace_dropped_total = {}.",
+        trace.events.len(),
+        trace.dropped,
+        trace.torn,
+        journal_dropped
+    );
+    if trace.dropped > 0 || trace.torn > 0 {
+        eprintln!(
+            "polymem-top: WARNING: trace journal overflowed ({} dropped, {} torn) — \
+             raise the journal capacity for a complete trace",
+            trace.dropped, trace.torn
+        );
+    }
 }

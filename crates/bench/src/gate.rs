@@ -174,6 +174,27 @@ pub fn compare(baseline: &[BenchEntry], current: &[BenchEntry], tolerance: f64) 
     violations
 }
 
+/// The maximum allowed tracing tax on the region-replay hot path: the
+/// `tracing/region-replay/on` baseline may cost at most 5% more time per
+/// iteration than `tracing/region-replay/off`.
+pub const TRACING_OVERHEAD_LIMIT: f64 = 0.05;
+
+/// Check the tracing-overhead contract inside one result set: the `on` leg
+/// of `tracing/region-replay` must be within [`TRACING_OVERHEAD_LIMIT`] of
+/// the `off` leg. Unlike [`compare`] this is a *ratio within one run* (or
+/// within the committed baseline), so machine speed cancels out — CI
+/// checks the committed `BENCH_tracing.json` deterministically and the
+/// quick rerun as a second opinion. Returns the measured overhead on
+/// failure; `None` means pass (or legs absent — [`compare`]'s Missing
+/// check catches that).
+pub fn tracing_overhead(entries: &[BenchEntry]) -> Option<f64> {
+    let ns = |id: &str| entries.iter().find(|e| e.id == id).map(|e| e.ns_per_iter);
+    let on = ns("tracing/region-replay/on")?;
+    let off = ns("tracing/region-replay/off")?;
+    let overhead = on / off - 1.0;
+    (overhead > TRACING_OVERHEAD_LIMIT).then_some(overhead)
+}
+
 /// Resolve the tolerance: explicit CLI value, else [`TOLERANCE_ENV`], else
 /// [`DEFAULT_TOLERANCE`]. Panics on an unparsable override — a silently
 /// ignored knob is worse than a loud one.
@@ -324,5 +345,19 @@ mod tests {
     #[should_panic(expected = "tolerance")]
     fn nonsense_tolerance_rejected() {
         let _ = compare(&[], &[], 1.5);
+    }
+
+    #[test]
+    fn tracing_overhead_gate() {
+        let on = |ns| entry("tracing/region-replay/on", ns);
+        let off = |ns| entry("tracing/region-replay/off", ns);
+        // 3% tax: passes. 20% tax: fails with the measured overhead.
+        assert_eq!(tracing_overhead(&[on(103.0), off(100.0)]), None);
+        let over = tracing_overhead(&[on(120.0), off(100.0)]).expect("20% tax must fail");
+        assert!((over - 0.20).abs() < 1e-9, "{over}");
+        // Tracing *faster* than off (noise) passes, as does an absent leg
+        // (compare()'s Missing check owns that case).
+        assert_eq!(tracing_overhead(&[on(95.0), off(100.0)]), None);
+        assert_eq!(tracing_overhead(&[off(100.0)]), None);
     }
 }

@@ -50,5 +50,8 @@ pub use polymem_kernel::{
 };
 pub use sched::{SchedulerMode, SchedulerStats};
 pub use stream::{stream, Fifo, StreamRef};
-pub use trace::{stream_report, stream_stats, StreamStats, TraceEvent, Tracer};
+pub use trace::{
+    burst_summary, stream_report, stream_report_traced, stream_stats, BurstSummary, StreamStats,
+    TraceEvent, Tracer,
+};
 pub use vcd::VcdRecorder;

@@ -13,6 +13,7 @@ use crate::clock::SimClock;
 use crate::kernel::Kernel;
 use crate::sched::{self, SchedulerMode, SchedulerStats, Step};
 use crate::trace::Tracer;
+use polymem::tracing::{NameId, TraceJournal, TraceWriter};
 
 /// Outcome of [`Manager::diagnose_stall`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +50,17 @@ pub struct Manager {
     /// re-driving the design.
     last_run_end: Option<u64>,
     tracer: Option<Tracer>,
+    trc: Option<SchedTracing>,
+}
+
+/// Span-journal bridge for the scheduler (see [`Manager::attach_journal`]):
+/// keeps the journal's logical clock in step with the simulation clock and
+/// renders every event-driven fast-forward as one collapsed span on the
+/// `sched` track.
+struct SchedTracing {
+    journal: TraceJournal,
+    writer: TraceWriter,
+    fast_forward: NameId,
 }
 
 impl Manager {
@@ -67,6 +79,7 @@ impl Manager {
             stalled_at: None,
             last_run_end: None,
             tracer: None,
+            trc: None,
         }
     }
 
@@ -101,6 +114,22 @@ impl Manager {
         self.tracer = Some(tracer);
     }
 
+    /// Drive `journal`'s logical clock from the simulation clock and record
+    /// every event-driven fast-forward as a `fast-forward` span on the
+    /// `sched` track — a skipped quiescent span appears in Perfetto as one
+    /// collapsed box covering exactly the cycles the scheduler never
+    /// ticked. Kernel-level instrumentation (e.g.
+    /// [`crate::polymem_kernel::PolyMemKernel::attach_tracing`]) is
+    /// attached per kernel, before registration.
+    pub fn attach_journal(&mut self, journal: &TraceJournal) {
+        journal.set_cycle(self.clock.cycle());
+        self.trc = Some(SchedTracing {
+            journal: journal.clone(),
+            writer: journal.writer("sched"),
+            fast_forward: journal.intern("fast-forward"),
+        });
+    }
+
     /// Names of registered kernels, in tick order.
     pub fn kernel_names(&self) -> Vec<&str> {
         self.kernels.iter().map(|k| k.name()).collect()
@@ -113,6 +142,9 @@ impl Manager {
     /// One ticked-loop cycle: tick every kernel, advance the clock.
     fn step_ticked(&mut self) {
         let c = self.clock.cycle();
+        if let Some(tr) = &self.trc {
+            tr.journal.set_cycle(c);
+        }
         for k in &mut self.kernels {
             k.tick(c);
         }
@@ -122,12 +154,19 @@ impl Manager {
     /// One event-driven step: tick if anyone can act, else fast-forward.
     fn step_event(&mut self, bound: u64) {
         let before = self.clock.cycle();
+        if let Some(tr) = &self.trc {
+            tr.journal.set_cycle(before);
+        }
         let step = sched::advance(&mut self.clock, &mut self.kernels, bound, &mut self.stats);
         match step {
             Step::Ticked => {}
             Step::Jumped(span) | Step::Stuck(span) => {
                 if let Some(t) = &self.tracer {
                     t.record_jump(before, before + span, "sched");
+                }
+                if let Some(tr) = &self.trc {
+                    tr.writer.span_at(before, before + span, tr.fast_forward);
+                    tr.journal.set_cycle(before + span);
                 }
                 if matches!(step, Step::Stuck(_)) && self.stalled_at.is_none() && !self.all_idle() {
                     self.stalled_at = Some(before);
@@ -388,6 +427,34 @@ mod tests {
                 .any(|e| e.source == "sched" && e.event.contains("fast-forward")),
             "expected a fast-forward trace event, got {events:?}"
         );
+    }
+
+    #[test]
+    #[cfg(not(feature = "tracing-off"))]
+    fn journal_records_fast_forwards_as_collapsed_spans() {
+        use polymem::tracing::TraceJournal;
+        let mut m = Manager::new(100.0);
+        let journal = TraceJournal::new(256);
+        m.attach_journal(&journal);
+        let s = stream::<u64>("clogged", 1);
+        m.add_kernel(Box::new(crate::components::Generator::new(
+            "producer",
+            vec![1, 2],
+            Rc::clone(&s),
+        )));
+        m.run_until_idle(100);
+        assert_eq!(journal.cycle(), m.clock().cycle(), "clock stays in step");
+        let snap = journal.snapshot();
+        assert_eq!(snap.validate_spans(), Vec::<String>::new());
+        let spans = snap.spans();
+        let ff: Vec<_> = spans
+            .iter()
+            .filter(|sp| sp.track == "sched" && sp.name == "fast-forward")
+            .collect();
+        assert!(!ff.is_empty(), "wedged span must be fast-forwarded");
+        // The skipped cycles are exactly the span-covered cycles.
+        let skipped: u64 = ff.iter().map(|sp| sp.cycles()).sum();
+        assert_eq!(skipped, m.scheduler_stats().skipped_cycles);
     }
 
     #[test]

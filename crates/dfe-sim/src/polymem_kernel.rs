@@ -11,6 +11,7 @@ use crate::kernel::{DelayLine, Kernel};
 use crate::stream::StreamRef;
 use crate::trace::Tracer;
 use polymem::telemetry::{Counter, TelemetryRegistry};
+use polymem::tracing::{NameId, TraceJournal, TraceWriter};
 use polymem::{ParallelAccess, PolyMem, PolyMemConfig, PolyMemError, Region};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -40,6 +41,95 @@ struct CycleAttribution {
     pipeline: Counter,
     pcie: Counter,
     idle: Counter,
+}
+
+impl CycleAttribution {
+    fn bucket(&self, b: Bucket) -> &Counter {
+        match b {
+            Bucket::Active => &self.active,
+            Bucket::Contention => &self.contention,
+            Bucket::Pipeline => &self.pipeline,
+            Bucket::Pcie => &self.pcie,
+            Bucket::Idle => &self.idle,
+        }
+    }
+}
+
+/// The attribution bucket a cycle lands in (see [`CycleAttribution`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    Active,
+    Contention,
+    Pipeline,
+    Pcie,
+    Idle,
+}
+
+/// Span-journal instrumentation for one kernel (see
+/// [`PolyMemKernel::attach_tracing`]). The attribution track renders each
+/// contiguous run of same-bucket cycles as one span, so the Perfetto
+/// timeline is a gap-free strip whose per-state span sums equal
+/// `dfe_kernel_cycles_total` exactly. Burst accepts go on separate
+/// per-kind tracks because a read burst and a write burst can overlap in
+/// time — one track per kind keeps every track's spans non-overlapping.
+#[derive(Debug)]
+struct KernelTracing {
+    /// Attribution track, named after the kernel.
+    writer: TraceWriter,
+    /// `<kernel>/read-bursts`, `<kernel>/write-bursts`,
+    /// `<kernel>/copy-bursts`.
+    burst_writers: [TraceWriter; 3],
+    burst_names: [NameId; 3],
+    /// Interned state names, indexed like [`Bucket`] discriminants and
+    /// matching the telemetry `state` label values.
+    states: [NameId; 5],
+    /// The open attribution run: `(bucket, start, end)` covers cycles
+    /// `start..end`. Buffered so a 10 000-cycle idle fast-forward emits
+    /// one span, not 10 000 — flushed retroactively (`begin_at`/`end_at`)
+    /// when the bucket changes, the run goes non-contiguous, or
+    /// [`PolyMemKernel::finish_tracing`] runs.
+    open: Cell<Option<(Bucket, u64, u64)>>,
+}
+
+impl KernelTracing {
+    fn state(&self, b: Bucket) -> NameId {
+        self.states[match b {
+            Bucket::Active => 0,
+            Bucket::Contention => 1,
+            Bucket::Pipeline => 2,
+            Bucket::Pcie => 3,
+            Bucket::Idle => 4,
+        }]
+    }
+
+    /// Land cycles `cycle..cycle + n` in `bucket`, extending the open run
+    /// when contiguous and same-bucket, else flushing it as one span.
+    fn attribute(&self, bucket: Bucket, cycle: u64, n: u64) {
+        match self.open.get() {
+            Some((b, start, end)) if b == bucket && end == cycle => {
+                self.open.set(Some((b, start, end + n)));
+            }
+            prev => {
+                if let Some((b, start, end)) = prev {
+                    self.flush_run(b, start, end);
+                }
+                self.open.set(Some((bucket, cycle, cycle + n)));
+            }
+        }
+    }
+
+    fn flush_run(&self, bucket: Bucket, start: u64, end: u64) {
+        // One complete-span record, not a begin/end pair: flushes sit on
+        // the ticked path, so the run buffer's whole point is paying the
+        // journal as rarely and as cheaply as possible.
+        self.writer.span_at(start, end, self.state(bucket));
+    }
+
+    fn finish(&self) {
+        if let Some((b, start, end)) = self.open.take() {
+            self.flush_run(b, start, end);
+        }
+    }
 }
 
 /// A read request on a port.
@@ -116,6 +206,8 @@ pub struct PolyMemKernel {
     writes_served: u64,
     /// Cycle attribution counters, when telemetry is attached.
     attribution: Option<CycleAttribution>,
+    /// Span-journal instrumentation, when a journal is attached.
+    trc: Option<KernelTracing>,
     /// Set by an upstream host-link kernel while it is pacing (withholding
     /// data for PCIe arrival timing); distinguishes `pcie` from `idle`.
     pcie_waiting: Option<Rc<Cell<bool>>>,
@@ -169,6 +261,7 @@ impl PolyMemKernel {
             reads_served: 0,
             writes_served: 0,
             attribution: None,
+            trc: None,
             pcie_waiting: None,
         })
     }
@@ -187,6 +280,58 @@ impl PolyMemKernel {
             idle: registry.counter("dfe_kernel_cycles_total", state("idle")),
         });
         self.mem.attach_telemetry(registry);
+    }
+
+    /// Record this kernel's activity into `journal`: every tick lands in a
+    /// cycle-attribution span on the track named after the kernel (one span
+    /// per contiguous run of same-state cycles — fast-forwarded idle spans
+    /// collapse to a single span), burst accepts become spans of
+    /// `ceil(len / lanes)` cycles on per-kind `<kernel>/...-bursts` tracks,
+    /// and the wrapped memory's replay spans and cache hit/miss instants
+    /// ride on `<kernel>/mem`. Call [`Self::finish_tracing`] after the last
+    /// tick to flush the open attribution run; until then the span sums
+    /// trail `dfe_kernel_cycles_total` by the open run's length.
+    pub fn attach_tracing(&mut self, journal: &TraceJournal) {
+        let burst_track = |kind: &str| journal.writer(&format!("{}/{kind}-bursts", self.name));
+        self.trc = Some(KernelTracing {
+            writer: journal.writer(&self.name),
+            burst_writers: [
+                burst_track("read"),
+                burst_track("write"),
+                burst_track("copy"),
+            ],
+            burst_names: [
+                journal.intern("burst:read"),
+                journal.intern("burst:write"),
+                journal.intern("burst:copy"),
+            ],
+            states: [
+                journal.intern("active"),
+                journal.intern("contention"),
+                journal.intern("pipeline"),
+                journal.intern("pcie"),
+                journal.intern("idle"),
+            ],
+            open: Cell::new(None),
+        });
+        self.mem
+            .attach_tracing(journal, &format!("{}/mem", self.name));
+    }
+
+    /// Flush the open attribution run (idempotent). After this, the
+    /// journal's per-state span sums for this kernel's track equal its
+    /// `dfe_kernel_cycles_total` buckets exactly.
+    pub fn finish_tracing(&self) {
+        if let Some(tr) = &self.trc {
+            tr.finish();
+        }
+    }
+
+    /// Stop recording into the journal (flushes the open run first).
+    pub fn detach_tracing(&mut self) {
+        self.finish_tracing();
+        self.trc = None;
+        self.mem.detach_tracing();
     }
 
     /// Share a pacing flag with an upstream host-link kernel: while the flag
@@ -219,32 +364,38 @@ impl PolyMemKernel {
             || self.copy_inflight.is_some()
     }
 
-    /// Land `n` cycles in exactly one attribution bucket (see
-    /// [`CycleAttribution`] for the priority order). `n > 1` is the
+    /// Land cycles `cycle..cycle + n` in exactly one attribution bucket
+    /// (see [`CycleAttribution`] for the priority order), in both the
+    /// telemetry counters and the span journal. `n > 1` is the
     /// fast-forward path: during a skipped span no kernel acts, so the
     /// classification the ticked loop would compute is constant across the
     /// span and one bulk add is exact.
-    fn attribute_cycles(&self, progress: bool, n: u64) {
-        let Some(att) = &self.attribution else {
+    fn attribute_cycles(&self, progress: bool, cycle: u64, n: u64) {
+        if self.attribution.is_none() && self.trc.is_none() {
             return;
-        };
+        }
         let bucket = if progress {
-            &att.active
+            Bucket::Active
         } else if self.has_queued_requests() {
-            &att.contention
+            Bucket::Contention
         } else if self.has_inflight() {
-            &att.pipeline
+            Bucket::Pipeline
         } else if self.pcie_waiting.as_ref().is_some_and(|f| f.get()) {
-            &att.pcie
+            Bucket::Pcie
         } else {
-            &att.idle
+            Bucket::Idle
         };
-        bucket.add(n);
+        if let Some(att) = &self.attribution {
+            att.bucket(bucket).add(n);
+        }
+        if let Some(tr) = &self.trc {
+            tr.attribute(bucket, cycle, n);
+        }
     }
 
     /// Land this tick in exactly one attribution bucket.
-    fn attribute_cycle(&self, progress: bool) {
-        self.attribute_cycles(progress, 1);
+    fn attribute_cycle(&self, progress: bool, cycle: u64) {
+        self.attribute_cycles(progress, cycle, 1);
     }
 
     /// The configured read latency in cycles.
@@ -324,11 +475,21 @@ impl PolyMemKernel {
         self.tracer = Some(tracer);
     }
 
-    fn trace_burst(&self, cycle: u64, kind: &str, len: usize) {
+    fn trace_burst(&self, cycle: u64, kind: &str, len: usize, access_cycles: u64) {
         if let Some(t) = &self.tracer {
             // Lazy record: a disabled tracer costs one flag check — no
             // clone of the kernel name, no format!.
             t.record_with(cycle, &self.name, || format!("burst:{kind} len={len}"));
+        }
+        if let Some(tr) = &self.trc {
+            // The burst occupies its datapath for `access_cycles` starting
+            // now; the span covers exactly that window.
+            let k = match kind {
+                "read" => 0,
+                "write" => 1,
+                _ => 2,
+            };
+            tr.burst_writers[k].span_at(cycle, cycle + access_cycles, tr.burst_names[k]);
         }
     }
 
@@ -435,7 +596,7 @@ impl Kernel for PolyMemKernel {
                                 Some((cycle + access_cycles + self.read_latency, data));
                             self.region_reads_served += 1;
                             self.reads_served += region.len().div_ceil(lanes) as u64;
-                            self.trace_burst(cycle, "read", region.len());
+                            self.trace_burst(cycle, "read", region.len(), access_cycles);
                         }
                         Err(e) => self.errors.push(e),
                     }
@@ -482,7 +643,7 @@ impl Kernel for PolyMemKernel {
                             self.region_copies_served += 1;
                             self.reads_served += access_cycles;
                             self.writes_served += access_cycles;
-                            self.trace_burst(cycle, "copy", src.len());
+                            self.trace_burst(cycle, "copy", src.len(), access_cycles);
                         }
                         Err(e) => self.errors.push(e),
                     }
@@ -504,7 +665,7 @@ impl Kernel for PolyMemKernel {
                             self.write_busy_until = cycle + access_cycles;
                             self.region_writes_served += 1;
                             self.writes_served += access_cycles;
-                            self.trace_burst(cycle, "write", region.len());
+                            self.trace_burst(cycle, "write", region.len(), access_cycles);
                         }
                         Err(e) => self.errors.push(e),
                     }
@@ -551,7 +712,7 @@ impl Kernel for PolyMemKernel {
                 }
             }
         }
-        self.attribute_cycle(progress);
+        self.attribute_cycle(progress, cycle);
     }
 
     fn is_idle(&self) -> bool {
@@ -643,7 +804,7 @@ impl Kernel for PolyMemKernel {
         // The scheduler only fast-forwards when no kernel can act, so the
         // ticked loop would have recorded `to - from` identical no-progress
         // cycles here; account them in one bulk add.
-        self.attribute_cycles(false, to - from);
+        self.attribute_cycles(false, from, to - from);
     }
 
     fn busy_reason(&self) -> Option<String> {
@@ -1177,6 +1338,143 @@ mod tests {
                 + cycles("idle"),
             5
         );
+    }
+
+    #[test]
+    #[cfg(not(feature = "tracing-off"))]
+    fn tracing_spans_reconcile_exactly_with_attribution_counters() {
+        use polymem::telemetry::TelemetryRegistry;
+        use polymem::tracing::TraceJournal;
+        use std::cell::Cell;
+        // The same scenario as `cycle_attribution_sums_to_ticks_exactly`,
+        // with a journal attached: the per-state span sums on the kernel's
+        // track must equal the dfe_kernel_cycles_total buckets exactly.
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let rq = vec![stream("rq", 8)];
+        let rs = vec![stream("rs", 8)];
+        let wq = stream("wq", 8);
+        let mut k =
+            PolyMemKernel::new("pm", cfg, 4, rq.clone(), rs.clone(), Rc::clone(&wq)).unwrap();
+        let reg = TelemetryRegistry::new();
+        k.attach_telemetry(&reg);
+        let journal = TraceJournal::new(1024);
+        k.attach_tracing(&journal);
+        let pacing = Rc::new(Cell::new(false));
+        k.set_pcie_flag(Rc::clone(&pacing));
+        wq.borrow_mut()
+            .push((ParallelAccess::row(0, 0), vec![7; 8]));
+        k.tick(0);
+        rq[0].borrow_mut().push(ParallelAccess::row(0, 0));
+        for c in 1..9 {
+            k.tick(c);
+        }
+        pacing.set(true);
+        for c in 9..12 {
+            k.tick(c);
+        }
+        pacing.set(false);
+        k.finish_tracing();
+
+        let snap = journal.snapshot();
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.validate_spans(), Vec::<String>::new());
+        let by_state = snap.span_cycles_by_name("pm");
+        let reg_snap = reg.snapshot();
+        for state in ["active", "contention", "pipeline", "pcie", "idle"] {
+            let counted = reg_snap
+                .counter_value(
+                    "dfe_kernel_cycles_total",
+                    &[("kernel", "pm"), ("state", state)],
+                )
+                .unwrap();
+            assert_eq!(
+                by_state.get(state).copied().unwrap_or(0),
+                counted,
+                "span sum for state {state} must equal the counter"
+            );
+        }
+        let total: u64 = by_state.values().sum();
+        assert_eq!(total, 12, "the attribution strip is gap-free");
+        // Runs coalesce: 12 ticks produced far fewer spans than ticks.
+        let strip: Vec<_> = snap
+            .spans()
+            .into_iter()
+            .filter(|s| s.track == "pm")
+            .collect();
+        assert!(strip.len() < 10, "contiguous same-state runs coalesce");
+    }
+
+    #[test]
+    #[cfg(not(feature = "tracing-off"))]
+    fn burst_accepts_become_spans_on_per_kind_tracks() {
+        use polymem::tracing::TraceJournal;
+        use polymem::RegionShape;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let wq = stream("wq", 8);
+        let bq = stream("bq", 8);
+        let mut k = PolyMemKernel::new(
+            "pm",
+            cfg,
+            2,
+            vec![stream("rq", 8)],
+            vec![stream("rs", 8)],
+            Rc::clone(&wq),
+        )
+        .unwrap();
+        k.attach_region_write_port(Rc::clone(&bq));
+        let journal = TraceJournal::new(256);
+        k.attach_tracing(&journal);
+        // A 4x8 block burst = 4 access cycles, accepted at cycle 0.
+        let region = Region::new("b", 2, 0, RegionShape::Block { rows: 4, cols: 8 });
+        bq.borrow_mut().push((region, (0..32).collect()));
+        for c in 0..5 {
+            k.tick(c);
+        }
+        k.finish_tracing();
+        let snap = journal.snapshot();
+        assert_eq!(snap.validate_spans(), Vec::<String>::new());
+        let bursts: Vec<_> = snap
+            .spans()
+            .into_iter()
+            .filter(|s| s.track == "pm/write-bursts")
+            .collect();
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].name, "burst:write");
+        assert_eq!((bursts[0].begin, bursts[0].end), (0, 4));
+        // Detaching stops recording and leaves the journal balanced.
+        let before = journal.recorded();
+        k.detach_tracing();
+        k.tick(5);
+        assert_eq!(journal.recorded(), before);
+    }
+
+    #[test]
+    #[cfg(not(feature = "tracing-off"))]
+    fn skip_to_collapses_into_one_idle_span() {
+        use polymem::tracing::TraceJournal;
+        let cfg = PolyMemConfig::new(16, 16, 2, 4, AccessScheme::RoCo, 1).unwrap();
+        let mut k = PolyMemKernel::new(
+            "pm",
+            cfg,
+            2,
+            vec![stream("rq", 8)],
+            vec![stream("rs", 8)],
+            stream("wq", 8),
+        )
+        .unwrap();
+        let journal = TraceJournal::new(64);
+        k.attach_tracing(&journal);
+        k.tick(0);
+        k.skip_to(1, 10_001); // a fast-forwarded quiescent span
+        k.finish_tracing();
+        let snap = journal.snapshot();
+        let idle: Vec<_> = snap
+            .spans()
+            .into_iter()
+            .filter(|s| s.name == "idle")
+            .collect();
+        assert_eq!(idle.len(), 1, "tick + 10k skipped cycles = one idle span");
+        assert_eq!(idle[0].cycles(), 10_001);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::stream::StreamRef;
 use polymem::telemetry::{Counter, TelemetryRegistry};
+use polymem::tracing::{TraceJournal, TraceWriter};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -38,6 +39,28 @@ struct TraceBuf {
     dropped: u64,
     enabled: bool,
     bridge: Option<TelemetryBridge>,
+    journal: Option<JournalBridge>,
+}
+
+/// Mirrors every recorded event into a [`TraceJournal`] as an instant on
+/// the event's source track, unifying the legacy per-kernel `Tracer` with
+/// the span journal: one `/trace.json` export shows both. Writers and
+/// name ids are interned per distinct source/event text (cold path; the
+/// journal's hot path moves only integers).
+#[derive(Debug)]
+struct JournalBridge {
+    journal: TraceJournal,
+    writers: HashMap<String, TraceWriter>,
+}
+
+impl JournalBridge {
+    fn mirror(&mut self, cycle: u64, source: &str, event: &str) {
+        let writer = self
+            .writers
+            .entry(source.to_string())
+            .or_insert_with(|| self.journal.writer(source));
+        writer.instant_at(cycle, self.journal.intern(event));
+    }
 }
 
 /// Counts recorded events into a [`TelemetryRegistry`] as
@@ -75,6 +98,7 @@ impl Tracer {
                 dropped: 0,
                 enabled: true,
                 bridge: None,
+                journal: None,
             })),
         }
     }
@@ -90,13 +114,17 @@ impl Tracer {
             b.dropped += 1;
         }
         let source = source.into();
+        let event = event.into();
         if let Some(bridge) = &mut b.bridge {
             bridge.count(&source);
+        }
+        if let Some(j) = &mut b.journal {
+            j.mirror(cycle, &source, &event);
         }
         b.events.push_back(TraceEvent {
             cycle,
             source,
-            event: event.into(),
+            event,
         });
     }
 
@@ -142,6 +170,21 @@ impl Tracer {
         });
     }
 
+    /// Mirror every recorded event into `journal` as an instant on the
+    /// event's source track (see [`crate::trace`] module docs): the span
+    /// journal's exporters then show legacy `Tracer` events — burst
+    /// accepts, fast-forward jumps — on the same Perfetto timeline as the
+    /// instrumented spans. Events recorded while disabled are not
+    /// mirrored, matching the buffer's behaviour; mirrored events are
+    /// *not* subject to this tracer's capacity bound (the journal has its
+    /// own ring and drop counter).
+    pub fn bridge_journal(&self, journal: &TraceJournal) {
+        self.inner.borrow_mut().journal = Some(JournalBridge {
+            journal: journal.clone(),
+            writers: HashMap::new(),
+        });
+    }
+
     /// All retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
         self.inner.borrow().events.iter().cloned().collect()
@@ -163,11 +206,21 @@ impl Tracer {
         self.inner.borrow().dropped
     }
 
-    /// Render a text timeline (one line per event, sorted by cycle).
+    /// Render a text timeline (one line per event, sorted by cycle). When
+    /// the capacity bound dropped events, a final diagnostic line says how
+    /// many — silent loss would make a truncated timeline read as a
+    /// complete one.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in self.inner.borrow().events.iter() {
+        let b = self.inner.borrow();
+        for e in b.events.iter() {
             out.push_str(&format!("[{:>8}] {:<20} {}\n", e.cycle, e.source, e.event));
+        }
+        if b.dropped > 0 {
+            out.push_str(&format!(
+                "[ DROPPED] {} event(s) lost to the capacity bound ({})\n",
+                b.dropped, b.capacity
+            ));
         }
         out
     }
@@ -186,12 +239,21 @@ pub struct BurstSummary {
     pub copies: u64,
     /// Total elements moved across all bursts.
     pub elements: u64,
+    /// Events the tracer's capacity bound dropped (all sources). Non-zero
+    /// means the burst counts above are a **lower bound**: the oldest
+    /// burst records may have been evicted before this summary ran.
+    pub dropped: u64,
 }
 
 /// Summarize one source's `burst:*` events from a tracer. Events that are
 /// not burst records (or whose length field is malformed) are ignored.
+/// `dropped` carries the tracer's overflow count so callers can tell a
+/// complete summary from a truncated one.
 pub fn burst_summary(tracer: &Tracer, source: &str) -> BurstSummary {
-    let mut out = BurstSummary::default();
+    let mut out = BurstSummary {
+        dropped: tracer.dropped(),
+        ..BurstSummary::default()
+    };
     for e in tracer.events_of(source) {
         let Some(rest) = e.event.strip_prefix("burst:") else {
             continue;
@@ -245,6 +307,31 @@ pub fn stream_report<T>(streams: &[(&str, &StreamRef<T>)]) -> Vec<(String, Strea
         .iter()
         .map(|(name, s)| ((*name).to_string(), stream_stats(s)))
         .collect()
+}
+
+/// [`stream_report`] plus a final `<tracer>` row surfacing the event
+/// buffer's own health: `pushed` = events ever recorded, `stalls` =
+/// events lost to the capacity bound, `depth` = events currently
+/// retained. A non-zero stall count on this row means every
+/// event-derived diagnosis (e.g. [`burst_summary`]) ran on a truncated
+/// timeline.
+pub fn stream_report_traced<T>(
+    streams: &[(&str, &StreamRef<T>)],
+    tracer: &Tracer,
+) -> Vec<(String, StreamStats)> {
+    let mut rows = stream_report(streams);
+    let retained = tracer.events().len() as u64;
+    let dropped = tracer.dropped();
+    rows.push((
+        "<tracer>".to_string(),
+        StreamStats {
+            pushed: retained + dropped,
+            popped: 0,
+            stalls: dropped,
+            depth: retained as usize,
+        },
+    ));
+    rows
 }
 
 #[cfg(test)]
@@ -341,8 +428,42 @@ mod tests {
                 writes: 1,
                 copies: 1,
                 elements: 80,
+                dropped: 0,
             }
         );
+    }
+
+    #[test]
+    fn overflow_is_counted_and_surfaced_everywhere() {
+        // A capacity-2 tracer fed 5 burst events: the 3 oldest are evicted
+        // silently by the ring — the drop count must surface in the
+        // summary, the rendered timeline, and the stream report so no
+        // consumer mistakes a truncated record for a complete one.
+        let t = Tracer::new(2);
+        for c in 0..5u64 {
+            t.record(c, "pm", format!("burst:read len={}", 8 * (c + 1)));
+        }
+        assert_eq!(t.dropped(), 3);
+        let s = burst_summary(&t, "pm");
+        assert_eq!(s.reads, 2, "only the 2 newest events survive");
+        assert_eq!(s.elements, 32 + 40);
+        assert_eq!(s.dropped, 3, "summary flags the loss");
+        let text = t.render();
+        assert!(
+            text.contains("3 event(s) lost to the capacity bound (2)"),
+            "{text}"
+        );
+        let rows = stream_report_traced::<u64>(&[], &t);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "<tracer>");
+        assert_eq!(rows[0].1.pushed, 5);
+        assert_eq!(rows[0].1.stalls, 3);
+        assert_eq!(rows[0].1.depth, 2);
+        // A healthy tracer renders no drop footer and reports zero stalls.
+        let ok = Tracer::new(8);
+        ok.record(0, "pm", "burst:read len=8");
+        assert!(!ok.render().contains("DROPPED"));
+        assert_eq!(stream_report_traced::<u64>(&[], &ok)[0].1.stalls, 0);
     }
 
     #[test]
@@ -404,5 +525,28 @@ mod tests {
             snap.counter_value("dfe_trace_events_total", &[("source", "loader")]),
             Some(1)
         );
+    }
+
+    #[test]
+    #[cfg(not(feature = "tracing-off"))]
+    fn journal_bridge_mirrors_events_as_instants() {
+        use polymem::tracing::{TraceEventKind, TraceJournal};
+        let journal = TraceJournal::new(64);
+        let t = Tracer::new(8);
+        t.bridge_journal(&journal);
+        t.record(3, "pm", "burst:read len=32");
+        t.record(7, "sched", "fast-forward to cycle 20 (skipped 13 cycles)");
+        t.set_enabled(false);
+        t.record(9, "pm", "suppressed");
+        let snap = journal.snapshot();
+        assert_eq!(snap.events.len(), 2, "disabled records are not mirrored");
+        assert!(snap
+            .events
+            .iter()
+            .all(|e| e.kind == TraceEventKind::Instant));
+        let pm = &snap.events[0];
+        assert_eq!((pm.cycle, pm.track.as_str()), (3, "pm"));
+        assert_eq!(pm.name, "burst:read len=32");
+        assert_eq!(snap.events[1].track, "sched");
     }
 }

@@ -29,6 +29,7 @@ use crate::mem::PolyMem;
 use crate::region::{Region, RegionShape};
 use crate::region_plan::RegionPlan;
 use crate::scheme::ParallelAccess;
+use crate::tracing::SpanId;
 use crate::AccessScheme;
 use std::sync::Arc;
 
@@ -49,6 +50,32 @@ impl<T: Copy + Default> PolyMem<T> {
         region_plans.get_or_compile(region, config.scheme, agu, maf, afn, plans)
     }
 
+    /// [`Self::region_plan_for`] plus cache observability: when tracing is
+    /// attached, emits a `region-plan-hit` / `region-plan-miss` instant
+    /// and, on a miss, a `region-plan-compile` span. The library runs
+    /// between simulator ticks, so the journal clock does not advance
+    /// inside this call and the compile span is a zero-width retroactive
+    /// marker — emitted *after* the compile, which also keeps the
+    /// miss/hit classification exact (it reads the cache's own miss
+    /// counter rather than re-deriving the keying logic).
+    pub(crate) fn region_plan_traced(&mut self, region: &Region) -> Result<Arc<RegionPlan>> {
+        if self.trc.is_none() {
+            return self.region_plan_for(region);
+        }
+        let misses = self.region_plans.stats().misses;
+        let plan = self.region_plan_for(region)?;
+        if let Some(tr) = &self.trc {
+            if self.region_plans.stats().misses > misses {
+                tr.writer.instant(tr.miss);
+                let s = tr.writer.begin(tr.compile, SpanId::NONE);
+                tr.writer.end(tr.compile, s);
+            } else {
+                tr.writer.instant(tr.hit);
+            }
+        }
+        Ok(plan)
+    }
+
     /// Read a whole region through parallel accesses, in the region's
     /// canonical element order, into `out` (which must hold exactly
     /// [`Region::len`] elements). The region must tile the access geometry
@@ -67,10 +94,17 @@ impl<T: Copy + Default> PolyMem<T> {
             });
         }
         if self.use_region_plan() {
-            let plan = self.region_plan_for(region)?;
+            let plan = self.region_plan_traced(region)?;
             plan.check_bounds(region, self.config.rows, self.config.cols)?;
             let base = self.afn.address(region.i, region.j) as isize;
+            let span = self
+                .trc
+                .as_ref()
+                .map(|tr| tr.writer.begin(tr.replay, SpanId::NONE));
             plan.gather_into(self.banks.flat(), base, out);
+            if let (Some(tr), Some(s)) = (&self.trc, span) {
+                tr.writer.end(tr.replay, s);
+            }
             self.stats.reads += plan.accesses as u64;
             self.stats.elements_read += plan.len() as u64;
             if let Some(t) = &self.tlm {
@@ -112,10 +146,17 @@ impl<T: Copy + Default> PolyMem<T> {
             });
         }
         if self.use_region_plan() {
-            let plan = self.region_plan_for(region)?;
+            let plan = self.region_plan_traced(region)?;
             plan.check_bounds(region, self.config.rows, self.config.cols)?;
             let base = self.afn.address(region.i, region.j) as isize;
+            let span = self
+                .trc
+                .as_ref()
+                .map(|tr| tr.writer.begin(tr.replay, SpanId::NONE));
             plan.scatter_from(self.banks.flat_mut(), base, values);
+            if let (Some(tr), Some(s)) = (&self.trc, span) {
+                tr.writer.end(tr.replay, s);
+            }
             self.stats.writes += plan.accesses as u64;
             self.stats.elements_written += plan.len() as u64;
             if let Some(t) = &self.tlm {
@@ -162,13 +203,17 @@ impl<T: Copy + Default> PolyMem<T> {
             });
         }
         if self.use_region_plan() {
-            let sp = self.region_plan_for(src)?;
-            let dp = self.region_plan_for(dst)?;
+            let sp = self.region_plan_traced(src)?;
+            let dp = self.region_plan_traced(dst)?;
             if sp.accesses != dp.accesses {
                 return Err(copy_shape_mismatch(src, sp.accesses, dst, dp.accesses));
             }
             sp.check_bounds(src, self.config.rows, self.config.cols)?;
             dp.check_bounds(dst, self.config.rows, self.config.cols)?;
+            let span = self
+                .trc
+                .as_ref()
+                .map(|tr| tr.writer.begin(tr.copy_replay, SpanId::NONE));
             let sbase = self.afn.address(src.i, src.j) as isize;
             let dbase = self.afn.address(dst.i, dst.j) as isize;
             let overlap = src.overlaps(dst);
@@ -209,6 +254,9 @@ impl<T: Copy + Default> PolyMem<T> {
                 }
                 coalesced = 0;
                 strided = 2 * sp.len() as u64 * elem;
+            }
+            if let (Some(tr), Some(s)) = (&self.trc, span) {
+                tr.writer.end(tr.copy_replay, s);
             }
             self.stats.reads += sp.accesses as u64;
             self.stats.writes += dp.accesses as u64;
@@ -405,6 +453,38 @@ mod tests {
         assert!(s.bytes > 0);
         m.clear_region_plans();
         assert_eq!(m.region_plan_stats().entries, 0);
+    }
+
+    #[cfg(not(feature = "tracing-off"))]
+    #[test]
+    fn region_ops_emit_balanced_spans_and_cache_instants() {
+        use crate::tracing::{TraceEventKind, TraceJournal};
+        let journal = TraceJournal::new(256);
+        let mut m = mem(AccessScheme::ReRo);
+        m.attach_tracing(&journal, "pm");
+        let r = Region::new("row", 5, 0, RegionShape::Row { len: 16 });
+        m.read_region(0, &r).unwrap();
+        m.read_region(0, &r).unwrap();
+        let dst = Region::new("row2", 13, 0, RegionShape::Row { len: 16 });
+        m.copy_region(0, &r, &dst).unwrap();
+        let s = journal.snapshot();
+        assert!(s.validate_spans().is_empty(), "{:?}", s.validate_spans());
+        let by_name = |name: &str, kind: TraceEventKind| {
+            s.events
+                .iter()
+                .filter(|e| e.name == name && e.kind == kind)
+                .count()
+        };
+        // First read misses (one compile span), the rest hit the cache.
+        assert_eq!(by_name("region-plan-miss", TraceEventKind::Instant), 1);
+        assert_eq!(by_name("region-plan-hit", TraceEventKind::Instant), 3);
+        assert_eq!(by_name("region-plan-compile", TraceEventKind::Begin), 1);
+        assert_eq!(by_name("region-replay", TraceEventKind::Begin), 2);
+        assert_eq!(by_name("copy-replay", TraceEventKind::Begin), 1);
+        // Detach stops recording.
+        m.detach_tracing();
+        m.read_region(0, &r).unwrap();
+        assert_eq!(journal.snapshot().events.len(), s.events.len());
     }
 
     #[test]

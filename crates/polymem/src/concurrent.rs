@@ -58,6 +58,7 @@ use crate::region_plan::{
 use crate::scheme::{AccessPattern, ParallelAccess};
 use crate::sync::{AtomicBool, Ordering, RwLock};
 use crate::telemetry::{Counter, TelemetryRegistry};
+use crate::tracing::{NameId, SpanId, TraceJournal, TraceWriter};
 use std::sync::Arc;
 
 /// Below this many elements a region read is gathered serially: spawning
@@ -157,6 +158,38 @@ impl ConcTelemetry {
 
 /// Coalesced/strided byte attribution of one per-bank-locked replay: the
 /// share moved by `d_stride == 1` bank runs vs the chunked strided loop.
+/// Trace-journal handles for a [`ConcurrentPolyMem`] (attached via
+/// [`ConcurrentPolyMem::attach_tracing`]). The writer and every name are
+/// resolved at attach time, so recording is a handful of `Relaxed`/
+/// `Release` stores — safe from any port thread through `&self`.
+///
+/// **Guard discipline:** journal writes are *never* issued while a bank
+/// guard is held. Phase spans begin before the first bank lock of a phase
+/// is taken and end after the last one is released, and the per-bank
+/// `bank-acquire` instants fire immediately *before* each guard
+/// acquisition. `polymem-verify`'s telemetry pass enforces this textually
+/// (no tracing site inside a held bank-guard scope).
+#[derive(Debug)]
+struct ConcTracing {
+    writer: TraceWriter,
+    /// Span: banded gather phase of `read_region` / `copy_region`.
+    gather: NameId,
+    /// Span: lock-free spread-to-canonical phase.
+    spread: NameId,
+    /// Span: banded scatter phase of `write_region` / `copy_region`.
+    scatter: NameId,
+    /// Span: same-residue-class `copy_within` fast path.
+    copy_runs: NameId,
+    /// Span: overlapping-region access-interleaved slow path.
+    copy_inter: NameId,
+    /// Instant: region-plan cache hit.
+    hit: NameId,
+    /// Instant: region-plan cache miss (shard + region compile).
+    miss: NameId,
+    /// Instant: a port/bank guard is about to be acquired.
+    acquire: NameId,
+}
+
 #[inline]
 fn bank_byte_split<T>(plan: &RegionPlan) -> (u64, u64) {
     let elem = std::mem::size_of::<T>() as u64;
@@ -186,6 +219,8 @@ pub struct ConcurrentPolyMem<T> {
     /// Telemetry handles, when attached. `None` costs one branch per
     /// operation and nothing else.
     tlm: Option<ConcTelemetry>,
+    /// Trace-journal handles, when attached (same cost model as `tlm`).
+    trc: Option<ConcTracing>,
 }
 
 impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
@@ -206,6 +241,7 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             region_plans: RwLock::new(RegionPlanCache::new(config.lanes())),
             planning: AtomicBool::new(true),
             tlm: None,
+            trc: None,
         })
     }
 
@@ -255,6 +291,33 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
     /// values stay visible there).
     pub fn detach_telemetry(&mut self) {
         self.tlm = None;
+    }
+
+    /// Start recording causal spans into `journal` on the named track:
+    /// region-plan hit/miss instants, `bank-acquire` instants before every
+    /// port-guard acquisition, and phase spans for the two-phase banded
+    /// read (`gather-phase` → `spread-phase`), the banded write
+    /// (`scatter-phase`) and the three `copy_region` replay strategies.
+    /// Takes `&mut self` (attach while no port threads run); recording
+    /// itself is `&self` and thread-safe. Journal writes never happen
+    /// under a held bank guard — see [`ConcTracing`].
+    pub fn attach_tracing(&mut self, journal: &TraceJournal, track: &str) {
+        self.trc = Some(ConcTracing {
+            writer: journal.writer(track),
+            gather: journal.intern("gather-phase"),
+            spread: journal.intern("spread-phase"),
+            scatter: journal.intern("scatter-phase"),
+            copy_runs: journal.intern("copy-bank-runs"),
+            copy_inter: journal.intern("copy-interleaved"),
+            hit: journal.intern("region-plan-hit"),
+            miss: journal.intern("region-plan-miss"),
+            acquire: journal.intern("bank-acquire"),
+        });
+    }
+
+    /// Stop recording spans (already-recorded journal events remain).
+    pub fn detach_tracing(&mut self) {
+        self.trc = None;
     }
 
     /// The configuration.
@@ -324,6 +387,31 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             &self.afn,
             &mut acc_cache,
         )
+    }
+
+    /// The region cache's cumulative miss count. The read guard is a
+    /// statement temporary, released before this returns.
+    fn region_cache_misses(&self) -> u64 {
+        self.region_plans.read().stats().misses
+    }
+
+    /// [`Self::region_plan_for`] plus cache observability: emits a
+    /// `region-plan-hit` / `region-plan-miss` instant when tracing is
+    /// attached. Classification reads the cache's own miss counter (after
+    /// the lock guards are back down), so it stays exact under racing
+    /// compilers of *different* classes and never records under a lock.
+    fn region_plan_traced(&self, region: &Region) -> Result<Arc<RegionPlan>> {
+        let Some(tr) = &self.trc else {
+            return self.region_plan_for(region);
+        };
+        let misses = self.region_cache_misses();
+        let plan = self.region_plan_for(region)?;
+        if self.region_cache_misses() > misses {
+            tr.writer.instant(tr.miss);
+        } else {
+            tr.writer.instant(tr.hit);
+        }
+        Ok(plan)
     }
 
     fn check_access(&self, access: ParallelAccess) -> Result<()> {
@@ -405,7 +493,7 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
     /// order through the same run table. Small regions run both phases
     /// inline — thread launch would dominate.
     pub fn read_region(&self, region: &Region) -> Result<Vec<T>> {
-        let plan = self.region_plan_for(region)?;
+        let plan = self.region_plan_traced(region)?;
         plan.check_bounds(region, self.config.rows, self.config.cols)?;
         if let Some(t) = &self.tlm {
             t.region_read(plan.accesses, plan.len());
@@ -421,6 +509,10 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         let accesses = plan.accesses;
         let mut stage = vec![T::default(); len];
         let ports = self.config.read_ports.max(1);
+        let span = self
+            .trc
+            .as_ref()
+            .map(|tr| tr.writer.begin(tr.gather, SpanId::NONE));
         if ports == 1 || len < PARALLEL_REGION_MIN {
             for (b, chunk) in stage.chunks_mut(accesses).enumerate() {
                 self.gather_range(&plan, base, b, chunk);
@@ -439,8 +531,19 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             })
             .expect("region port thread panicked");
         }
+        // All bank guards are released here: end the gather-phase span and
+        // open the lock-free spread phase.
+        let span = self.trc.as_ref().map(|tr| {
+            if let Some(s) = span {
+                tr.writer.end(tr.gather, s);
+            }
+            tr.writer.begin(tr.spread, SpanId::NONE)
+        });
         for b in 0..plan.lanes {
             self.spread_range(&plan, b, &stage[b * accesses..(b + 1) * accesses], &mut out);
+        }
+        if let (Some(tr), Some(s)) = (&self.trc, span) {
+            tr.writer.end(tr.spread, s);
         }
         Ok(out)
     }
@@ -451,6 +554,10 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
     fn gather_range(&self, plan: &RegionPlan, base: isize, b: usize, out: &mut [T]) {
         let lo = plan.bank_run_index[b] as usize;
         let hi = plan.bank_run_index[b + 1] as usize;
+        if let Some(tr) = &self.trc {
+            // Recorded *before* the guard acquisition, never under it.
+            tr.writer.instant(tr.acquire);
+        }
         let guard = self.banks[b].read();
         let bank = guard.as_slice();
         let mut pos = 0usize;
@@ -499,7 +606,7 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
                 expected: region.len(),
             });
         }
-        let plan = self.region_plan_for(region)?;
+        let plan = self.region_plan_traced(region)?;
         plan.check_bounds(region, self.config.rows, self.config.cols)?;
         if let Some(t) = &self.tlm {
             t.region_write(plan.accesses, plan.len());
@@ -507,8 +614,15 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             t.region_bytes(c, s);
         }
         let base = self.afn.address(region.i, region.j) as isize;
+        let span = self
+            .trc
+            .as_ref()
+            .map(|tr| tr.writer.begin(tr.scatter, SpanId::NONE));
         for b in 0..plan.lanes {
             self.scatter_range(&plan, base, b, values);
+        }
+        if let (Some(tr), Some(s)) = (&self.trc, span) {
+            tr.writer.end(tr.scatter, s);
         }
         Ok(())
     }
@@ -530,8 +644,8 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
     /// take the access-interleaved slow path, which matches the sequential
     /// [`crate::PolyMem::copy_region`] element for element.
     pub fn copy_region_with(&self, src: &Region, dst: &Region, scratch: &mut Vec<T>) -> Result<()> {
-        let sp = self.region_plan_for(src)?;
-        let dp = self.region_plan_for(dst)?;
+        let sp = self.region_plan_traced(src)?;
+        let dp = self.region_plan_traced(dst)?;
         if sp.accesses != dp.accesses {
             return Err(PolyMemError::InvalidGeometry {
                 reason: format!(
@@ -555,7 +669,15 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
                 t.region_write_banks(dp.accesses);
                 t.region_bytes(0, 2 * sp.len() as u64 * std::mem::size_of::<T>() as u64);
             }
-            return self.copy_interleaved(&sp, sbase, &dp, dbase, scratch);
+            let span = self
+                .trc
+                .as_ref()
+                .map(|tr| tr.writer.begin(tr.copy_inter, SpanId::NONE));
+            let res = self.copy_interleaved(&sp, sbase, &dp, dbase, scratch);
+            if let (Some(tr), Some(s)) = (&self.trc, span) {
+                tr.writer.end(tr.copy_inter, s);
+            }
+            return res;
         }
         let len = sp.len();
         if len == 0 {
@@ -566,7 +688,14 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
                 let (c, s) = bank_byte_split::<T>(&sp);
                 t.region_bytes(2 * c, 2 * s);
             }
+            let span = self
+                .trc
+                .as_ref()
+                .map(|tr| tr.writer.begin(tr.copy_runs, SpanId::NONE));
             self.copy_bank_runs(&sp, sbase, dbase);
+            if let (Some(tr), Some(s)) = (&self.trc, span) {
+                tr.writer.end(tr.copy_runs, s);
+            }
             return Ok(());
         }
         if let Some(t) = &self.tlm {
@@ -579,6 +708,10 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         scratch.resize(2 * len, T::default());
         let (stage, canonical) = scratch.split_at_mut(len);
         let ports = self.config.read_ports.max(1);
+        let span = self
+            .trc
+            .as_ref()
+            .map(|tr| tr.writer.begin(tr.gather, SpanId::NONE));
         if ports == 1 || len < PARALLEL_REGION_MIN {
             for (b, chunk) in stage.chunks_mut(accesses).enumerate() {
                 self.gather_range(&sp, sbase, b, chunk);
@@ -597,13 +730,29 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             })
             .expect("region port thread panicked");
         }
+        // Source bank guards released: gather phase over, spread begins.
+        let span = self.trc.as_ref().map(|tr| {
+            if let Some(s) = span {
+                tr.writer.end(tr.gather, s);
+            }
+            tr.writer.begin(tr.spread, SpanId::NONE)
+        });
         for b in 0..sp.lanes {
             self.spread_range(&sp, b, &stage[b * accesses..(b + 1) * accesses], canonical);
         }
+        let span = self.trc.as_ref().map(|tr| {
+            if let Some(s) = span {
+                tr.writer.end(tr.spread, s);
+            }
+            tr.writer.begin(tr.scatter, SpanId::NONE)
+        });
         let values: &[T] = canonical;
         if ports == 1 || len < PARALLEL_REGION_MIN {
             for b in 0..dp.lanes {
                 self.scatter_range(&dp, dbase, b, values);
+            }
+            if let (Some(tr), Some(s)) = (&self.trc, span) {
+                tr.writer.end(tr.scatter, s);
             }
             return Ok(());
         }
@@ -616,6 +765,9 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
             }
         })
         .expect("bank writer thread panicked");
+        if let (Some(tr), Some(s)) = (&self.trc, span) {
+            tr.writer.end(tr.scatter, s);
+        }
         Ok(())
     }
 
@@ -630,6 +782,10 @@ impl<T: Copy + Default + Send + Sync> ConcurrentPolyMem<T> {
         let lo = plan.bank_run_index[b] as usize;
         let hi = plan.bank_run_index[b + 1] as usize;
         let mut drained = 0u64;
+        if let Some(tr) = &self.trc {
+            // Recorded *before* the guard acquisition, never under it.
+            tr.writer.instant(tr.acquire);
+        }
         let mut guard = self.banks[b].write();
         let bank = guard.as_mut_slice();
         for run in &plan.bank_runs[lo..hi] {
@@ -811,6 +967,45 @@ mod tests {
         let data: Vec<u64> = (10..18).collect();
         m.write(PA::row(3, 0), &data).unwrap();
         assert_eq!(m.read(PA::row(3, 0)).unwrap(), data);
+    }
+
+    #[cfg(not(feature = "tracing-off"))]
+    #[test]
+    fn region_ops_emit_phase_spans_outside_guards() {
+        use crate::tracing::{TraceEventKind, TraceJournal};
+        let journal = TraceJournal::new(4096);
+        let mut m = mem();
+        m.attach_tracing(&journal, "conc");
+        fill(&m);
+        let r = Region::new("b", 0, 0, RegionShape::Block { rows: 4, cols: 8 });
+        let vals = m.read_region(&r).unwrap();
+        m.write_region(&r, &vals).unwrap();
+        let dst = Region::new("b2", 8, 8, RegionShape::Block { rows: 4, cols: 8 });
+        m.copy_region(&r, &dst).unwrap();
+        let s = journal.snapshot();
+        assert!(s.validate_spans().is_empty(), "{:?}", s.validate_spans());
+        let spans = s.spans();
+        let count = |name: &str| spans.iter().filter(|sp| sp.name == name).count();
+        // read_region: gather + spread; copy (same residue class, disjoint
+        // at the same column offset modulo the period) replays one of the
+        // three strategies as exactly one span.
+        assert!(count("gather-phase") >= 1);
+        assert!(count("spread-phase") >= 1);
+        assert!(count("scatter-phase") >= 1);
+        assert!(count("copy-bank-runs") + count("copy-interleaved") + count("gather-phase") >= 2);
+        let instants = |name: &str| {
+            s.events
+                .iter()
+                .filter(|e| e.kind == TraceEventKind::Instant && e.name == name)
+                .count()
+        };
+        // Every banded phase announces each guard acquisition up front.
+        assert!(instants("bank-acquire") >= 2 * m.config().lanes());
+        assert!(instants("region-plan-miss") >= 1);
+        assert!(instants("region-plan-hit") >= 1);
+        m.detach_tracing();
+        m.read_region(&r).unwrap();
+        assert_eq!(journal.snapshot().events.len(), s.events.len());
     }
 
     #[test]

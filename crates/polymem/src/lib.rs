@@ -73,6 +73,7 @@ pub mod shuffle;
 pub mod sync;
 pub mod telemetry;
 pub mod theory;
+pub mod tracing;
 
 pub use addressing::AddressingFunction;
 pub use agu::Agu;
@@ -95,6 +96,7 @@ pub use telemetry::{
     Counter, Gauge, Histogram, Label, MetricSample, SampleValue, StatCounter, TelemetryRegistry,
     TelemetrySnapshot,
 };
+pub use tracing::{SpanId, TraceJournal, TraceSnapshot, TraceWriter};
 
 /// Glob-import convenience: `use polymem::prelude::*;` brings in the types
 /// nearly every user needs.

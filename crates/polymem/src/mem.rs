@@ -25,6 +25,7 @@ use crate::region_plan::{RegionPlanCache, RegionPlanCacheStats};
 use crate::scheme::{AccessPattern, ParallelAccess};
 use crate::shuffle::Crossbar;
 use crate::telemetry::{Counter, TelemetryRegistry};
+use crate::tracing::{NameId, TraceJournal, TraceWriter};
 
 /// Running counters of memory activity, for benchmarks and reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -128,6 +129,27 @@ impl MemTelemetry {
     }
 }
 
+/// Trace-journal handles for one [`PolyMem`], populated by
+/// [`PolyMem::attach_tracing`]. The writer and every event name are
+/// resolved at attach time, so the instrumented region paths record only
+/// fixed-width integers — no allocation, no locks, no panicking construct
+/// (the same hot-path discipline as [`MemTelemetry`]).
+#[derive(Debug, Clone)]
+pub(crate) struct MemTracing {
+    /// Journal writer bound to this memory's track.
+    pub(crate) writer: TraceWriter,
+    /// Span: one compiled region-plan replay (gather/scatter).
+    pub(crate) replay: NameId,
+    /// Span: one planned `copy_region` replay.
+    pub(crate) copy_replay: NameId,
+    /// Span: a region-plan compilation (cache miss path).
+    pub(crate) compile: NameId,
+    /// Instant: region-plan cache hit.
+    pub(crate) hit: NameId,
+    /// Instant: region-plan cache miss.
+    pub(crate) miss: NameId,
+}
+
 /// A polymorphic parallel memory instance.
 ///
 /// `T` is the element type (the paper's designs are 64-bit; any `Copy +
@@ -172,6 +194,10 @@ pub struct PolyMem<T> {
     /// [`Self::attach_telemetry`]); `None` keeps the hot path at a single
     /// branch.
     pub(crate) tlm: Option<MemTelemetry>,
+    /// Trace-journal handles when span tracing is attached (see
+    /// [`Self::attach_tracing`]); `None` keeps the region paths at a
+    /// single branch.
+    pub(crate) trc: Option<MemTracing>,
 }
 
 impl<T: Copy + Default> PolyMem<T> {
@@ -202,6 +228,7 @@ impl<T: Copy + Default> PolyMem<T> {
             region_plans: RegionPlanCache::new(lanes),
             region_planning: true,
             tlm: None,
+            trc: None,
         })
     }
 
@@ -331,6 +358,32 @@ impl<T: Copy + Default> PolyMem<T> {
     /// registry at their last values).
     pub fn detach_telemetry(&mut self) {
         self.tlm = None;
+    }
+
+    /// Start recording causal spans into `journal` on the named track:
+    /// region-plan **compile** spans and cache **hit/miss** instants
+    /// around every bulk operation's plan lookup, and **replay** spans
+    /// around the gather/scatter itself, stamped at the journal's current
+    /// logical cycle.
+    ///
+    /// The per-access planned read/write hot path is deliberately *not*
+    /// instrumented: it moves only `lanes` elements per call, so a journal
+    /// record per access would dominate the work being measured. Region
+    /// replay — where the bulk of the cycles go — carries the spans.
+    pub fn attach_tracing(&mut self, journal: &TraceJournal, track: &str) {
+        self.trc = Some(MemTracing {
+            writer: journal.writer(track),
+            replay: journal.intern("region-replay"),
+            copy_replay: journal.intern("copy-replay"),
+            compile: journal.intern("region-plan-compile"),
+            hit: journal.intern("region-plan-hit"),
+            miss: journal.intern("region-plan-miss"),
+        });
+    }
+
+    /// Stop recording spans (already-recorded journal events remain).
+    pub fn detach_tracing(&mut self) {
+        self.trc = None;
     }
 
     /// Start recording every coordinate touched by parallel accesses —

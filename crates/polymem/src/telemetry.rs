@@ -628,7 +628,7 @@ pub struct TelemetrySnapshot {
     pub metrics: Vec<MetricSample>,
 }
 
-fn json_escape(out: &mut String, s: &str) {
+pub(crate) fn json_escape(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -897,10 +897,11 @@ fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
 // Minimal JSON parser (integers, strings, arrays, objects).
 // ---------------------------------------------------------------------------
 
-mod json {
+pub(crate) mod json {
     //! A recursive-descent parser for the integer-valued JSON subset the
-    //! telemetry exporters emit. Hand-rolled because the vendored `serde`
-    //! is a marker stub with no real deserialization.
+    //! telemetry exporters emit (also reused by [`crate::tracing`]'s
+    //! Chrome trace-event importer). Hand-rolled because the vendored
+    //! `serde` is a marker stub with no real deserialization.
 
     /// Parsed JSON value (integer-valued subset).
     #[derive(Debug, Clone, PartialEq)]

@@ -7,7 +7,8 @@
 //! a writing read-port thread, a locked telemetry call under a bank
 //! guard, a panicking hot path, a deregistered stream feedback loop, a
 //! downgraded Acquire ordering, a bank guard dropped before the spread
-//! phase, and a base skipped at snapshot fold-in — and checks that the
+//! phase, a base skipped at snapshot fold-in, and a trace span begun but
+//! never ended — and checks that the
 //! corresponding analysis reports the expected finding code. The real
 //! sources on disk are never modified; source mutations run on in-memory
 //! copies, and the concurrency mutations run on the `races` pass's
@@ -343,12 +344,32 @@ fn skipped_fold_in_base() -> Mutation {
     )
 }
 
+/// Mutation 13: record a span `begin` into a live journal and never close
+/// it — the span-balance validation must report the dangling begin.
+fn unbalanced_span() -> Mutation {
+    let journal = polymem::tracing::TraceJournal::new(64);
+    let writer = journal.writer("inject");
+    let name = journal.intern("dangling");
+    journal.set_cycle(1);
+    let _span = writer.begin(name, polymem::tracing::SpanId::NONE);
+    let snap = journal.snapshot();
+    let mut findings = Vec::new();
+    let _ = telemetry::check_span_balance(&snap, "injected journal", &mut findings);
+    record(
+        "unbalanced-span",
+        "span-imbalance",
+        "telemetry",
+        "unbalanced-span",
+        &findings,
+    )
+}
+
 /// Run every seeded mutation. Reads `concurrent.rs` under `root` for the
 /// lock mutations (mutated in memory only).
 pub fn run(root: &Path, findings: &mut Vec<Finding>) -> Vec<Mutation> {
     let concurrent_src =
         std::fs::read_to_string(root.join("crates/polymem/src/concurrent.rs")).unwrap_or_default();
-    let mutations = vec![
+    let mut mutations = vec![
         false_support_claim(),
         corrupt_access_plan(),
         corrupt_region_plan(),
@@ -362,6 +383,11 @@ pub fn run(root: &Path, findings: &mut Vec<Finding>) -> Vec<Mutation> {
         dropped_bank_guard(),
         skipped_fold_in_base(),
     ];
+    // With the journal compiled out there is nothing to record into, so
+    // the span-imbalance seed cannot (and need not) fire.
+    if cfg!(not(feature = "tracing-off")) {
+        mutations.push(unbalanced_span());
+    }
     for m in &mutations {
         if !m.caught {
             findings.push(Finding::new(
@@ -388,7 +414,12 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let mut findings = Vec::new();
         let mutations = run(&root, &mut findings);
-        assert_eq!(mutations.len(), 12);
+        let expected = if cfg!(feature = "tracing-off") {
+            12
+        } else {
+            13
+        };
+        assert_eq!(mutations.len(), expected);
         for m in &mutations {
             assert!(m.caught, "{} survived: {}", m.name, m.detail);
         }

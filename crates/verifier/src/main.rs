@@ -209,6 +209,23 @@ fn telemetry_json(out: &telemetry::TelemetryGuardReport) -> Json {
         ("atomic_sites".into(), Json::UInt(out.atomic_sites as u64)),
         ("locked_sites".into(), Json::UInt(out.locked_sites as u64)),
         ("owned_ops".into(), Json::UInt(out.owned_ops as u64)),
+        ("trace_sites".into(), Json::UInt(out.trace_sites as u64)),
+        (
+            "trace_in_guard".into(),
+            Json::UInt(out.trace_in_guard as u64),
+        ),
+        (
+            "trace_alloc_sites".into(),
+            Json::UInt(out.trace_alloc_sites as u64),
+        ),
+        (
+            "spans_validated".into(),
+            Json::UInt(out.spans_validated as u64),
+        ),
+        (
+            "unbalanced_spans".into(),
+            Json::UInt(out.unbalanced_spans as u64),
+        ),
     ])
 }
 
@@ -392,6 +409,15 @@ fn main() -> ExitCode {
                 tlm_out.atomic_sites,
                 tlm_out.locked_sites,
                 tlm_out.owned_ops
+            );
+            println!(
+                "  tracing: {} emission site(s) audited ({} under a guard, {} allocating), \
+                 {} live span(s) validated, {} unbalanced",
+                tlm_out.trace_sites,
+                tlm_out.trace_in_guard,
+                tlm_out.trace_alloc_sites,
+                tlm_out.spans_validated,
+                tlm_out.unbalanced_spans
             );
             sections.push(("telemetry".into(), telemetry_json(&tlm_out)));
         }
